@@ -1,0 +1,174 @@
+// Ablation: EGNN locality vs Transformer attention — the architecture
+// question behind the paper's Sec. IV-A conjecture ("GNN architectures are
+// inherently limited by their locality constraints ... when scaling beyond
+// 2 billion parameters, the limitations of current GNN architectures may
+// become a bottleneck").
+//
+// Both model families are trained across matched parameter budgets on the
+// molecular sources (where all-pairs attention is exact), and the analysis
+// compares how their test-loss slopes evolve with model size: the paper's
+// hypothesis predicts the attention model retains a steeper late-regime
+// slope than the locality-bound EGNN.
+
+#include "bench_common.hpp"
+#include "sgnn/nn/transformer.hpp"
+
+namespace {
+
+using namespace sgnn;
+using namespace sgnn::bench;
+
+struct AblationPoint {
+  std::int64_t parameters = 0;
+  double test_loss = 0;
+  double force_mae = 0;
+  double seconds = 0;
+};
+
+/// Shared mini training loop (Trainer is EGNN-bound; this generic runner
+/// works for any model exposing forward(batch) -> {energy, forces}).
+template <typename Model>
+AblationPoint train_and_eval(Model& model,
+                             const std::vector<const MolecularGraph*>& train,
+                             const std::vector<const MolecularGraph*>& test,
+                             const EnergyBaseline& baseline) {
+  const WallTimer timer;
+  Adam::Options adam_options;
+  adam_options.learning_rate = 2e-3;
+  Adam adam(model.parameters(), adam_options);
+  LossWeights weights;
+
+  DataLoader loader(train, /*batch_size=*/8, /*seed=*/3);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    loader.begin_epoch();
+    while (loader.has_next()) {
+      GraphBatch batch = loader.next();
+      baseline.subtract_from(batch);
+      adam.zero_grad();
+      const auto out = model.forward(batch);
+      LossTerms terms = multitask_loss(out.energy, out.forces, batch, weights);
+      terms.total.backward();
+      adam.step();
+    }
+  }
+
+  AblationPoint point;
+  point.parameters = model.num_parameters();
+  // Evaluate.
+  MetricAccumulator accumulator;
+  std::size_t cursor = 0;
+  while (cursor < test.size()) {
+    std::vector<const MolecularGraph*> chunk;
+    while (cursor < test.size() && chunk.size() < 16) {
+      chunk.push_back(test[cursor++]);
+    }
+    GraphBatch batch = GraphBatch::from_graphs(chunk);
+    baseline.subtract_from(batch);
+    const autograd::NoGradGuard no_grad;
+    const auto out = model.forward(batch);
+    const LossTerms terms =
+        multitask_loss(out.energy, out.forces, batch, weights);
+    EvalMetrics m;
+    m.loss = terms.total.item();
+    m.num_graphs = batch.num_graphs;
+    m.num_nodes = batch.num_nodes;
+    const real* fp = out.forces.data();
+    const real* ft = batch.forces.data();
+    double abs_err = 0;
+    for (std::int64_t i = 0; i < batch.num_nodes * 3; ++i) {
+      abs_err += std::abs(fp[i] - ft[i]);
+    }
+    m.force_mae = abs_err / static_cast<double>(batch.num_nodes * 3);
+    accumulator.add(m);
+  }
+  const EvalMetrics mean = accumulator.mean();
+  point.test_loss = mean.loss;
+  point.force_mae = mean.force_mae;
+  point.seconds = timer.seconds();
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  // Molecular-only dataset (ANI1x + QM7X geometry class): small graphs keep
+  // the all-pairs attention affordable and avoid the transformer's periodic
+  // approximation.
+  const ReferencePotential potential;
+  Rng rng(31337);
+  std::vector<MolecularGraph> graphs;
+  const std::size_t kGraphs =
+      static_cast<std::size_t>(220.0 * bench_scale());
+  for (std::size_t i = 0; i < kGraphs; ++i) {
+    graphs.push_back(generate_sample(
+        i % 2 == 0 ? DataSource::kANI1x : DataSource::kQM7X, rng, potential));
+  }
+  std::vector<const MolecularGraph*> train;
+  std::vector<const MolecularGraph*> test;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    (i % 5 == 0 ? test : train).push_back(&graphs[i]);
+  }
+  const EnergyBaseline baseline = EnergyBaseline::fit(train);
+  std::cerr << "[bench] attention ablation: " << train.size() << " train / "
+            << test.size() << " test molecular graphs\n";
+
+  const std::vector<std::int64_t> widths = {8, 16, 32, 64};
+
+  Table table({"Architecture", "Width", "Params", "Test loss", "Force MAE",
+               "Seconds"});
+  std::vector<double> gnn_params;
+  std::vector<double> gnn_loss;
+  std::vector<double> att_params;
+  std::vector<double> att_loss;
+
+  for (const auto width : widths) {
+    ModelConfig gnn_config;
+    gnn_config.hidden_dim = width;
+    gnn_config.num_layers = 3;
+    EGNNModel gnn(gnn_config);
+    std::cerr << "[bench] EGNN width " << width << "...\n";
+    const AblationPoint g = train_and_eval(gnn, train, test, baseline);
+    gnn_params.push_back(static_cast<double>(g.parameters));
+    gnn_loss.push_back(g.test_loss);
+    table.add_row({"EGNN (locality)", std::to_string(width),
+                   Table::human_count(static_cast<double>(g.parameters)),
+                   Table::fixed(g.test_loss, 4), Table::fixed(g.force_mae, 4),
+                   Table::fixed(g.seconds, 1)});
+
+    TransformerConfig att_config;
+    att_config.hidden_dim = width;
+    att_config.num_layers = 3;
+    GraphTransformer attention(att_config);
+    std::cerr << "[bench] Transformer width " << width << "...\n";
+    const AblationPoint a = train_and_eval(attention, train, test, baseline);
+    att_params.push_back(static_cast<double>(a.parameters));
+    att_loss.push_back(a.test_loss);
+    table.add_row({"GraphTransformer (attention)", std::to_string(width),
+                   Table::human_count(static_cast<double>(a.parameters)),
+                   Table::fixed(a.test_loss, 4), Table::fixed(a.force_mae, 4),
+                   Table::fixed(a.seconds, 1)});
+  }
+  std::cout << table.to_ascii(
+      "Ablation — EGNN locality vs graph-Transformer attention "
+      "(molecular sources)");
+
+  const auto gnn_slopes = sgnn::local_loglog_slopes(gnn_params, gnn_loss);
+  const auto att_slopes = sgnn::local_loglog_slopes(att_params, att_loss);
+  Table slopes({"Architecture", "early slope", "late slope",
+                "flattening (late - early)"});
+  slopes.add_row({"EGNN", Table::fixed(gnn_slopes.front(), 3),
+                  Table::fixed(gnn_slopes.back(), 3),
+                  Table::fixed(gnn_slopes.back() - gnn_slopes.front(), 3)});
+  slopes.add_row({"GraphTransformer", Table::fixed(att_slopes.front(), 3),
+                  Table::fixed(att_slopes.back(), 3),
+                  Table::fixed(att_slopes.back() - att_slopes.front(), 3)});
+  std::cout << "\n"
+            << slopes.to_ascii(
+                   "Scaling-slope comparison (less flattening = scales "
+                   "further)");
+  std::cout << "\nPaper context (Sec. IV-A): GNN locality is conjectured to "
+               "cap model scaling\nbeyond ~2B params; attention can learn "
+               "connections between any pair. This\nablation implements that "
+               "comparison at reproduction scale.\n";
+  return 0;
+}

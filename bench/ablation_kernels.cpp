@@ -1,0 +1,52 @@
+// Ablation: HydraGNN-style flexible message passing — the same backbone
+// trained with three interaction kernels (EGNN / SchNet CFConv / GAT edge
+// attention) at matched width and depth on the same data. The paper adopts
+// the EGNN kernel from HydraGNN-GFM (Sec. II-B / III-B); this bench shows
+// what that architectural choice buys on the aggregated dataset.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sgnn;
+  using namespace sgnn::bench;
+
+  const Experiment experiment = make_experiment();
+  const SweepProtocol protocol = sweep_protocol();
+  const auto train_indices = experiment.dataset.subsample(
+      experiment.split.train, paper_tb_to_bytes(0.4), true, 91);
+  std::cerr << "[bench] kernel ablation on " << train_indices.size()
+            << " graphs\n";
+
+  const std::vector<MessagePassingKernel> kernels = {
+      MessagePassingKernel::kEGNN, MessagePassingKernel::kSchNet,
+      MessagePassingKernel::kGAT};
+
+  Table table({"Kernel", "Width", "Params", "Test loss", "Energy MAE/atom",
+               "Force MAE", "Seconds"});
+  for (const std::int64_t width : {24, 48}) {
+    for (const auto kernel : kernels) {
+      ModelConfig config;
+      config.hidden_dim = width;
+      config.num_layers = 3;
+      config.kernel = kernel;
+      std::cerr << "[bench] kernel " << kernel_name(kernel) << " width "
+                << width << "...\n";
+      const SweepPoint point =
+          run_scaling_point(experiment.dataset, train_indices,
+                            experiment.split.test, config, protocol);
+      table.add_row({kernel_name(kernel), std::to_string(width),
+                     Table::human_count(static_cast<double>(point.parameters)),
+                     Table::fixed(point.test_loss, 4),
+                     Table::fixed(point.energy_mae_per_atom, 4),
+                     Table::fixed(point.force_mae, 4),
+                     Table::fixed(point.seconds, 1)});
+    }
+  }
+  std::cout << table.to_ascii(
+      "Ablation — message-passing kernels at matched width/depth (" +
+      paper_tb_label(0.4) + ")");
+  std::cout << "\nPaper context: HydraGNN's flexible MPNN layers let the "
+               "study pick EGNN for its\nE(n) equivariance; this ablation "
+               "keeps everything else fixed and swaps the\nkernel.\n";
+  return 0;
+}

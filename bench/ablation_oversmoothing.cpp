@@ -1,0 +1,93 @@
+// Ablation: the residual node-update and over-smoothing — the design
+// choice behind the Fig. 5 depth collapse. Sweeps depth with the residual
+// connection enabled (Satorras' default, used in the main experiments) and
+// disabled, reporting test loss and the node-feature spread (variance of
+// h across nodes after the backbone). Over-smoothing [Chen et al., AAAI'20]
+// predicts the spread collapses with depth, faster without residuals.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sgnn;
+  using namespace sgnn::bench;
+
+  const Experiment experiment = make_experiment();
+  SweepProtocol protocol = sweep_protocol();
+  protocol.train.epochs = 6;  // the effect shows early
+  const auto train_indices = experiment.dataset.subsample(
+      experiment.split.train, paper_tb_to_bytes(0.2), true, 91);
+  std::cerr << "[bench] oversmoothing ablation on " << train_indices.size()
+            << " graphs\n";
+
+  const std::vector<std::int64_t> depths = {1, 2, 3, 4, 6, 8};
+
+  Table table({"Residual", "Layers", "Test loss", "Energy MAE/atom",
+               "Force MAE", "Feature spread"});
+  struct Series {
+    std::vector<double> spread;
+    std::vector<double> loss;
+    std::vector<double> energy;
+  };
+  Series with_res;
+  Series without_res;
+
+  for (const bool residual : {true, false}) {
+    for (const auto depth : depths) {
+      ModelConfig config;
+      config.hidden_dim = 24;
+      config.num_layers = depth;
+      config.residual = residual;
+      std::cerr << "[bench] residual=" << residual << " depth=" << depth
+                << "...\n";
+      const SweepPoint point =
+          run_scaling_point(experiment.dataset, train_indices,
+                            experiment.split.test, config, protocol);
+      table.add_row({residual ? "yes" : "no", std::to_string(depth),
+                     Table::fixed(point.test_loss, 4),
+                     Table::fixed(point.energy_mae_per_atom, 4),
+                     Table::fixed(point.force_mae, 4),
+                     Table::scientific(point.feature_spread, 2)});
+      auto& series = residual ? with_res : without_res;
+      series.spread.push_back(point.feature_spread);
+      series.loss.push_back(point.test_loss);
+      series.energy.push_back(point.energy_mae_per_atom);
+    }
+  }
+  std::cout << table.to_ascii(
+      "Ablation — residual connections vs over-smoothing across depth");
+
+  Table verdict({"Check", "residual=yes", "residual=no"});
+  verdict.add_row(
+      {"feature spread, depth 1 -> 8",
+       Table::scientific(with_res.spread.front(), 2) + " -> " +
+           Table::scientific(with_res.spread.back(), 2),
+       Table::scientific(without_res.spread.front(), 2) + " -> " +
+           Table::scientific(without_res.spread.back(), 2)});
+  verdict.add_row({"loss at depth 8 / best loss",
+                   Table::fixed(with_res.loss.back() /
+                                    *std::min_element(with_res.loss.begin(),
+                                                      with_res.loss.end()),
+                                2),
+                   Table::fixed(without_res.loss.back() /
+                                    *std::min_element(without_res.loss.begin(),
+                                                      without_res.loss.end()),
+                                2)});
+  verdict.add_row(
+      {"energy MAE at depth 8 / best energy MAE",
+       Table::fixed(with_res.energy.back() /
+                        *std::min_element(with_res.energy.begin(),
+                                          with_res.energy.end()),
+                    2),
+       Table::fixed(without_res.energy.back() /
+                        *std::min_element(without_res.energy.begin(),
+                                          without_res.energy.end()),
+                    2)});
+  std::cout << "\n"
+            << verdict.to_ascii(
+                   "Over-smoothing diagnostics (spread collapse and deep-"
+                   "model penalty)");
+  std::cout << "\nPaper context (Sec. IV-C): the over-smoothing issue "
+               "persists even at large\ndata/model scale, making width the "
+               "productive scaling direction.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "bench_common.hpp"
+
+#include <iomanip>
+
+namespace sgnn::bench {
+
+namespace {
+
+std::string cache_path() {
+  std::ostringstream os;
+  os << "sgnn_scaling_grid_scale" << std::fixed << std::setprecision(3)
+     << bench_scale() << ".cache.csv";
+  return os.str();
+}
+
+std::vector<SweepPoint> load_cache(const std::string& path,
+                                   std::size_t expected_rows) {
+  std::ifstream in(path);
+  if (!in.is_open()) return {};
+  std::vector<SweepPoint> points;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    std::istringstream row(line);
+    SweepPoint p;
+    char comma;
+    row >> p.parameters >> comma >> p.hidden_dim >> comma >> p.num_layers >>
+        comma >> p.dataset_bytes >> comma >> p.train_graphs >> comma >>
+        p.train_loss >> comma >> p.test_loss >> comma >>
+        p.energy_mae_per_atom >> comma >> p.force_mae >> comma >>
+        p.feature_spread >> comma >> p.seconds;
+    if (!row.fail()) points.push_back(p);
+  }
+  if (points.size() != expected_rows) return {};
+  return points;
+}
+
+void save_cache(const std::string& path,
+                const std::vector<SweepPoint>& points) {
+  std::ofstream out(path);
+  out << "parameters,hidden,layers,bytes,train_graphs,train_loss,test_loss,"
+         "energy_mae,force_mae,feature_spread,seconds\n";
+  out << std::setprecision(17);
+  for (const auto& p : points) {
+    out << p.parameters << "," << p.hidden_dim << "," << p.num_layers << ","
+        << p.dataset_bytes << "," << p.train_graphs << "," << p.train_loss
+        << "," << p.test_loss << "," << p.energy_mae_per_atom << ","
+        << p.force_mae << "," << p.feature_spread << "," << p.seconds << "\n";
+  }
+}
+
+}  // namespace
+
+std::vector<SweepPoint> shared_scaling_grid() {
+  const std::size_t expected = model_grid().size() * data_grid().size();
+  const std::string path = cache_path();
+  if (auto cached = load_cache(path, expected); !cached.empty()) {
+    std::cerr << "[bench] reusing scaling grid from " << path << "\n";
+    return cached;
+  }
+
+  const Experiment experiment = make_experiment();
+  const SweepProtocol protocol = sweep_protocol();
+
+  std::vector<SweepPoint> points;
+  points.reserve(expected);
+  for (const auto& data : data_grid()) {
+    const auto train_indices = experiment.dataset.subsample(
+        experiment.split.train, paper_tb_to_bytes(data.paper_tb),
+        data.proportional, /*seed=*/91);
+    for (const auto& model : model_grid()) {
+      ModelConfig config;
+      config.hidden_dim = model.hidden;
+      config.num_layers = 3;
+      std::cerr << "[bench] grid point: width " << model.hidden << " ("
+                << model.paper_label << "), data "
+                << paper_tb_label(data.paper_tb) << " ("
+                << train_indices.size() << " graphs)...\n";
+      points.push_back(run_scaling_point(experiment.dataset, train_indices,
+                                         experiment.split.test, config,
+                                         protocol));
+      std::cerr << "[bench]   test loss " << points.back().test_loss << " in "
+                << points.back().seconds << " s\n";
+    }
+  }
+  save_cache(path, points);
+  return points;
+}
+
+}  // namespace sgnn::bench

@@ -1,0 +1,76 @@
+// Extension: strong-scaling projection. The paper motivates HydraGNN by
+// its "near-linear strong scaling performance" across thousands of GPUs
+// (Sec. II-B); this bench measures a single-rank training epoch on this
+// machine, then projects multi-rank step time with the same per-step
+// collective payloads priced by the NVLink-3 interconnect model — the
+// textbook compute/communication strong-scaling decomposition.
+//
+// (Threads on this 1-core host share the CPU, so multi-rank COMPUTE cannot
+// be measured directly; the collectives and their payloads are real, the
+// compute division is the projection.)
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sgnn;
+  using namespace sgnn::bench;
+
+  const Experiment experiment = make_experiment();
+  const auto subset = experiment.dataset.subsample(
+      experiment.split.train, paper_tb_to_bytes(0.3), true, 91);
+
+  ModelConfig config;
+  config.hidden_dim = 64;
+  config.num_layers = 3;
+  const auto param_bytes =
+      static_cast<std::uint64_t>(config.parameter_count()) * sizeof(real);
+
+  // Measure single-rank compute.
+  DistTrainOptions options;
+  options.num_ranks = 1;
+  options.epochs = 1;
+  options.per_rank_batch_size = 4;
+  DistributedTrainer trainer(config, options);
+  DDStore store(1);
+  {
+    std::vector<MolecularGraph> graphs;
+    for (const auto* g : experiment.dataset.view(subset)) graphs.push_back(*g);
+    store.insert(std::move(graphs));
+  }
+  std::cerr << "[bench] measuring single-rank epoch...\n";
+  const DistTrainReport base = trainer.train(store);
+  const double single_compute = base.compute_seconds;
+  const auto steps = static_cast<double>(base.steps);
+
+  const InterconnectModel fabric;
+  Table table({"Ranks", "Compute s (projected)", "Comm s (modeled)",
+               "Total s", "Speedup", "Efficiency"});
+  const auto project = [&](int ranks) {
+    // Fixed global batch: per-rank compute divides; one all-reduce of the
+    // full gradient per step regardless of rank count (DDP).
+    const double compute = single_compute / ranks;
+    const double comm =
+        steps * fabric.all_reduce_seconds(param_bytes, ranks) +
+        (ranks > 1 ? steps * fabric.latency_seconds : 0.0);
+    return std::make_pair(compute, comm);
+  };
+  const auto [c1, m1] = project(1);
+  const double t1 = c1 + m1;
+  for (const int ranks : {1, 2, 4, 8, 16, 32, 128}) {
+    const auto [compute, comm] = project(ranks);
+    const double total = compute + comm;
+    table.add_row({std::to_string(ranks), Table::fixed(compute, 3),
+                   Table::scientific(comm, 2), Table::fixed(total, 3),
+                   Table::fixed(t1 / total, 2) + "x",
+                   Table::fixed(100.0 * t1 / total / ranks, 1) + "%"});
+  }
+  std::cout << table.to_ascii(
+      "Extension — strong-scaling projection (measured 1-rank compute + "
+      "modeled NVLink collectives, " +
+      std::to_string(config.parameter_count()) + " params)");
+  std::cout << "\nContext: HydraGNN-GFM reports near-linear strong scaling "
+               "on Perlmutter/Frontier;\nthe projection shows the same "
+               "regime — communication stays negligible until the\nper-rank "
+               "compute share approaches the all-reduce time.\n";
+  return 0;
+}

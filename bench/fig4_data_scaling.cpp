@@ -1,0 +1,77 @@
+// Reproduces Fig. 4: final test loss versus DATASET size, one series per
+// model size. Checked shapes:
+//   (1) loss decreases as data grows, for every model size;
+//   (2) the 0.1 TB -> 0.2 TB step shows an outsized drop — the 0.1 TB
+//       subset is sampled non-proportionally (cheap molecular sources
+//       first), so its training distribution mismatches the full-aggregate
+//       test set, exactly the mechanism the paper conjectures;
+//   (3) beyond 0.2 TB the decrease is steady and power-law-like.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sgnn;
+  using namespace sgnn::bench;
+
+  const auto grid = shared_scaling_grid();
+
+  Table table({"Model (paper-scale*)", "Dataset", "Train graphs", "Test loss",
+               "Energy MAE/atom", "Force MAE"});
+  for (std::size_t m = 0; m < model_grid().size(); ++m) {
+    for (std::size_t d = 0; d < data_grid().size(); ++d) {
+      const SweepPoint& p = grid_at(grid, d, m);
+      table.add_row({model_grid()[m].paper_label,
+                     paper_tb_label(data_grid()[d].paper_tb),
+                     std::to_string(p.train_graphs),
+                     Table::fixed(p.test_loss, 4),
+                     Table::fixed(p.energy_mae_per_atom, 4),
+                     Table::fixed(p.force_mae, 4)});
+    }
+  }
+  std::cout << table.to_ascii(
+      "Fig. 4 — Test loss vs dataset size, per model size");
+  export_csv(table, "fig4_data_scaling");
+
+  // Shape analysis. The distribution-mismatch evidence for the 0.1 TB
+  // point: it is sampled non-proportionally (cheap molecular sources
+  // first), so it contains MORE graphs than the proportional 0.2 TB subset
+  // yet must test worse against the full-aggregate test set. The tail
+  // (>= 0.2 TB, proportional) is checked for steady power-law scaling.
+  Table analysis({"Model", "0.1 TB: graphs/loss", "0.2 TB: graphs/loss",
+                  "mismatch visible?", "monotone tail?", "tail alpha",
+                  "tail R^2"});
+  for (std::size_t m = 0; m < model_grid().size(); ++m) {
+    std::vector<double> losses;
+    std::vector<double> bytes;
+    std::vector<std::int64_t> graphs;
+    for (std::size_t d = 0; d < data_grid().size(); ++d) {
+      losses.push_back(grid_at(grid, d, m).test_loss);
+      bytes.push_back(static_cast<double>(grid_at(grid, d, m).dataset_bytes));
+      graphs.push_back(grid_at(grid, d, m).train_graphs);
+    }
+    // Mismatch: more training graphs at 0.1 yet higher loss than 0.2.
+    const bool mismatch = graphs[0] >= graphs[1] && losses[0] > losses[1];
+    bool monotone = true;
+    for (std::size_t d = 1; d + 1 < losses.size(); ++d) {
+      if (losses[d + 1] > losses[d] * 1.10) monotone = false;  // 10% slack
+    }
+    const std::vector<double> tail_x(bytes.begin() + 1, bytes.end());
+    const std::vector<double> tail_y(losses.begin() + 1, losses.end());
+    const PowerLawFit fit = fit_power_law(tail_x, tail_y);
+    analysis.add_row(
+        {model_grid()[m].paper_label,
+         std::to_string(graphs[0]) + " / " + Table::fixed(losses[0], 1),
+         std::to_string(graphs[1]) + " / " + Table::fixed(losses[1], 1),
+         mismatch ? "yes" : "no", monotone ? "yes" : "no",
+         Table::fixed(fit.alpha, 3), Table::fixed(fit.r_squared, 3)});
+  }
+  std::cout << "\n"
+            << analysis.to_ascii(
+                   "Fig. 4 shape check — 0.1 TB distribution mismatch, then "
+                   "steady scaling");
+  std::cout << "\nPaper claim: a pronounced drop from 0.1 to 0.2 TB "
+               "(distribution mismatch vs the\nfixed test set), then steady "
+               "predictable decrease to 1.2 TB; at large scale,\nscaling "
+               "data beats scaling the model.\n";
+  return 0;
+}

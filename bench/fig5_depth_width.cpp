@@ -1,0 +1,133 @@
+// Reproduces Fig. 5: at a fixed 0.4 TB dataset, compare growing the model
+// by DEPTH (more message-passing layers) against growing it by WIDTH
+// (more neurons per layer) across matched parameter counts.
+//
+// Faithfulness note: HydraGNN stacks its conv layers sequentially (no
+// residual shortcuts), which is what lets over-smoothing bite; this bench
+// uses that configuration. Over-smoothing collapses the NODE FEATURES, so
+// it attacks the tasks that read them — in this reproduction the
+// graph-level energy head (our default equivariant force head reads edge
+// geometry and is immune; see ablation_oversmoothing for that comparison
+// and for the residual on/off axis). Checked shapes:
+//   (1) depth series: energy error bottoms out by ~2-3 layers and then
+//       RISES with more depth, while the feature spread collapses;
+//   (2) width series at matched parameter counts keeps improving —
+//       width is the productive scaling direction (the paper's
+//       conclusion).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sgnn;
+  using namespace sgnn::bench;
+
+  const Experiment experiment = make_experiment();
+  const SweepProtocol protocol = sweep_protocol();
+  const auto train_indices = experiment.dataset.subsample(
+      experiment.split.train, paper_tb_to_bytes(0.4), /*proportional=*/true,
+      /*seed=*/91);
+  std::cerr << "[bench] fig5: " << train_indices.size()
+            << " training graphs at " << paper_tb_label(0.4) << "\n";
+
+  const std::int64_t base_width = 32;
+  const std::vector<std::int64_t> depths = {1, 2, 3, 4, 6, 8};
+
+  struct Row {
+    const char* series;
+    std::int64_t depth;
+    std::int64_t width;
+    SweepPoint point;
+  };
+  std::vector<Row> rows;
+
+  // Depth series: fixed width, HydraGNN-style sequential stacking.
+  std::vector<std::int64_t> depth_series_params;
+  for (const auto depth : depths) {
+    ModelConfig config;
+    config.hidden_dim = base_width;
+    config.num_layers = depth;
+    config.residual = false;
+    std::cerr << "[bench] fig5 depth point: " << depth << " layers x width "
+              << base_width << "\n";
+    rows.push_back({"depth", depth, base_width,
+                    run_scaling_point(experiment.dataset, train_indices,
+                                      experiment.split.test, config,
+                                      protocol)});
+    depth_series_params.push_back(config.parameter_count());
+  }
+
+  // Width series: fixed shallow depth (3, the paper's knee), widths chosen
+  // to match the depth series' parameter counts.
+  for (const auto target : depth_series_params) {
+    ModelConfig config = ModelConfig::for_parameter_budget(target, 3);
+    config.residual = false;
+    std::cerr << "[bench] fig5 width point: width " << config.hidden_dim
+              << " x 3 layers (~" << target << " params)\n";
+    rows.push_back({"width", 3, config.hidden_dim,
+                    run_scaling_point(experiment.dataset, train_indices,
+                                      experiment.split.test, config,
+                                      protocol)});
+  }
+
+  Table table({"Series", "Layers", "Width", "Params", "Test loss",
+               "Energy MAE/atom", "Force MAE", "Feature spread"});
+  for (const auto& row : rows) {
+    table.add_row(
+        {row.series, std::to_string(row.depth), std::to_string(row.width),
+         Table::human_count(static_cast<double>(row.point.parameters)),
+         Table::fixed(row.point.test_loss, 4),
+         Table::fixed(row.point.energy_mae_per_atom, 4),
+         Table::fixed(row.point.force_mae, 4),
+         Table::scientific(row.point.feature_spread, 2)});
+  }
+  std::cout << table.to_ascii(
+      "Fig. 5 — Depth vs width scaling at " + paper_tb_label(0.4) +
+      " (sequential stacking, as in HydraGNN)");
+  export_csv(table, "fig5_depth_width");
+
+  // Shape checks.
+  const auto split_at = static_cast<std::ptrdiff_t>(depths.size());
+  const std::vector<Row> depth_rows(rows.begin(), rows.begin() + split_at);
+  const std::vector<Row> width_rows(rows.begin() + split_at, rows.end());
+
+  double best_shallow_energy = depth_rows[0].point.energy_mae_per_atom;
+  for (std::size_t i = 0; i < depth_rows.size(); ++i) {
+    if (depths[i] <= 3) {
+      best_shallow_energy = std::min(
+          best_shallow_energy, depth_rows[i].point.energy_mae_per_atom);
+    }
+  }
+  const double deepest_energy = depth_rows.back().point.energy_mae_per_atom;
+
+  int width_wins = 0;
+  for (std::size_t i = 0; i < width_rows.size(); ++i) {
+    if (width_rows[i].point.test_loss <=
+        depth_rows[i].point.test_loss * 1.02) {
+      ++width_wins;
+    }
+  }
+  const double spread_ratio =
+      depth_rows.front().point.feature_spread /
+      std::max(depth_rows.back().point.feature_spread, 1e-300);
+
+  Table verdict({"Check", "Value", "Paper expectation"});
+  verdict.add_row({"width beats depth at matched params (loss)",
+                   std::to_string(width_wins) + "/" +
+                       std::to_string(width_rows.size()),
+                   "width consistently better"});
+  verdict.add_row({"energy MAE: 8 layers vs best <=3 layers",
+                   Table::fixed(deepest_energy, 4) + " vs " +
+                       Table::fixed(best_shallow_energy, 4),
+                   "error rises beyond ~3 layers"});
+  verdict.add_row({"feature spread collapse depth 1 -> 8",
+                   Table::fixed(spread_ratio, 1) + "x",
+                   "collapses (over-smoothing)"});
+  std::cout << "\n" << verdict.to_ascii("Fig. 5 shape check");
+  std::cout << "\nPaper claim (Sec. IV-C): width scaling consistently lowers "
+               "loss; beyond three\nlayers deeper models get WORSE — "
+               "over-smoothing persists at scale. Here the\neffect shows on "
+               "the node-feature-dependent (energy) channel; the equivariant"
+               "\nforce head reads edge geometry and sidesteps it (see "
+               "ablation_oversmoothing).\n";
+  return 0;
+}

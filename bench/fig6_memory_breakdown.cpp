@@ -1,0 +1,113 @@
+// Reproduces Fig. 6: peak-memory breakdown of GNN training under
+//   (a) vanilla data-parallel training,
+//   (b) + activation checkpointing,
+//   (c) + ZeRO-1 optimizer sharding (4 ranks, the paper's 4xA100 node).
+// Checked shapes:
+//   (1) in (a) activations dominate the peak (~3/4 in the paper) and the
+//       peak occurs at the start of the backward pass;
+//   (2) checkpointing removes activations as the dominant term and moves
+//       the peak to the weight-update (optimizer) phase;
+//   (3) ZeRO cuts the optimizer-state term by ~num_ranks.
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct Setting {
+  const char* name;
+  bool checkpoint;
+  sgnn::DistStrategy strategy;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sgnn;
+  using namespace sgnn::bench;
+
+  const Experiment experiment = make_experiment();
+  const auto subset = experiment.dataset.subsample(
+      experiment.split.train, paper_tb_to_bytes(0.2), true, 91);
+
+  const int kRanks = 4;
+  const std::vector<Setting> settings = {
+      {"Vanilla DDP", false, DistStrategy::kDDP},
+      {"+ Activation ckpt", true, DistStrategy::kDDP},
+      {"+ ZeRO optimizer", true, DistStrategy::kZeRO1},
+  };
+
+  ModelConfig config;
+  config.hidden_dim = 96;
+  config.num_layers = 4;
+
+  Table breakdown({"Setting", "Peak total", "Activations", "Weights",
+                   "Gradients", "Optimizer states", "Workspace",
+                   "Peak phase"});
+  Table phases({"Setting", "Peak in forward", "Peak in backward",
+                "Peak in weight update"});
+  std::vector<std::int64_t> peaks;
+
+  for (const auto& setting : settings) {
+    DistTrainOptions options;
+    options.num_ranks = kRanks;
+    options.strategy = setting.strategy;
+    options.activation_checkpointing = setting.checkpoint;
+    options.epochs = 1;
+    options.per_rank_batch_size = 2;
+
+    std::cerr << "[bench] fig6: running '" << setting.name << "'...\n";
+    DDStore store(kRanks);
+    {
+      // Fresh copies of the subset graphs for the store.
+      std::vector<MolecularGraph> graphs;
+      for (const auto* g : experiment.dataset.view(subset)) {
+        graphs.push_back(*g);
+      }
+      store.insert(std::move(graphs));
+    }
+    DistributedTrainer trainer(config, options);
+    const DistTrainReport report = trainer.train(store);
+    peaks.push_back(report.peak_memory.total());
+
+    const auto pct = [&](MemCategory c) {
+      return Table::fixed(100.0 * report.peak_memory.fraction(c), 1) + "%";
+    };
+    breakdown.add_row(
+        {setting.name,
+         Table::human_bytes(static_cast<double>(report.peak_memory.total())),
+         pct(MemCategory::kActivation), pct(MemCategory::kWeight),
+         pct(MemCategory::kGradient), pct(MemCategory::kOptimizerState),
+         pct(MemCategory::kWorkspace), train_phase_name(report.peak_phase)});
+    phases.add_row(
+        {setting.name,
+         Table::human_bytes(static_cast<double>(report.peak_forward)),
+         Table::human_bytes(static_cast<double>(report.peak_backward)),
+         Table::human_bytes(static_cast<double>(report.peak_optimizer))});
+  }
+
+  std::cout << phases.to_ascii(
+      "Fig. 6(a) — peak memory per training stage");
+  std::cout << "\n";
+  std::cout << breakdown.to_ascii(
+      "Fig. 6 — Peak memory breakdown (4 simulated ranks, width " +
+      std::to_string(config.hidden_dim) + ", " +
+      std::to_string(config.num_layers) + " layers)");
+
+  Table relative({"Setting", "Relative peak memory", "Paper reports"});
+  const std::vector<const char*> paper_peak = {"100%", "42%", "27%"};
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    relative.add_row(
+        {settings[i].name,
+         Table::fixed(100.0 * static_cast<double>(peaks[i]) /
+                          static_cast<double>(peaks[0]),
+                      1) +
+             "%",
+         paper_peak[i]});
+  }
+  std::cout << "\n" << relative.to_ascii("Fig. 6 / Tab. II — relative peak");
+  std::cout << "\nPaper claims: activations are 76.9% of the vanilla peak "
+               "(peak at start of\nbackward); checkpointing shifts the peak "
+               "to the weight update; ZeRO shards\noptimizer states across "
+               "the 4 GPUs.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Micro-benchmark of the model itself: forward, forward+backward, and the
+// activation-checkpointed variant, per width. The ckpt/plain step-time
+// ratio here is the direct measurement behind Tab. II's "+10% training
+// time" row for activation checkpointing.
+
+#include <benchmark/benchmark.h>
+
+#include "sgnn/data/sources.hpp"
+#include "sgnn/graph/batch.hpp"
+#include "sgnn/nn/egnn.hpp"
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/train/loss.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace {
+
+using namespace sgnn;
+
+GraphBatch make_batch() {
+  static const GraphBatch batch = [] {
+    const ReferencePotential potential;
+    Rng rng(11);
+    std::vector<MolecularGraph> graphs;
+    for (int i = 0; i < 4; ++i) {
+      graphs.push_back(generate_sample(DataSource::kOC2020, rng, potential));
+    }
+    return GraphBatch::from_graphs(graphs);
+  }();
+  return batch;
+}
+
+void BM_EGNNForward(benchmark::State& state) {
+  ModelConfig config;
+  config.hidden_dim = state.range(0);
+  config.num_layers = 3;
+  const EGNNModel model(config);
+  const GraphBatch batch = make_batch();
+  const autograd::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(batch).energy.data());
+  }
+  state.counters["params"] =
+      static_cast<double>(config.parameter_count());
+  state.SetItemsProcessed(state.iterations() * batch.num_edges);
+}
+BENCHMARK(BM_EGNNForward)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_EGNNTrainStep(benchmark::State& state) {
+  const bool use_ckpt = state.range(1) != 0;
+  ModelConfig config;
+  config.hidden_dim = state.range(0);
+  config.num_layers = 3;
+  EGNNModel model(config);
+  const GraphBatch batch = make_batch();
+  EGNNModel::ForwardOptions options;
+  options.activation_checkpointing = use_ckpt;
+  for (auto _ : state) {
+    const auto out = model.forward(batch, options);
+    LossTerms terms = multitask_loss(out, batch, LossWeights{});
+    terms.total.backward();
+    model.zero_grad();
+  }
+  state.SetLabel(use_ckpt ? "checkpointed" : "plain");
+}
+BENCHMARK(BM_EGNNTrainStep)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

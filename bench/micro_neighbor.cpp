@@ -1,0 +1,52 @@
+// Micro-benchmark of the neighbor-search substrate: brute force vs cell
+// list across system sizes, locating the crossover that build_neighbors'
+// size heuristic encodes.
+
+#include <benchmark/benchmark.h>
+
+#include "sgnn/graph/neighbor.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace {
+
+using namespace sgnn;
+
+AtomicStructure bulk(std::int64_t atoms, Rng& rng) {
+  AtomicStructure s;
+  // Constant density: box grows with N^(1/3).
+  const double box = 2.0 * std::cbrt(static_cast<double>(atoms));
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    s.species.push_back(elements::kCu);
+    s.positions.push_back(
+        {rng.uniform(0, box), rng.uniform(0, box), rng.uniform(0, box)});
+  }
+  s.cell = {box, box, box};
+  s.periodic = true;
+  return s;
+}
+
+void BM_BruteForce(benchmark::State& state) {
+  Rng rng(1);
+  const AtomicStructure s = bulk(state.range(0), rng);
+  const double cutoff = std::min(3.0, 0.49 * s.cell.x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brute_force_neighbors(s, cutoff).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BruteForce)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_CellList(benchmark::State& state) {
+  Rng rng(1);
+  const AtomicStructure s = bulk(state.range(0), rng);
+  const double cutoff = std::min(3.0, 0.49 * s.cell.x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell_list_neighbors(s, cutoff).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CellList)->Arg(32)->Arg(128)->Arg(512)->Arg(2048)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

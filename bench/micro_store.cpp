@@ -1,0 +1,114 @@
+// Micro-benchmarks of the storage substrate: graph (de)serialization, bp
+// container random access, DDStore fetch, and the streaming loader's cache
+// regimes (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "sgnn/data/sources.hpp"
+#include "sgnn/data/streaming.hpp"
+#include "sgnn/store/bp_file.hpp"
+#include "sgnn/store/ddstore.hpp"
+#include "sgnn/store/serialize.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace {
+
+using namespace sgnn;
+
+const std::vector<MolecularGraph>& sample_graphs() {
+  static const std::vector<MolecularGraph> graphs = [] {
+    const ReferencePotential potential;
+    Rng rng(1);
+    std::vector<MolecularGraph> out;
+    for (int i = 0; i < 32; ++i) {
+      out.push_back(generate_sample(
+          i % 2 == 0 ? DataSource::kANI1x : DataSource::kOC2020, rng,
+          potential));
+    }
+    return out;
+  }();
+  return graphs;
+}
+
+std::string bp_path() {
+  static const std::string path = [] {
+    const std::string p =
+        (std::filesystem::temp_directory_path() / "sgnn_micro_store.bp")
+            .string();
+    BpWriter writer(p);
+    for (const auto& g : sample_graphs()) writer.append(g);
+    writer.finalize();
+    return p;
+  }();
+  return path;
+}
+
+void BM_SerializeGraph(benchmark::State& state) {
+  const MolecularGraph& g = sample_graphs()[1];  // an OC-sized graph
+  for (auto _ : state) {
+    std::ostringstream out;
+    write_graph_record(out, g);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.serialized_bytes()));
+}
+BENCHMARK(BM_SerializeGraph);
+
+void BM_DeserializeGraph(benchmark::State& state) {
+  const MolecularGraph& g = sample_graphs()[1];
+  std::ostringstream out;
+  write_graph_record(out, g);
+  const std::string payload = out.str();
+  for (auto _ : state) {
+    std::istringstream in(payload);
+    benchmark::DoNotOptimize(read_graph_record(in).num_edges());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_DeserializeGraph);
+
+void BM_BpRandomRead(benchmark::State& state) {
+  const BpReader reader(bp_path());
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto record = rng.uniform_index(reader.size());
+    benchmark::DoNotOptimize(reader.read(record).num_nodes());
+  }
+}
+BENCHMARK(BM_BpRandomRead);
+
+void BM_DDStoreFetch(benchmark::State& state) {
+  const bool remote = state.range(0) != 0;
+  DDStore store(2);
+  store.insert(sample_graphs());
+  for (auto _ : state) {
+    // Even indices live on rank 0: fetching from rank 0 is local, from
+    // rank 1 remote.
+    benchmark::DoNotOptimize(store.fetch(remote ? 1 : 0, 0).num_nodes());
+  }
+  state.SetLabel(remote ? "remote" : "local");
+}
+BENCHMARK(BM_DDStoreFetch)->Arg(0)->Arg(1);
+
+void BM_StreamingEpoch(benchmark::State& state) {
+  const auto cache = static_cast<std::size_t>(state.range(0));
+  const BpReader reader(bp_path());
+  for (auto _ : state) {
+    StreamingLoader loader(reader, 8, 5, cache);
+    std::int64_t total = 0;
+    while (loader.has_next()) total += loader.next().num_graphs;
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetLabel("cache=" + std::to_string(cache));
+}
+BENCHMARK(BM_StreamingEpoch)->Arg(0)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

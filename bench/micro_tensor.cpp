@@ -1,0 +1,126 @@
+// Micro-benchmarks of the tensor-engine primitives that dominate EGNN
+// training time (google-benchmark). Useful for regression-testing the
+// kernels behind the paper-artifact benches.
+
+#include <benchmark/benchmark.h>
+
+#include "sgnn/tensor/checkpoint.hpp"
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace {
+
+using namespace sgnn;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulBackward(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Tensor a = Tensor::randn(Shape{n, n}, rng).set_requires_grad(true);
+    Tensor b = Tensor::randn(Shape{n, n}, rng).set_requires_grad(true);
+    Tensor loss = sum(matmul(a, b));
+    state.ResumeTiming();
+    loss.backward();
+  }
+}
+BENCHMARK(BM_MatmulBackward)->Arg(64)->Arg(128);
+
+void BM_ScatterAddRows(benchmark::State& state) {
+  const auto edges = state.range(0);
+  Rng rng(3);
+  const Tensor src = Tensor::randn(Shape{edges, 64}, rng);
+  std::vector<std::int64_t> index;
+  const std::int64_t nodes = edges / 16 + 1;
+  for (std::int64_t i = 0; i < edges; ++i) {
+    index.push_back(static_cast<std::int64_t>(rng.uniform_index(
+        static_cast<std::uint64_t>(nodes))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scatter_add_rows(src, index, nodes).data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges * 64);
+}
+BENCHMARK(BM_ScatterAddRows)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_IndexSelectRows(benchmark::State& state) {
+  const auto edges = state.range(0);
+  Rng rng(4);
+  const std::int64_t nodes = edges / 16 + 1;
+  const Tensor table = Tensor::randn(Shape{nodes, 64}, rng);
+  std::vector<std::int64_t> index;
+  for (std::int64_t i = 0; i < edges; ++i) {
+    index.push_back(static_cast<std::int64_t>(rng.uniform_index(
+        static_cast<std::uint64_t>(nodes))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index_select_rows(table, index).data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges * 64);
+}
+BENCHMARK(BM_IndexSelectRows)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_Silu(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(5);
+  const Tensor x = Tensor::randn(Shape{n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(silu(x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Silu)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BroadcastMul(benchmark::State& state) {
+  const auto rows = state.range(0);
+  Rng rng(6);
+  const Tensor a = Tensor::randn(Shape{rows, 64}, rng);
+  const Tensor b = Tensor::randn(Shape{rows, 1}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_BroadcastMul)->Arg(1024)->Arg(16384);
+
+void BM_CheckpointOverhead(benchmark::State& state) {
+  // Forward+backward of a 4-layer MLP, with/without checkpointing; the
+  // ratio is the recompute overhead backing Tab. II's +10% step time.
+  const bool use_ckpt = state.range(0) != 0;
+  Rng rng(7);
+  std::vector<Tensor> weights;
+  for (int i = 0; i < 4; ++i) {
+    weights.push_back(
+        Tensor::randn(Shape{96, 96}, rng, 0.1).set_requires_grad(true));
+  }
+  const Tensor x = Tensor::randn(Shape{64, 96}, rng);
+  const SegmentFn body = [](const std::vector<Tensor>& in) {
+    Tensor h = in[0];
+    for (std::size_t i = 1; i < in.size(); ++i) h = silu(matmul(h, in[i]));
+    return h;
+  };
+  for (auto _ : state) {
+    std::vector<Tensor> inputs = {x, weights[0], weights[1], weights[2],
+                                  weights[3]};
+    Tensor out = use_ckpt ? checkpoint(body, inputs) : body(inputs);
+    sum(square(out)).backward();
+    for (auto& w : weights) w.zero_grad();
+  }
+}
+BENCHMARK(BM_CheckpointOverhead)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

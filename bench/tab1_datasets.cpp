@@ -1,0 +1,79 @@
+// Reproduces Tab. I: per-source composition of the aggregated dataset
+// (# nodes, # edges, # graphs, bytes). The synthetic sources mirror each
+// original's geometry class, element palette and byte share; the table
+// also extrapolates each row back to paper scale for direct comparison
+// with the published numbers.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sgnn;
+  using namespace sgnn::bench;
+
+  const Experiment experiment = make_experiment();
+  const auto& dataset = experiment.dataset;
+
+  Table table({"Data Source", "# of Nodes", "# of Edges", "# of Graphs",
+               "Size", "Nodes/Graph", "Edges/Node"});
+  std::int64_t nodes = 0;
+  std::int64_t edges = 0;
+  std::int64_t graphs = 0;
+  for (const auto source : all_sources()) {
+    const auto& stats = dataset.stats(source);
+    nodes += stats.num_nodes;
+    edges += stats.num_edges;
+    graphs += stats.num_graphs;
+    table.add_row(
+        {source_spec(source).name,
+         Table::human_count(static_cast<double>(stats.num_nodes)),
+         Table::human_count(static_cast<double>(stats.num_edges)),
+         Table::human_count(static_cast<double>(stats.num_graphs)),
+         Table::human_bytes(static_cast<double>(stats.bytes)),
+         Table::fixed(static_cast<double>(stats.num_nodes) /
+                          static_cast<double>(stats.num_graphs),
+                      1),
+         Table::fixed(static_cast<double>(stats.num_edges) /
+                          static_cast<double>(stats.num_nodes),
+                      1)});
+  }
+  table.add_row({"TOTAL", Table::human_count(static_cast<double>(nodes)),
+                 Table::human_count(static_cast<double>(edges)),
+                 Table::human_count(static_cast<double>(graphs)),
+                 Table::human_bytes(static_cast<double>(dataset.total_bytes())),
+                 "-", "-"});
+
+  std::cout << table.to_ascii(
+      "Tab. I — Aggregated dataset composition (scaled: 1 paper-TB == " +
+      Table::human_bytes(kBytesPerPaperTB * bench_scale()) + ")");
+  export_csv(table, "tab1_datasets");
+
+  // Paper-scale extrapolation: multiply graph counts by the byte ratio.
+  const double blowup =
+      (1.2 * 1024 * 1024 * 1024 * 1024.0) /
+      static_cast<double>(dataset.total_bytes());
+  Table extrapolated({"Data Source", "Graphs @ paper scale",
+                      "Paper reports", "Bytes @ paper scale",
+                      "Paper reports "});
+  const std::vector<std::pair<std::string, std::string>> paper = {
+      {"4.96 M", "25 GB"},
+      {"4.20 M", "25 GB"},
+      {"20.99 M", "726 GB"},
+      {"8.83 M", "395 GB"},
+      {"1.58 M", "17 GB"},
+  };
+  std::size_t row = 0;
+  for (const auto source : all_sources()) {
+    const auto& stats = dataset.stats(source);
+    extrapolated.add_row(
+        {source_spec(source).name,
+         Table::human_count(static_cast<double>(stats.num_graphs) * blowup),
+         paper[row].first,
+         Table::human_bytes(static_cast<double>(stats.bytes) * blowup),
+         paper[row].second});
+    ++row;
+  }
+  std::cout << "\n"
+            << extrapolated.to_ascii(
+                   "Tab. I cross-check — extrapolated to 1.2 TB vs published");
+  return 0;
+}

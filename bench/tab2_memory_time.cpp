@@ -1,0 +1,102 @@
+// Reproduces Tab. II: relative peak memory and relative training time of
+//   vanilla DDP -> + activation checkpointing -> + ZeRO optimizer.
+// Checked shapes: peak memory strictly decreases down the table while
+// training time strictly increases (recompute cost, then collective cost).
+// Time = measured compute (max across rank threads) + modeled interconnect
+// time from the exact collective payloads (see InterconnectModel).
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct Setting {
+  const char* name;
+  bool checkpoint;
+  sgnn::DistStrategy strategy;
+  const char* paper_memory;
+  const char* paper_time;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sgnn;
+  using namespace sgnn::bench;
+
+  const Experiment experiment = make_experiment();
+  const auto subset = experiment.dataset.subsample(
+      experiment.split.train, paper_tb_to_bytes(0.2), true, 91);
+
+  const int kRanks = 4;
+  const std::vector<Setting> settings = {
+      {"Vanilla PyTorch-style DDP", false, DistStrategy::kDDP, "100%",
+       "100%"},
+      {"+ Activation Checkpointing", true, DistStrategy::kDDP, "42%",
+       "110%"},
+      {"+ ZeRO Optimizer", true, DistStrategy::kZeRO1, "27%", "133%"},
+  };
+
+  ModelConfig config;
+  config.hidden_dim = 96;
+  config.num_layers = 4;
+
+  struct Result {
+    std::int64_t peak;
+    double compute_s;
+    double comm_s;
+    std::uint64_t collective_bytes;
+  };
+  std::vector<Result> results;
+
+  for (const auto& setting : settings) {
+    DistTrainOptions options;
+    options.num_ranks = kRanks;
+    options.strategy = setting.strategy;
+    options.activation_checkpointing = setting.checkpoint;
+    options.epochs = 1;
+    options.per_rank_batch_size = 2;
+
+    std::cerr << "[bench] tab2: running '" << setting.name << "'...\n";
+    DDStore store(kRanks);
+    {
+      std::vector<MolecularGraph> graphs;
+      for (const auto* g : experiment.dataset.view(subset)) {
+        graphs.push_back(*g);
+      }
+      store.insert(std::move(graphs));
+    }
+    DistributedTrainer trainer(config, options);
+    const DistTrainReport report = trainer.train(store);
+    results.push_back({report.peak_memory.total(), report.compute_seconds,
+                       report.comm_seconds,
+                       report.collective_traffic.total_bytes()});
+  }
+
+  const double base_time = results[0].compute_s + results[0].comm_s;
+  Table table({"Setting", "Rel. peak memory", "(paper)", "Rel. training time",
+               "(paper)", "Compute s", "Comm s (modeled)",
+               "Collective payload"});
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    const double total = results[i].compute_s + results[i].comm_s;
+    table.add_row(
+        {settings[i].name,
+         Table::fixed(100.0 * static_cast<double>(results[i].peak) /
+                          static_cast<double>(results[0].peak),
+                      1) +
+             "%",
+         settings[i].paper_memory,
+         Table::fixed(100.0 * total / base_time, 1) + "%",
+         settings[i].paper_time, Table::fixed(results[i].compute_s, 2),
+         Table::scientific(results[i].comm_s, 2),
+         Table::human_bytes(static_cast<double>(results[i].collective_bytes))});
+  }
+  std::cout << table.to_ascii(
+      "Tab. II — Peak memory vs training-time trade-off (4 simulated "
+      "ranks)");
+  std::cout << "\nNote: compute is measured on this CPU; interconnect time "
+               "is modeled from the\nexact collective payloads at NVLink-3 "
+               "rates, so the memory column is the\nload-bearing comparison "
+               "and the time ordering (100% < +ckpt < +ZeRO) is the\nshape "
+               "being reproduced.\n";
+  return 0;
+}

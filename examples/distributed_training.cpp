@@ -1,0 +1,87 @@
+// The paper's training infrastructure end-to-end: a DDStore-sharded
+// dataset, four simulated GPUs training data-parallel, with all three
+// configurations from Sec. V (vanilla DDP, +activation checkpointing,
+// +ZeRO-1), printing memory, traffic, and time accounting for each.
+//
+//   ./build/examples/distributed_training [dataset_MiB]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sgnn/sgnn.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sgnn;
+
+  const std::uint64_t dataset_mib =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  const int kRanks = 4;
+
+  const ReferencePotential potential;
+  DatasetOptions data_options;
+  data_options.target_bytes = dataset_mib << 20;
+  data_options.seed = 77;
+  std::cout << "generating dataset and sharding across " << kRanks
+            << " ranks (DDStore layout)...\n";
+  const AggregatedDataset dataset =
+      AggregatedDataset::generate(data_options, potential);
+
+  ModelConfig config;
+  config.hidden_dim = 48;
+  config.num_layers = 3;
+  std::cout << "model: " << config.parameter_count() << " parameters\n\n";
+
+  struct Setting {
+    const char* name;
+    bool ckpt;
+    DistStrategy strategy;
+  };
+  const std::vector<Setting> settings = {
+      {"Vanilla DDP", false, DistStrategy::kDDP},
+      {"+ ckpt", true, DistStrategy::kDDP},
+      {"+ ckpt + ZeRO-1", true, DistStrategy::kZeRO1},
+  };
+
+  Table table({"Setting", "Final loss", "Steps", "Compute s",
+               "Comm s (model)", "Collective payload", "Remote data",
+               "Peak mem", "Peak phase"});
+  for (const auto& setting : settings) {
+    DDStore store(kRanks);
+    {
+      std::vector<MolecularGraph> graphs = dataset.graphs();
+      store.insert(std::move(graphs));
+    }
+    std::cout << "running '" << setting.name << "' (" << store.size()
+              << " graphs, " << store.shard_size(0)
+              << " on rank 0)...\n";
+
+    DistTrainOptions options;
+    options.num_ranks = kRanks;
+    options.strategy = setting.strategy;
+    options.activation_checkpointing = setting.ckpt;
+    options.epochs = 2;
+    options.per_rank_batch_size = 4;
+
+    DistributedTrainer trainer(config, options);
+    const DistTrainReport report = trainer.train(store);
+
+    table.add_row(
+        {setting.name, Table::fixed(report.final_train_loss, 3),
+         std::to_string(report.steps), Table::fixed(report.compute_seconds, 2),
+         Table::scientific(report.comm_seconds, 2),
+         Table::human_bytes(
+             static_cast<double>(report.collective_traffic.total_bytes())),
+         Table::human_bytes(
+             static_cast<double>(report.data_traffic.remote_bytes)),
+         Table::human_bytes(static_cast<double>(report.peak_memory.total())),
+         train_phase_name(report.peak_phase)});
+  }
+  std::cout << "\n"
+            << table.to_ascii(
+                   "Distributed training on 4 simulated ranks (replicas "
+                   "verified bit-identical)");
+  std::cout << "\nComm time is modeled from exact collective payloads at "
+               "NVLink-3 rates; data\ntraffic counts DDStore remote "
+               "fetches.\n";
+  return 0;
+}

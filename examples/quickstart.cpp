@@ -1,0 +1,98 @@
+// Quickstart: build a molecule, turn it into a graph, train a small EGNN
+// on a handful of reference-potential labels, and predict energy + forces.
+//
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "sgnn/sgnn.hpp"
+
+int main() {
+  using namespace sgnn;
+
+  // 1. An atomistic structure: a methanol-ish molecule (CH3OH layout).
+  AtomicStructure methanol;
+  methanol.species = {elements::kC, elements::kO, elements::kH, elements::kH,
+                      elements::kH, elements::kH};
+  methanol.positions = {{0.00, 0.00, 0.00}, {1.40, 0.00, 0.00},
+                        {-0.45, 0.95, 0.30}, {-0.45, -0.60, 0.80},
+                        {-0.45, -0.40, -0.95}, {1.75, 0.85, 0.30}};
+
+  // 2. Radius graph + teacher labels (stand-in for a DFT calculation).
+  const ReferencePotential potential;
+  MolecularGraph graph =
+      MolecularGraph::from_structure(methanol, potential.cutoff());
+  const PotentialResult labels = potential.evaluate(graph.structure,
+                                                    graph.edges);
+  graph.energy = labels.energy;
+  graph.forces = labels.forces;
+  std::cout << "molecule: " << graph.num_nodes() << " atoms, "
+            << graph.num_edges() << " directed edges\n"
+            << "reference energy: " << graph.energy << " eV\n\n";
+
+  // 3. A small E(3)-equivariant model.
+  ModelConfig config;
+  config.hidden_dim = 32;
+  config.num_layers = 3;
+  EGNNModel model(config);
+  std::cout << "model: " << model.num_parameters() << " parameters ("
+            << config.num_layers << " layers x " << config.hidden_dim
+            << " hidden)\n\n";
+
+  // 4. Train on perturbed copies of the molecule (a miniature dataset).
+  Rng rng(7);
+  std::vector<MolecularGraph> dataset;
+  for (int i = 0; i < 32; ++i) {
+    AtomicStructure perturbed = methanol;
+    for (auto& p : perturbed.positions) {
+      p += Vec3{rng.normal(0, 0.06), rng.normal(0, 0.06),
+                rng.normal(0, 0.06)};
+    }
+    MolecularGraph sample =
+        MolecularGraph::from_structure(perturbed, potential.cutoff());
+    const PotentialResult y = potential.evaluate(sample.structure,
+                                                 sample.edges);
+    sample.energy = y.energy;
+    sample.forces = y.forces;
+    dataset.push_back(std::move(sample));
+  }
+
+  std::vector<const MolecularGraph*> view;
+  for (const auto& g : dataset) view.push_back(&g);
+
+  TrainOptions options;
+  options.epochs = 30;
+  options.batch_size = 8;
+  options.adam.learning_rate = 3e-3;
+  options.lr_decay = 0.95;
+  Trainer trainer(model, options);
+  trainer.set_energy_baseline(EnergyBaseline::fit(view));
+
+  DataLoader loader(view, options.batch_size, /*seed=*/5);
+  const auto history = trainer.fit(loader);
+  std::cout << "training loss: " << history.front().mean_train_loss << " -> "
+            << history.back().mean_train_loss << " over "
+            << history.size() << " epochs\n\n";
+
+  // 5. Predict on the original geometry.
+  const GraphBatch batch =
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&graph});
+  const autograd::NoGradGuard no_grad;
+  const auto prediction = model.forward(batch);
+  const EnergyBaseline baseline = EnergyBaseline::fit(view);
+  const double predicted_energy =
+      prediction.energy.item() + baseline.offset(methanol.species);
+  std::cout << "predicted energy: " << predicted_energy << " eV (reference "
+            << graph.energy << ")\n";
+  std::cout << "forces (predicted vs reference), eV/A:\n";
+  const real* f = prediction.forces.data();
+  for (std::int64_t i = 0; i < graph.num_nodes(); ++i) {
+    const Vec3 ref = labels.forces[static_cast<std::size_t>(i)];
+    std::cout << "  " << elements::symbol(methanol.species[
+                             static_cast<std::size_t>(i)])
+              << ": (" << f[i * 3] << ", " << f[i * 3 + 1] << ", "
+              << f[i * 3 + 2] << ")  vs  (" << ref.x << ", " << ref.y << ", "
+              << ref.z << ")\n";
+  }
+  return 0;
+}

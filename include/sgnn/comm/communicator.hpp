@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sgnn/tensor/tensor.hpp"
+
+namespace sgnn {
+
+/// In-process multi-rank communicator: N simulated GPUs, one thread each,
+/// exchanging data through shared memory with MPI/NCCL-style collective
+/// semantics. Collective *results* are exact (tests pin them against
+/// sequential reductions); collective *cost* is tracked as the byte volume
+/// a ring implementation of each primitive would move, which the
+/// InterconnectModel converts to time. This is the stand-in for the
+/// NVLink-connected A100 quads of the paper's Perlmutter nodes.
+///
+/// All collectives are SPMD: every rank must call the same operation in the
+/// same order (enforced loosely by the internal barriers; mismatched calls
+/// deadlock just as they would in MPI).
+class Communicator {
+ public:
+  explicit Communicator(int num_ranks);
+
+  int num_ranks() const { return num_ranks_; }
+
+  /// Blocks until all ranks arrive.
+  void barrier();
+
+  /// In-place elementwise sum across ranks; every rank ends with the total.
+  void all_reduce_sum(int rank, std::vector<real>& data);
+
+  /// Root's data replaces everyone's.
+  void broadcast(int rank, std::vector<real>& data, int root);
+
+  /// Splits `input` (same on-rank length everywhere) into num_ranks
+  /// contiguous shards; rank r receives the elementwise sum of shard r.
+  /// Trailing shard may be shorter when the length is not divisible.
+  std::vector<real> reduce_scatter_sum(int rank,
+                                       const std::vector<real>& input);
+
+  /// Concatenates per-rank shards (shard r from rank r) on every rank, in
+  /// rank order.
+  std::vector<real> all_gather(int rank, const std::vector<real>& shard);
+
+  /// Payload bytes moved through each collective so far (counted once per
+  /// call, not per rank). InterconnectModel turns payloads into ring-
+  /// algorithm wall-clock time.
+  struct Traffic {
+    std::uint64_t all_reduce_bytes = 0;
+    std::uint64_t reduce_scatter_bytes = 0;
+    std::uint64_t all_gather_bytes = 0;
+    std::uint64_t broadcast_bytes = 0;
+    std::uint64_t collective_calls = 0;
+
+    std::uint64_t total_bytes() const {
+      return all_reduce_bytes + reduce_scatter_bytes + all_gather_bytes +
+             broadcast_bytes;
+    }
+  };
+  Traffic traffic() const;
+  void reset_traffic();
+
+  /// Shard [begin, end) of a buffer of length n for rank r — the partition
+  /// used by reduce_scatter_sum / all_gather (and by ZeRO's state shards).
+  static std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
+                                                         int rank,
+                                                         int num_ranks);
+
+ private:
+  int num_ranks_;
+
+  // Reusable sense-reversing barrier.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+
+  // Exchange slots, valid between the surrounding barriers.
+  std::vector<const std::vector<real>*> posted_;
+
+  std::atomic<std::uint64_t> all_reduce_bytes_{0};
+  std::atomic<std::uint64_t> reduce_scatter_bytes_{0};
+  std::atomic<std::uint64_t> all_gather_bytes_{0};
+  std::atomic<std::uint64_t> broadcast_bytes_{0};
+  std::atomic<std::uint64_t> collective_calls_{0};
+};
+
+/// Analytic cost model of the intra-node fabric (NVLink-3-class numbers:
+/// the paper's nodes pair four A100s over NVLink-3). Used to attribute a
+/// wall-clock cost to collective traffic, since in-process exchange is
+/// otherwise free.
+struct InterconnectModel {
+  double link_bandwidth_bytes_per_s = 100.0e9;  ///< per direction, per pair
+  double latency_seconds = 3.0e-6;              ///< per collective step
+
+  /// Ring all-reduce: 2(R-1) steps, each moving n/R bytes per rank.
+  double all_reduce_seconds(std::uint64_t bytes, int ranks) const;
+  /// Ring reduce-scatter / all-gather: (R-1) steps of n/R bytes.
+  double reduce_scatter_seconds(std::uint64_t bytes, int ranks) const;
+  double all_gather_seconds(std::uint64_t bytes, int ranks) const;
+  double broadcast_seconds(std::uint64_t bytes, int ranks) const;
+};
+
+}  // namespace sgnn

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sgnn/graph/batch.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+
+/// Mini-batch iterator over a fixed set of graphs. Reshuffles at the start
+/// of every epoch with its own deterministic generator, so runs are
+/// reproducible regardless of what else consumes randomness.
+class DataLoader {
+ public:
+  DataLoader(std::vector<const MolecularGraph*> graphs,
+             std::int64_t batch_size, std::uint64_t seed,
+             bool shuffle = true);
+
+  /// Batches per epoch (last partial batch included).
+  std::int64_t num_batches() const;
+  std::int64_t num_graphs() const {
+    return static_cast<std::int64_t>(graphs_.size());
+  }
+
+  /// Starts a new epoch (reshuffles when enabled).
+  void begin_epoch();
+  /// True while the current epoch has batches left.
+  bool has_next() const;
+  /// Builds and returns the next batch.
+  GraphBatch next();
+
+ private:
+  std::vector<const MolecularGraph*> graphs_;
+  std::vector<std::size_t> order_;
+  std::int64_t batch_size_;
+  Rng rng_;
+  bool shuffle_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace sgnn

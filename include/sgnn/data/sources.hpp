@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sgnn/graph/graph.hpp"
+#include "sgnn/potential/potential.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+
+/// The five public data sources aggregated in Tab. I of the paper. Each has
+/// a synthetic generator matched to the source's structural statistics
+/// (composition, atoms per graph, geometry class, byte share of the
+/// aggregate); labels come from the ReferencePotential teacher.
+enum class DataSource : int {
+  kANI1x = 0,   ///< small organic molecules (C,H,N,O), equilibrium-ish
+  kQM7X = 1,    ///< small organics incl. non-equilibrium distortions
+  kOC2020 = 2,  ///< metal slabs + adsorbates (catalysis)
+  kOC2022 = 3,  ///< oxide slabs + adsorbates
+  kMPTrj = 4,   ///< bulk inorganic crystals
+  kCount = 5,
+};
+
+const std::vector<DataSource>& all_sources();
+
+/// Static description of one source.
+struct SourceSpec {
+  std::string name;
+  /// Share of the aggregated dataset's bytes (Tab. I: 25/25/726/395/17 GB).
+  double byte_fraction;
+  /// Typical atom-count range of one sample.
+  std::int64_t min_atoms;
+  std::int64_t max_atoms;
+  bool periodic;
+};
+
+const SourceSpec& source_spec(DataSource source);
+
+/// Generates one unlabeled structure with the source's geometry class.
+AtomicStructure generate_structure(DataSource source, Rng& rng);
+
+/// Label-noise model: the stand-in for DFT convergence error and
+/// cross-source label inconsistency; gives the scaling curves their
+/// irreducible loss floor.
+struct LabelNoise {
+  double energy_sigma_per_atom = 0.02;  ///< eV per sqrt(atom)
+  double force_sigma = 0.03;            ///< eV/Angstrom per component
+};
+
+/// Generates a fully labeled sample: structure -> radius graph at the
+/// potential's cutoff -> teacher energy/forces (+ noise).
+MolecularGraph generate_sample(DataSource source, Rng& rng,
+                               const ReferencePotential& potential,
+                               const LabelNoise& noise = {});
+
+}  // namespace sgnn

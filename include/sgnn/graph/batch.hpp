@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sgnn/graph/graph.hpp"
+#include "sgnn/tensor/tensor.hpp"
+
+namespace sgnn {
+
+/// Disjoint union of several MolecularGraphs in model-ready form: node and
+/// edge arrays are concatenated with node indices offset per graph, exactly
+/// the batching scheme HydraGNN inherits from PyG.
+///
+/// Tensors carried here are inputs/labels (no autograd history). The edge
+/// shift term makes periodic displacements reconstructible from positions:
+///   r_ij = x[dst] - x[src] + shift
+/// so a model differentiating through positions sees the minimum-image
+/// geometry.
+struct GraphBatch {
+  std::int64_t num_graphs = 0;
+  std::int64_t num_nodes = 0;
+  std::int64_t num_edges = 0;
+
+  std::vector<int> species;                  ///< (N) atomic numbers
+  Tensor positions;                          ///< (N, 3)
+  std::vector<std::int64_t> edge_src;        ///< (E) global node ids
+  std::vector<std::int64_t> edge_dst;        ///< (E)
+  Tensor edge_shift;                         ///< (E, 3) periodic image term
+  std::vector<std::int64_t> node_to_graph;   ///< (N) owning graph id
+
+  Tensor energy;  ///< (G, 1) labels
+  Tensor dipole;  ///< (G, 1) labels (|dipole moment|, multi-task target)
+  Tensor forces;  ///< (N, 3) labels
+
+  /// Builds the batch; graphs must outlive the call only.
+  static GraphBatch from_graphs(const std::vector<const MolecularGraph*>& graphs);
+  static GraphBatch from_graphs(const std::vector<MolecularGraph>& graphs);
+
+  /// Atoms per graph (used for per-atom energy normalization).
+  std::vector<std::int64_t> nodes_per_graph() const;
+};
+
+}  // namespace sgnn

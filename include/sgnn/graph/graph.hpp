@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sgnn/graph/neighbor.hpp"
+#include "sgnn/graph/structure.hpp"
+
+namespace sgnn {
+
+/// One labeled sample of the aggregated dataset: an atomistic structure,
+/// its radius graph, and the two prediction targets the paper trains on —
+/// total energy (graph-level) and per-atom forces (node-level).
+struct MolecularGraph {
+  AtomicStructure structure;
+  EdgeList edges;
+  double energy = 0.0;       ///< eV, property of the whole structure
+  double dipole = 0.0;       ///< |dipole moment|, third (multi-task) target
+  std::vector<Vec3> forces;  ///< eV/Angstrom, one per atom
+
+  std::int64_t num_nodes() const { return structure.num_atoms(); }
+  std::int64_t num_edges() const { return edges.size(); }
+
+  /// Builds the radius graph; labels remain to be filled by the caller
+  /// (the dataset generators use a reference potential).
+  static MolecularGraph from_structure(AtomicStructure structure,
+                                       double cutoff);
+
+  /// Bytes this graph occupies in the `bp` container (store/serialize.hpp).
+  /// The TB-scale accounting of Tab. I and the data-scaling sweeps is based
+  /// on these real serialized sizes.
+  std::size_t serialized_bytes() const;
+
+  /// Structural invariants: labels sized to atoms, edge endpoints in range,
+  /// displacements consistent with positions (up to minimum image).
+  void validate() const;
+};
+
+}  // namespace sgnn

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sgnn/graph/structure.hpp"
+
+namespace sgnn {
+
+/// Directed edge list with per-edge displacement vectors (r_dst - r_src,
+/// minimum image). Both (i, j) and (j, i) are present — message passing is
+/// directional.
+struct EdgeList {
+  std::vector<std::int64_t> src;
+  std::vector<std::int64_t> dst;
+  std::vector<Vec3> displacement;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(src.size()); }
+};
+
+/// O(N^2) reference neighbor search within `cutoff` (Angstrom). Used for
+/// small molecules and as the oracle the cell-list search is tested against.
+EdgeList brute_force_neighbors(const AtomicStructure& structure,
+                               double cutoff);
+
+/// Cell-list (linked-cell) neighbor search: O(N) for bounded density.
+/// For periodic structures, requires cutoff <= min(cell)/2 (minimum image).
+EdgeList cell_list_neighbors(const AtomicStructure& structure, double cutoff);
+
+/// Picks the algorithm by system size; the crossover constant matches the
+/// neighbor-search micro-bench in bench/.
+EdgeList build_neighbors(const AtomicStructure& structure, double cutoff);
+
+}  // namespace sgnn

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sgnn/graph/vec3.hpp"
+
+namespace sgnn {
+
+/// Chemical elements used across the paper's five data sources. Atomic
+/// numbers follow the periodic table; kElementCount bounds the one-hot
+/// species embedding in the model input layer.
+namespace elements {
+inline constexpr int kH = 1;
+inline constexpr int kC = 6;
+inline constexpr int kN = 7;
+inline constexpr int kO = 8;
+inline constexpr int kAl = 13;
+inline constexpr int kSi = 14;
+inline constexpr int kTi = 22;
+inline constexpr int kFe = 26;
+inline constexpr int kNi = 28;
+inline constexpr int kCu = 29;
+inline constexpr int kPt = 78;
+/// One past the largest atomic number we model.
+inline constexpr int kMaxAtomicNumber = 96;
+
+/// Chemical symbol ("H", "C", ...; "X<Z>" for uncommon elements).
+std::string symbol(int atomic_number);
+/// Approximate covalent radius in Angstrom (used by structure generators).
+double covalent_radius(int atomic_number);
+/// Approximate atomic mass in amu (used by the MD example).
+double atomic_mass(int atomic_number);
+}  // namespace elements
+
+/// One atomistic configuration: species, Cartesian positions, and an
+/// optional orthorhombic periodic cell. This is the raw input a dataset
+/// sample is built from; MolecularGraph adds connectivity.
+struct AtomicStructure {
+  std::vector<int> species;      ///< atomic numbers, one per atom
+  std::vector<Vec3> positions;   ///< Angstrom
+  Vec3 cell{0.0, 0.0, 0.0};      ///< orthorhombic box lengths; 0 => open
+  bool periodic = false;         ///< minimum-image convention when true
+
+  std::int64_t num_atoms() const {
+    return static_cast<std::int64_t>(species.size());
+  }
+
+  /// Displacement r_j - r_i under the minimum-image convention when
+  /// periodic (requires cutoff <= min(cell)/2 for correctness, which the
+  /// neighbor search enforces).
+  Vec3 displacement(std::int64_t i, std::int64_t j) const;
+
+  /// Wraps every position into [0, cell) along periodic axes.
+  void wrap_positions();
+
+  /// Throws Error if species/positions disagree or a periodic cell axis is
+  /// non-positive.
+  void validate() const;
+};
+
+}  // namespace sgnn

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sgnn/graph/batch.hpp"
+#include "sgnn/nn/layers.hpp"
+#include "sgnn/nn/module.hpp"
+
+namespace sgnn {
+
+/// Interaction kernel of a message-passing layer. HydraGNN's "flexible
+/// message passing neural network layers" (Sec. II-B) support multiple
+/// kernels behind one model; the paper's experiments use the EGNN kernel,
+/// the others are provided for the kernel ablation
+/// (bench/ablation_kernels).
+enum class MessagePassingKernel : int {
+  kEGNN = 0,    ///< Satorras et al. equivariant messages + coordinate update
+  kSchNet = 1,  ///< continuous-filter convolution: phi_v(h_j) * W(rbf)
+  kGAT = 2,     ///< distance-aware attention over radius-graph edges
+};
+
+const char* kernel_name(MessagePassingKernel kernel);
+
+/// How node-level forces are produced.
+enum class ForceHead : int {
+  /// Equivariant per-edge decomposition F_i = sum_j unit_ij * phi_F(m_ij)
+  /// (this repo's default; exactly E(3)-equivariant).
+  kEquivariantEdge = 0,
+  /// HydraGNN-faithful node-level head: F_i = MLP(h_i) on the final node
+  /// features — the paper's "node-level property prediction" head. NOT
+  /// equivariant (invariant features cannot produce covariant vectors),
+  /// and fully exposed to over-smoothing of h, which is what makes the
+  /// paper's Fig. 5 depth degradation visible.
+  kNodeMLP = 1,
+};
+
+const char* force_head_name(ForceHead head);
+
+/// Architecture hyperparameters of the EGNN backbone + HydraGNN-style
+/// heads. The scaling experiments vary only `hidden_dim` (width) and
+/// `num_layers` (depth), exactly as Sec. III-B of the paper prescribes.
+struct ModelConfig {
+  std::int64_t hidden_dim = 64;   ///< neurons per layer ("width")
+  std::int64_t num_layers = 3;    ///< message-passing steps ("depth")
+  /// Species vocabulary (atomic-number upper bound).
+  std::int64_t num_species = 96;
+  /// Gaussian radial-basis expansion of edge lengths fed to phi_e (the
+  /// standard edge featurization of ML interatomic potentials).
+  std::int64_t num_rbf = 8;
+  /// Interaction cutoff the radial basis spans; must match the radius used
+  /// to build the graphs.
+  double cutoff = 3.5;
+  /// Residual node update h' = h + phi_h(...). Turning it off makes the
+  /// over-smoothing collapse (Fig. 5) more pronounced.
+  bool residual = true;
+  /// Step size of the equivariant coordinate update.
+  double coord_scale = 0.1;
+  /// Interaction kernel (paper: kEGNN).
+  MessagePassingKernel kernel = MessagePassingKernel::kEGNN;
+  /// Force head (paper: kNodeMLP via HydraGNN; default here is the
+  /// equivariant extension).
+  ForceHead force_head = ForceHead::kEquivariantEdge;
+  /// Adds a third, graph-level head predicting the dipole-moment magnitude
+  /// (HydraGNN-style multi-task learning; see bench/ablation_multitask).
+  bool predict_dipole = false;
+  std::uint64_t seed = 0xE6AA;    ///< parameter-init seed
+
+  /// Total parameter count of a model with this config (closed form,
+  /// verified against Module::num_parameters in tests).
+  std::int64_t parameter_count() const;
+
+  /// Finds the hidden_dim whose parameter_count is closest to `target`
+  /// at fixed depth — how the sweeps hit "0.1M / 1M / ... params".
+  static ModelConfig for_parameter_budget(std::int64_t target_params,
+                                          std::int64_t num_layers);
+};
+
+/// One E(n)-equivariant message-passing layer (Satorras et al., ICML'21):
+///   m_ij   = phi_e(h_i, h_j, rbf(|x_i - x_j|))
+///   x_i'   = x_i + (1/deg_i) * sum_j (x_i - x_j) * phi_x(m_ij)
+///   h_i'   = h_i + phi_h(h_i, (1/deg_i) * sum_j m_ij)
+/// plus an equivariant per-edge force decomposition
+///   F_i'   = F_i + sum_j unit(x_i - x_j) * phi_F(m_ij)
+/// feeding the node-level force head: the gate phi_F is invariant and the
+/// unit bond vector is equivariant, so predicted forces transform exactly
+/// like coordinates (verified by the equivariance property tests).
+class EGNNLayer : public Module {
+ public:
+  EGNNLayer(const ModelConfig& config, Rng& rng);
+
+  /// Static per-batch edge context (no autograd participation).
+  struct EdgeContext {
+    const std::vector<std::int64_t>* edge_src = nullptr;
+    const std::vector<std::int64_t>* edge_dst = nullptr;
+    Tensor edge_shift;    ///< (E, 3)
+    Tensor inv_degree;    ///< (N, 1), 1/max(deg, 1)
+    std::int64_t num_nodes = 0;
+  };
+
+  /// `state` packs [h | x | F] as (N, hidden + 6); returns the new state.
+  Tensor forward(const Tensor& state, const EdgeContext& context) const;
+
+ private:
+  std::int64_t hidden_;
+  std::int64_t num_rbf_;
+  real cutoff_;
+  bool residual_;
+  real coord_scale_;
+  MessagePassingKernel kernel_;
+  std::unique_ptr<MLP> phi_e_;  ///< message MLP (EGNN) / attention (GAT)
+  std::unique_ptr<MLP> phi_x_;  ///< coordinate gate (EGNN only)
+  std::unique_ptr<MLP> phi_h_;  ///< node update
+  std::unique_ptr<MLP> phi_f_;  ///< per-edge force gate
+  std::unique_ptr<MLP> phi_v_;  ///< value transform (SchNet/GAT)
+  std::unique_ptr<MLP> phi_w_;  ///< filter generator (SchNet)
+};
+
+/// The full model: species embedding, EGNN backbone, and the two HydraGNN
+/// output heads (graph-level energy, node-level forces).
+class EGNNModel : public Module {
+ public:
+  explicit EGNNModel(const ModelConfig& config);
+
+  struct Output {
+    Tensor energy;  ///< (G, 1)
+    Tensor forces;  ///< (N, 3)
+    Tensor dipole;  ///< (G, 1); undefined unless config.predict_dipole
+  };
+
+  struct ForwardOptions {
+    /// Wrap each EGNN layer in an activation checkpoint (Sec. V-B).
+    bool activation_checkpointing = false;
+  };
+
+  Output forward(const GraphBatch& batch) const {
+    return forward(batch, ForwardOptions{});
+  }
+  Output forward(const GraphBatch& batch, const ForwardOptions& options) const;
+
+  const ModelConfig& config() const { return config_; }
+
+  /// Mean node-feature variance after the backbone — the over-smoothing
+  /// metric reported by the depth/width bench (collapses toward 0 as
+  /// depth grows past the useful range).
+  double last_feature_spread() const { return last_feature_spread_; }
+
+ private:
+  ModelConfig config_;
+  std::unique_ptr<Embedding> embedding_;
+  std::vector<std::unique_ptr<EGNNLayer>> layers_;
+  std::unique_ptr<MLP> energy_head_;
+  std::unique_ptr<MLP> force_head_;   ///< only for ForceHead::kNodeMLP
+  std::unique_ptr<MLP> dipole_head_;  ///< only when predict_dipole
+  mutable double last_feature_spread_ = 0.0;
+};
+
+}  // namespace sgnn

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sgnn/nn/egnn.hpp"
+
+namespace sgnn {
+
+/// Model checkpointing: persists a ModelConfig plus every parameter tensor
+/// to a single CRC-guarded binary file ("SGMD" container, a sibling of the
+/// bp graph format), and restores it. Training-state checkpointing of the
+/// optimizer is deliberately separate (TrainerCheckpoint below) so a saved
+/// model can be shipped for inference without its Adam moments.
+///
+/// File layout:
+///   "SGMD" | u32 version | config fields | u64 param_count |
+///   per parameter: u64 rank, i64 dims..., f64 data... | u32 crc | "SGMD"
+void save_model(const EGNNModel& model, const std::string& path);
+
+/// Reconstructs the model (config + weights). Throws Error on a missing,
+/// truncated, corrupted, or incompatible file. (Modules are pinned in
+/// memory, hence the unique_ptr.)
+std::unique_ptr<EGNNModel> load_model(const std::string& path);
+
+/// Reads just the config header (cheap; no parameter data is touched).
+ModelConfig peek_model_config(const std::string& path);
+
+/// Restores weights into an existing model whose config must match.
+void load_parameters_into(EGNNModel& model, const std::string& path);
+
+}  // namespace sgnn

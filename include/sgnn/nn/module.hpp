@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sgnn/tensor/tensor.hpp"
+
+namespace sgnn {
+
+/// Base class for neural-network building blocks. Owns no tensor directly;
+/// concrete modules register their parameter leaves and child modules so
+/// parameter collection, gradient clearing, and counting work uniformly.
+///
+/// Parameters must be registered at construction time from storage tagged
+/// MemCategory::kWeight (register_parameter asserts the tensor is a leaf
+/// requiring grad).
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  // Registration stores addresses, so modules are pinned: hold them by
+  // unique_ptr when a container is needed.
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  Module(Module&&) = delete;
+  Module& operator=(Module&&) = delete;
+
+  /// All parameter leaves of this module and its children, in registration
+  /// order (stable across runs — optimizers rely on this ordering).
+  std::vector<Tensor> parameters() const;
+
+  /// Total number of scalar parameters.
+  std::int64_t num_parameters() const;
+
+  /// Clears accumulated gradients on every parameter.
+  void zero_grad();
+
+  /// Copies parameter values from another module with identical topology
+  /// (used to replicate models across simulated ranks).
+  void copy_parameters_from(const Module& other);
+
+ protected:
+  /// Registers an owned parameter leaf. The tensor must require grad.
+  void register_parameter(Tensor parameter);
+  /// Registers a child whose parameters are folded into ours. The child
+  /// must outlive this module (members registered in their declaration
+  /// order satisfy this).
+  void register_module(Module& child);
+
+ private:
+  std::vector<Tensor> parameters_;
+  std::vector<Module*> children_;
+};
+
+/// Helper for parameter initialization: Glorot/Xavier-uniform fan-based
+/// bound, the init HydraGNN uses for its message-passing MLPs.
+Tensor glorot_uniform(std::int64_t fan_in, std::int64_t fan_out, Rng& rng);
+
+}  // namespace sgnn

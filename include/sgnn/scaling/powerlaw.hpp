@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+namespace sgnn {
+
+/// Saturating power law L(x) = a * x^(-alpha) + c — the functional form of
+/// neural scaling laws (Kaplan et al.), with `c` the irreducible loss.
+struct PowerLawFit {
+  double a = 0;
+  double alpha = 0;
+  double c = 0;
+  double r_squared = 0;  ///< of log(L - c) vs log(x)
+
+  double evaluate(double x) const;
+};
+
+/// Fits the saturating power law by profiling the offset: for each candidate
+/// c on a grid below min(y), the remaining (a, alpha) problem is linear in
+/// log space; the c with the best log-space R^2 wins. Requires >= 3 points
+/// and strictly positive x.
+PowerLawFit fit_power_law(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Straight log-log least squares (c forced to 0); the LLM-style "pure"
+/// power law the paper contrasts GNN behaviour against.
+PowerLawFit fit_pure_power_law(const std::vector<double>& x,
+                               const std::vector<double>& y);
+
+/// Slopes d log(y) / d log(x) between consecutive points. Diminishing
+/// returns (Fig. 3's message) shows up as slopes shrinking toward zero as
+/// x grows; a pure power law keeps them constant.
+std::vector<double> local_loglog_slopes(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+}  // namespace sgnn

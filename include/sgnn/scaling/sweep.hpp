@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sgnn/data/dataset.hpp"
+#include "sgnn/nn/egnn.hpp"
+#include "sgnn/train/trainer.hpp"
+
+namespace sgnn {
+
+/// Unit conversion between this repo's scaled-down experiments and the
+/// paper's axes. One "paper TB" of dataset corresponds to
+/// `bytes_per_paper_tb` real bytes here, and one "paper parameter" to
+/// `params_per_paper_param` real parameters; benches print both scales.
+struct PaperScale {
+  double bytes_per_paper_tb;
+  double params_per_paper_param;
+};
+
+/// One measured point of a scaling sweep: the (model size, data size) ->
+/// test-loss mapping that Figs. 3-5 are drawn from.
+struct SweepPoint {
+  std::int64_t parameters = 0;
+  std::int64_t hidden_dim = 0;
+  std::int64_t num_layers = 0;
+  std::uint64_t dataset_bytes = 0;
+  std::int64_t train_graphs = 0;
+  double train_loss = 0;
+  double test_loss = 0;
+  double energy_mae_per_atom = 0;
+  double force_mae = 0;
+  double feature_spread = 0;  ///< over-smoothing metric (Fig. 5)
+  double seconds = 0;
+};
+
+/// Shared protocol of the scaling experiments (Sec. IV): train a model of
+/// the given config on the given training subset for a fixed number of
+/// epochs, then evaluate on the FIXED held-out test set sampled from the
+/// full aggregate.
+struct SweepProtocol {
+  TrainOptions train;
+  std::int64_t eval_batch_size = 16;
+};
+
+SweepPoint run_scaling_point(const AggregatedDataset& dataset,
+                             const std::vector<std::size_t>& train_indices,
+                             const std::vector<std::size_t>& test_indices,
+                             const ModelConfig& model_config,
+                             const SweepProtocol& protocol);
+
+}  // namespace sgnn

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "sgnn/graph/graph.hpp"
+
+namespace sgnn {
+
+/// Binary graph record layout (little-endian, fixed width):
+///   u64 node_count, u64 edge_count, f64 energy, f64 dipole,
+///   3 x f64 cell, u8 periodic,
+///   node_count x i32 species,
+///   node_count x 3 x f64 positions,
+///   node_count x 3 x f64 forces,
+///   edge_count x 2 x i64 endpoints,
+///   edge_count x 3 x f64 displacements.
+/// MolecularGraph::serialized_bytes() mirrors this layout byte for byte.
+void write_graph_record(std::ostream& out, const MolecularGraph& graph);
+
+/// Reads one record; throws Error on truncated or malformed input.
+MolecularGraph read_graph_record(std::istream& in);
+
+/// CRC-32 (IEEE 802.3 polynomial) used by the bp container for integrity.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace sgnn

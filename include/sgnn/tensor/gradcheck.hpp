@@ -1,0 +1,31 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sgnn/tensor/tensor.hpp"
+
+namespace sgnn {
+
+/// Outcome of a finite-difference gradient verification.
+struct GradcheckResult {
+  bool ok = false;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::string detail;  ///< human-readable description of the worst entry
+};
+
+/// Verifies reverse-mode gradients of `fn` against central finite
+/// differences.
+///
+/// The output is contracted with a fixed pseudo-random cotangent so that the
+/// full Jacobian (not just its row sums) is exercised. Inputs that require
+/// grad are perturbed element-by-element; double-precision tensors make a
+/// tolerance of ~1e-6 reliable for the op sizes used in tests.
+GradcheckResult gradcheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    const std::vector<Tensor>& inputs, double eps = 1e-6,
+    double tolerance = 1e-6);
+
+}  // namespace sgnn

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+/// Dense row-major tensor shape. Rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t dim(std::size_t axis) const {
+    SGNN_CHECK(axis < dims_.size(), "axis " << axis << " out of range for rank "
+                                            << dims_.size());
+    return dims_[axis];
+  }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Total number of elements (1 for scalars).
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (const auto d : dims_) n *= d;
+    return n;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Row-major strides in elements.
+  std::vector<std::int64_t> strides() const {
+    std::vector<std::int64_t> s(dims_.size(), 1);
+    for (std::size_t i = dims_.size(); i-- > 1;) {
+      s[i - 1] = s[i] * dims_[i];
+    }
+    return s;
+  }
+
+  std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+  /// NumPy-style broadcast of two shapes; throws if incompatible.
+  static Shape broadcast(const Shape& a, const Shape& b);
+
+  /// True if `from` can broadcast to `to`.
+  static bool broadcastable_to(const Shape& from, const Shape& to);
+
+ private:
+  void validate() const {
+    for (const auto d : dims_) {
+      SGNN_CHECK(d >= 0, "negative dimension in shape " << to_string());
+    }
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace sgnn

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "sgnn/graph/batch.hpp"
+#include "sgnn/graph/graph.hpp"
+
+namespace sgnn {
+
+/// Per-species reference-energy baseline, the standard preprocessing step
+/// of machine-learned interatomic potentials (and of HydraGNN's pipeline):
+/// total energies are dominated by composition (sum of isolated-atom
+/// energies), so we fit E ~ sum_z n_z * e0_z by least squares on the
+/// training set and train the GNN on the residual. Without this the model
+/// spends its whole budget learning additive constants.
+class EnergyBaseline {
+ public:
+  /// Identity baseline (all zeros).
+  EnergyBaseline() { e0_.fill(0.0); }
+
+  /// Least-squares fit of per-species energies on the given graphs
+  /// (ridge-regularized normal equations; species never seen get 0).
+  static EnergyBaseline fit(const std::vector<const MolecularGraph*>& graphs);
+
+  /// Composition energy sum_i e0_{z_i} for one species list.
+  double offset(const std::vector<int>& species) const;
+
+  /// Subtracts each graph's composition energy from batch.energy in place.
+  void subtract_from(GraphBatch& batch) const;
+
+  double species_energy(int atomic_number) const {
+    return e0_[static_cast<std::size_t>(atomic_number)];
+  }
+
+ private:
+  std::array<double, elements::kMaxAtomicNumber> e0_{};
+};
+
+}  // namespace sgnn

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sgnn/tensor/tensor.hpp"
+
+namespace sgnn {
+
+/// Gradient-descent optimizer interface over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> parameters);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients. Parameters whose
+  /// gradient is undefined are skipped (treated as zero gradient).
+  virtual void step() = 0;
+
+  void zero_grad();
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+  double learning_rate() const { return learning_rate_; }
+
+ protected:
+  std::vector<Tensor>& parameters() { return parameters_; }
+  double learning_rate_ = 1e-3;
+
+ private:
+  std::vector<Tensor> parameters_;
+};
+
+/// Plain SGD with optional momentum — the baseline optimizer.
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<Tensor> parameters, double learning_rate,
+      double momentum = 0.0);
+
+  void step() override;
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;  ///< kOptimizerState, lazily allocated
+};
+
+/// Adam (Kingma & Ba). The two moment vectors are the "optimizer states"
+/// of Fig. 6 — storage equal to twice the model weights, allocated under
+/// MemCategory::kOptimizerState so the memory benches see exactly the 2x
+/// footprint the paper describes.
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+  };
+
+  Adam(std::vector<Tensor> parameters, const Options& options);
+
+  void step() override;
+
+  /// Shared by ZeroAdam: one Adam update on a flat array slice.
+  static void update_flat(real* param, const real* grad, real* m, real* v,
+                          std::size_t count, std::int64_t timestep,
+                          const Options& options);
+
+ private:
+  Options options_;
+  std::int64_t timestep_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace sgnn

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sgnn {
+
+/// Exception type thrown by all sgnn components on precondition or
+/// invariant violations. Carries the failing expression and location.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "sgnn check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace sgnn
+
+/// Runtime-checked precondition. Always active (these guard API misuse, not
+/// hot inner loops; hot loops use SGNN_DCHECK which compiles out in NDEBUG).
+#define SGNN_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream sgnn_check_os_;                                   \
+      sgnn_check_os_ << msg; /* NOLINT */                                  \
+      ::sgnn::detail::throw_check_failure(#cond, __FILE__, __LINE__,       \
+                                          sgnn_check_os_.str());           \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define SGNN_DCHECK(cond, msg) \
+  do {                         \
+  } while (false)
+#else
+#define SGNN_DCHECK(cond, msg) SGNN_CHECK(cond, msg)
+#endif

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sgnn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal thread-safe leveled logger writing to stderr. Benches and examples
+/// use kInfo; tests default to kWarn to keep ctest output readable.
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& message) {
+    if (level < level_) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::cerr << "[" << name(level) << "] " << message << '\n';
+  }
+
+ private:
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info ";
+      case LogLevel::kWarn: return "warn ";
+      case LogLevel::kError: return "error";
+      case LogLevel::kOff: return "off  ";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kInfo;
+  std::mutex mutex_;
+};
+
+namespace detail {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::instance().write(level_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace sgnn
+
+#define SGNN_LOG_DEBUG ::sgnn::detail::LogMessage(::sgnn::LogLevel::kDebug)
+#define SGNN_LOG_INFO ::sgnn::detail::LogMessage(::sgnn::LogLevel::kInfo)
+#define SGNN_LOG_WARN ::sgnn::detail::LogMessage(::sgnn::LogLevel::kWarn)
+#define SGNN_LOG_ERROR ::sgnn::detail::LogMessage(::sgnn::LogLevel::kError)

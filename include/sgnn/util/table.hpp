@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sgnn {
+
+/// ASCII table builder used by the bench binaries to print paper-style
+/// tables and figure series. Also exports CSV for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders a boxed, column-aligned ASCII table.
+  std::string to_ascii(const std::string& title = "") const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas; callers keep
+  /// cells comma-free).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Numeric formatting helpers shared by benches.
+  static std::string fixed(double value, int precision);
+  static std::string scientific(double value, int precision);
+  /// Human-readable byte count (e.g. "726 GB", "1.2 TB").
+  static std::string human_bytes(double bytes);
+  /// Human-readable count (e.g. "20.9 M", "1.5 B").
+  static std::string human_count(double count);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sgnn

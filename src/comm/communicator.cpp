@@ -1,0 +1,172 @@
+#include "sgnn/comm/communicator.hpp"
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+Communicator::Communicator(int num_ranks) : num_ranks_(num_ranks) {
+  SGNN_CHECK(num_ranks > 0, "communicator needs at least one rank");
+  posted_.assign(static_cast<std::size_t>(num_ranks), nullptr);
+}
+
+void Communicator::barrier() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t generation = generation_;
+  if (++arrived_ == num_ranks_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+}
+
+std::pair<std::size_t, std::size_t> Communicator::shard_range(std::size_t n,
+                                                              int rank,
+                                                              int num_ranks) {
+  const std::size_t r = static_cast<std::size_t>(rank);
+  const std::size_t R = static_cast<std::size_t>(num_ranks);
+  const std::size_t base = n / R;
+  const std::size_t extra = n % R;
+  const std::size_t begin = r * base + std::min(r, extra);
+  const std::size_t size = base + (r < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+void Communicator::all_reduce_sum(int rank, std::vector<real>& data) {
+  SGNN_CHECK(rank >= 0 && rank < num_ranks_, "invalid rank " << rank);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    posted_[static_cast<std::size_t>(rank)] = &data;
+  }
+  barrier();
+  // Every rank reduces the full vector; results are bit-identical across
+  // ranks because the summation order is fixed (rank 0, 1, ..., R-1).
+  std::vector<real> total(data.size(), real{0});
+  for (int r = 0; r < num_ranks_; ++r) {
+    const auto& src = *posted_[static_cast<std::size_t>(r)];
+    SGNN_CHECK(src.size() == data.size(),
+               "all_reduce size mismatch: rank " << r << " has " << src.size()
+                                                 << ", rank " << rank
+                                                 << " has " << data.size());
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += src[i];
+  }
+  barrier();
+  data = std::move(total);
+  if (rank == 0) {
+    all_reduce_bytes_.fetch_add(data.size() * sizeof(real));
+    collective_calls_.fetch_add(1);
+  }
+}
+
+void Communicator::broadcast(int rank, std::vector<real>& data, int root) {
+  SGNN_CHECK(root >= 0 && root < num_ranks_, "invalid broadcast root");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    posted_[static_cast<std::size_t>(rank)] = &data;
+  }
+  barrier();
+  const auto& src = *posted_[static_cast<std::size_t>(root)];
+  std::vector<real> copy;
+  if (rank != root) {
+    copy = src;  // read while the root's buffer is pinned between barriers
+  }
+  barrier();
+  if (rank != root) data = std::move(copy);
+  if (rank == 0) {
+    broadcast_bytes_.fetch_add(data.size() * sizeof(real));
+    collective_calls_.fetch_add(1);
+  }
+}
+
+std::vector<real> Communicator::reduce_scatter_sum(
+    int rank, const std::vector<real>& input) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    posted_[static_cast<std::size_t>(rank)] = &input;
+  }
+  barrier();
+  const auto [begin, end] = shard_range(input.size(), rank, num_ranks_);
+  std::vector<real> shard(end - begin, real{0});
+  for (int r = 0; r < num_ranks_; ++r) {
+    const auto& src = *posted_[static_cast<std::size_t>(r)];
+    SGNN_CHECK(src.size() == input.size(), "reduce_scatter size mismatch");
+    for (std::size_t i = begin; i < end; ++i) shard[i - begin] += src[i];
+  }
+  barrier();
+  if (rank == 0) {
+    reduce_scatter_bytes_.fetch_add(input.size() * sizeof(real));
+    collective_calls_.fetch_add(1);
+  }
+  return shard;
+}
+
+std::vector<real> Communicator::all_gather(int rank,
+                                           const std::vector<real>& shard) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    posted_[static_cast<std::size_t>(rank)] = &shard;
+  }
+  barrier();
+  std::vector<real> gathered;
+  for (int r = 0; r < num_ranks_; ++r) {
+    const auto& src = *posted_[static_cast<std::size_t>(r)];
+    gathered.insert(gathered.end(), src.begin(), src.end());
+  }
+  barrier();
+  if (rank == 0) {
+    all_gather_bytes_.fetch_add(gathered.size() * sizeof(real));
+    collective_calls_.fetch_add(1);
+  }
+  return gathered;
+}
+
+Communicator::Traffic Communicator::traffic() const {
+  Traffic t;
+  t.all_reduce_bytes = all_reduce_bytes_.load();
+  t.reduce_scatter_bytes = reduce_scatter_bytes_.load();
+  t.all_gather_bytes = all_gather_bytes_.load();
+  t.broadcast_bytes = broadcast_bytes_.load();
+  t.collective_calls = collective_calls_.load();
+  return t;
+}
+
+void Communicator::reset_traffic() {
+  all_reduce_bytes_ = 0;
+  reduce_scatter_bytes_ = 0;
+  all_gather_bytes_ = 0;
+  broadcast_bytes_ = 0;
+  collective_calls_ = 0;
+}
+
+double InterconnectModel::all_reduce_seconds(std::uint64_t bytes,
+                                             int ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double steps = 2.0 * (ranks - 1);
+  return steps * (static_cast<double>(bytes) / ranks /
+                  link_bandwidth_bytes_per_s) +
+         steps * latency_seconds;
+}
+
+double InterconnectModel::reduce_scatter_seconds(std::uint64_t bytes,
+                                                 int ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double steps = static_cast<double>(ranks - 1);
+  return steps * (static_cast<double>(bytes) / ranks /
+                  link_bandwidth_bytes_per_s) +
+         steps * latency_seconds;
+}
+
+double InterconnectModel::all_gather_seconds(std::uint64_t bytes,
+                                             int ranks) const {
+  return reduce_scatter_seconds(bytes, ranks);
+}
+
+double InterconnectModel::broadcast_seconds(std::uint64_t bytes,
+                                            int ranks) const {
+  if (ranks <= 1) return 0.0;
+  return static_cast<double>(bytes) / link_bandwidth_bytes_per_s +
+         static_cast<double>(ranks - 1) * latency_seconds;
+}
+
+}  // namespace sgnn

@@ -1,0 +1,50 @@
+#include "sgnn/data/loader.hpp"
+
+#include <numeric>
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+DataLoader::DataLoader(std::vector<const MolecularGraph*> graphs,
+                       std::int64_t batch_size, std::uint64_t seed,
+                       bool shuffle)
+    : graphs_(std::move(graphs)),
+      batch_size_(batch_size),
+      rng_(seed),
+      shuffle_(shuffle) {
+  SGNN_CHECK(!graphs_.empty(), "DataLoader needs at least one graph");
+  SGNN_CHECK(batch_size_ > 0, "batch size must be positive");
+  order_.resize(graphs_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  begin_epoch();
+}
+
+std::int64_t DataLoader::num_batches() const {
+  const auto n = static_cast<std::int64_t>(graphs_.size());
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::begin_epoch() {
+  cursor_ = 0;
+  if (shuffle_) {
+    for (std::size_t i = order_.size(); i > 1; --i) {
+      std::swap(order_[i - 1], order_[rng_.uniform_index(i)]);
+    }
+  }
+}
+
+bool DataLoader::has_next() const { return cursor_ < order_.size(); }
+
+GraphBatch DataLoader::next() {
+  SGNN_CHECK(has_next(), "next() called on exhausted epoch");
+  std::vector<const MolecularGraph*> batch;
+  batch.reserve(static_cast<std::size_t>(batch_size_));
+  while (cursor_ < order_.size() &&
+         batch.size() < static_cast<std::size_t>(batch_size_)) {
+    batch.push_back(graphs_[order_[cursor_++]]);
+  }
+  return GraphBatch::from_graphs(batch);
+}
+
+}  // namespace sgnn

@@ -1,0 +1,230 @@
+#include "sgnn/data/sources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+const std::vector<DataSource>& all_sources() {
+  static const std::vector<DataSource> sources = {
+      DataSource::kANI1x, DataSource::kQM7X, DataSource::kOC2020,
+      DataSource::kOC2022, DataSource::kMPTrj};
+  return sources;
+}
+
+const SourceSpec& source_spec(DataSource source) {
+  // Byte fractions follow Tab. I: 25, 25, 726, 395, 17 GB of 1188 GB.
+  static const std::vector<SourceSpec> specs = {
+      {"ANI1x", 25.0 / 1188.0, 8, 24, false},
+      {"QM7-X", 25.0 / 1188.0, 10, 26, false},
+      {"OC2020-20M", 726.0 / 1188.0, 56, 90, true},
+      {"OC2022", 395.0 / 1188.0, 60, 100, true},
+      {"MPTrj", 17.0 / 1188.0, 24, 40, true},
+  };
+  const auto index = static_cast<std::size_t>(source);
+  SGNN_CHECK(index < specs.size(), "unknown data source");
+  return specs[index];
+}
+
+namespace {
+
+/// Grows a connected molecule-like cluster: each new atom attaches at
+/// bonding distance to a random existing atom, rejecting overlaps. Compact
+/// clusters at a 3.5 A cutoff give the near-complete radius graphs the
+/// molecular sources show in Tab. I (~14 edges/node at ~16 atoms).
+AtomicStructure grow_molecule(std::int64_t atoms,
+                              const std::vector<int>& palette, Rng& rng,
+                              double jitter) {
+  AtomicStructure s;
+  s.species.push_back(palette[rng.uniform_index(palette.size())]);
+  s.positions.push_back({0, 0, 0});
+  while (s.num_atoms() < atoms) {
+    const int z = palette[rng.uniform_index(palette.size())];
+    const auto anchor = rng.uniform_index(s.positions.size());
+    const double bond =
+        elements::covalent_radius(s.species[anchor]) +
+        elements::covalent_radius(z) + rng.uniform(-0.05, 0.15);
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      // Random direction via normalized Gaussian.
+      Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+      const double norm = dir.norm();
+      if (norm < 1e-9) continue;
+      const Vec3 p = s.positions[anchor] + dir * (bond / norm);
+      bool ok = true;
+      for (const auto& q : s.positions) {
+        if ((p - q).norm() < 0.85) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        s.species.push_back(z);
+        s.positions.push_back(p);
+        placed = true;
+      }
+    }
+    if (!placed) break;  // pathological geometry: accept a smaller molecule
+  }
+  if (jitter > 0) {
+    for (auto& p : s.positions) {
+      p += Vec3{rng.normal(0, jitter), rng.normal(0, jitter),
+                rng.normal(0, jitter)};
+    }
+  }
+  return s;
+}
+
+/// Perturbed simple-cubic lattice filling a periodic box; `species_pool`
+/// atoms are assigned cyclically (ordered alloys / compounds).
+AtomicStructure build_bulk(std::int64_t cells_per_axis, double lattice,
+                           const std::vector<int>& species_pool, Rng& rng,
+                           double jitter) {
+  AtomicStructure s;
+  const double box = static_cast<double>(cells_per_axis) * lattice;
+  s.cell = {box, box, box};
+  s.periodic = true;
+  std::size_t counter = 0;
+  for (std::int64_t i = 0; i < cells_per_axis; ++i) {
+    for (std::int64_t j = 0; j < cells_per_axis; ++j) {
+      for (std::int64_t k = 0; k < cells_per_axis; ++k) {
+        s.species.push_back(species_pool[counter++ % species_pool.size()]);
+        s.positions.push_back(
+            {(static_cast<double>(i) + 0.5) * lattice + rng.normal(0, jitter),
+             (static_cast<double>(j) + 0.5) * lattice + rng.normal(0, jitter),
+             (static_cast<double>(k) + 0.5) * lattice + rng.normal(0, jitter)});
+      }
+    }
+  }
+  s.wrap_positions();
+  return s;
+}
+
+/// Slab + adsorbate: a few lattice layers periodic in x/y (with vacuum
+/// above along z inside a fully periodic box) and a small molecule placed
+/// over the surface — the OC20/OC22 geometry class.
+AtomicStructure build_slab_with_adsorbate(
+    const std::vector<int>& slab_species,
+    const std::vector<int>& adsorbate_palette, std::int64_t lateral_cells,
+    std::int64_t layers, double lattice, Rng& rng) {
+  AtomicStructure s;
+  const double lx = static_cast<double>(lateral_cells) * lattice;
+  const double slab_height = static_cast<double>(layers) * lattice;
+  const double vacuum = 10.0;
+  s.cell = {lx, lx, slab_height + vacuum};
+  s.periodic = true;
+  std::size_t counter = 0;
+  for (std::int64_t i = 0; i < lateral_cells; ++i) {
+    for (std::int64_t j = 0; j < lateral_cells; ++j) {
+      for (std::int64_t k = 0; k < layers; ++k) {
+        s.species.push_back(slab_species[counter++ % slab_species.size()]);
+        s.positions.push_back(
+            {(static_cast<double>(i) + 0.5) * lattice + rng.normal(0, 0.05),
+             (static_cast<double>(j) + 0.5) * lattice + rng.normal(0, 0.05),
+             (static_cast<double>(k) + 0.5) * lattice + rng.normal(0, 0.05)});
+      }
+    }
+  }
+  // Adsorbate: a 2-4 atom molecule ~2 A above a random surface site. The
+  // vertical offset is measured from the adsorbate's lowest atom so the
+  // molecule can never be generated inside the slab.
+  const std::int64_t ads_atoms = 2 + static_cast<std::int64_t>(rng.uniform_index(3));
+  AtomicStructure ads = grow_molecule(ads_atoms, adsorbate_palette, rng, 0.02);
+  double ads_min_z = ads.positions.front().z;
+  for (const auto& p : ads.positions) ads_min_z = std::min(ads_min_z, p.z);
+  const Vec3 site{rng.uniform(0, lx), rng.uniform(0, lx),
+                  slab_height + 1.6 + rng.uniform(0, 0.6) - ads_min_z};
+  for (std::int64_t a = 0; a < ads.num_atoms(); ++a) {
+    const auto ai = static_cast<std::size_t>(a);
+    s.species.push_back(ads.species[ai]);
+    s.positions.push_back(ads.positions[ai] + site);
+  }
+  s.wrap_positions();
+  return s;
+}
+
+std::int64_t atoms_in_range(const SourceSpec& spec, Rng& rng) {
+  return spec.min_atoms +
+         static_cast<std::int64_t>(rng.uniform_index(
+             static_cast<std::uint64_t>(spec.max_atoms - spec.min_atoms + 1)));
+}
+
+}  // namespace
+
+AtomicStructure generate_structure(DataSource source, Rng& rng) {
+  const SourceSpec& spec = source_spec(source);
+  switch (source) {
+    case DataSource::kANI1x:
+      return grow_molecule(atoms_in_range(spec, rng),
+                           {elements::kC, elements::kH, elements::kN,
+                            elements::kO},
+                           rng, /*jitter=*/0.03);
+    case DataSource::kQM7X:
+      // Includes non-equilibrium configurations: stronger distortions.
+      return grow_molecule(atoms_in_range(spec, rng),
+                           {elements::kC, elements::kH, elements::kN,
+                            elements::kO},
+                           rng, /*jitter=*/0.12);
+    case DataSource::kOC2020: {
+      const std::vector<std::vector<int>> metals = {
+          {elements::kCu}, {elements::kPt}, {elements::kNi},
+          {elements::kCu, elements::kNi}};
+      return build_slab_with_adsorbate(
+          metals[rng.uniform_index(metals.size())],
+          {elements::kC, elements::kO, elements::kH},
+          /*lateral_cells=*/4, /*layers=*/4, /*lattice=*/2.3, rng);
+    }
+    case DataSource::kOC2022: {
+      const std::vector<std::vector<int>> oxides = {
+          {elements::kTi, elements::kO},
+          {elements::kFe, elements::kO},
+          {elements::kAl, elements::kO, elements::kO}};
+      return build_slab_with_adsorbate(
+          oxides[rng.uniform_index(oxides.size())],
+          {elements::kO, elements::kH},
+          /*lateral_cells=*/4, /*layers=*/5, /*lattice=*/2.2, rng);
+    }
+    case DataSource::kMPTrj: {
+      const std::vector<std::vector<int>> compounds = {
+          {elements::kSi},
+          {elements::kFe, elements::kO},
+          {elements::kTi, elements::kO},
+          {elements::kAl, elements::kSi, elements::kO}};
+      return build_bulk(/*cells_per_axis=*/3, /*lattice=*/2.4,
+                        compounds[rng.uniform_index(compounds.size())], rng,
+                        /*jitter=*/0.08);
+    }
+    case DataSource::kCount: break;
+  }
+  throw Error("unknown data source");
+}
+
+MolecularGraph generate_sample(DataSource source, Rng& rng,
+                               const ReferencePotential& potential,
+                               const LabelNoise& noise) {
+  const AtomicStructure structure = generate_structure(source, rng);
+  MolecularGraph graph =
+      MolecularGraph::from_structure(structure, potential.cutoff());
+  const PotentialResult labels =
+      potential.evaluate(graph.structure, graph.edges);
+  graph.energy = labels.energy;
+  graph.forces = labels.forces;
+  graph.dipole = potential.dipole_magnitude(graph.structure);
+  if (noise.energy_sigma_per_atom > 0) {
+    graph.energy += rng.normal(
+        0, noise.energy_sigma_per_atom *
+               std::sqrt(static_cast<double>(graph.num_nodes())));
+  }
+  if (noise.force_sigma > 0) {
+    for (auto& f : graph.forces) {
+      f += Vec3{rng.normal(0, noise.force_sigma),
+                rng.normal(0, noise.force_sigma),
+                rng.normal(0, noise.force_sigma)};
+    }
+  }
+  return graph;
+}
+
+}  // namespace sgnn

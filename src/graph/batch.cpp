@@ -1,0 +1,99 @@
+#include "sgnn/graph/batch.hpp"
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+GraphBatch GraphBatch::from_graphs(
+    const std::vector<const MolecularGraph*>& graphs) {
+  SGNN_CHECK(!graphs.empty(), "cannot batch zero graphs");
+  // Batch buffers are transient training data, not retained activations.
+  const ScopedMemCategory scope(MemCategory::kWorkspace);
+
+  GraphBatch batch;
+  batch.num_graphs = static_cast<std::int64_t>(graphs.size());
+  for (const auto* g : graphs) {
+    SGNN_CHECK(g != nullptr, "null graph in batch");
+    batch.num_nodes += g->num_nodes();
+    batch.num_edges += g->num_edges();
+  }
+
+  batch.species.reserve(static_cast<std::size_t>(batch.num_nodes));
+  batch.edge_src.reserve(static_cast<std::size_t>(batch.num_edges));
+  batch.edge_dst.reserve(static_cast<std::size_t>(batch.num_edges));
+  batch.node_to_graph.reserve(static_cast<std::size_t>(batch.num_nodes));
+  batch.positions = Tensor::zeros(Shape{batch.num_nodes, 3});
+  batch.edge_shift = Tensor::zeros(Shape{batch.num_edges, 3});
+  batch.energy = Tensor::zeros(Shape{batch.num_graphs, 1});
+  batch.dipole = Tensor::zeros(Shape{batch.num_graphs, 1});
+  batch.forces = Tensor::zeros(Shape{batch.num_nodes, 3});
+
+  real* pos = batch.positions.data();
+  real* shift = batch.edge_shift.data();
+  real* energy = batch.energy.data();
+  real* dipole = batch.dipole.data();
+  real* forces = batch.forces.data();
+
+  std::int64_t node_offset = 0;
+  std::int64_t edge_offset = 0;
+  for (std::int64_t gi = 0; gi < batch.num_graphs; ++gi) {
+    const MolecularGraph& g = *graphs[static_cast<std::size_t>(gi)];
+    const std::int64_t n = g.num_nodes();
+    const std::int64_t e = g.num_edges();
+    SGNN_CHECK(g.forces.size() == static_cast<std::size_t>(n),
+               "graph " << gi << " has unlabeled forces");
+
+    for (std::int64_t a = 0; a < n; ++a) {
+      const auto ai = static_cast<std::size_t>(a);
+      batch.species.push_back(g.structure.species[ai]);
+      batch.node_to_graph.push_back(gi);
+      const Vec3& p = g.structure.positions[ai];
+      pos[(node_offset + a) * 3 + 0] = p.x;
+      pos[(node_offset + a) * 3 + 1] = p.y;
+      pos[(node_offset + a) * 3 + 2] = p.z;
+      const Vec3& f = g.forces[ai];
+      forces[(node_offset + a) * 3 + 0] = f.x;
+      forces[(node_offset + a) * 3 + 1] = f.y;
+      forces[(node_offset + a) * 3 + 2] = f.z;
+    }
+    energy[gi] = g.energy;
+    dipole[gi] = g.dipole;
+
+    for (std::int64_t k = 0; k < e; ++k) {
+      const auto ki = static_cast<std::size_t>(k);
+      const std::int64_t src = g.edges.src[ki];
+      const std::int64_t dst = g.edges.dst[ki];
+      batch.edge_src.push_back(node_offset + src);
+      batch.edge_dst.push_back(node_offset + dst);
+      // shift = stored minimum-image displacement - raw displacement, so
+      // raw + shift reproduces the minimum image. Zero for open systems.
+      const Vec3& d = g.edges.displacement[ki];
+      const Vec3 raw = g.structure.positions[static_cast<std::size_t>(dst)] -
+                       g.structure.positions[static_cast<std::size_t>(src)];
+      const Vec3 s = d - raw;
+      shift[(edge_offset + k) * 3 + 0] = s.x;
+      shift[(edge_offset + k) * 3 + 1] = s.y;
+      shift[(edge_offset + k) * 3 + 2] = s.z;
+    }
+    node_offset += n;
+    edge_offset += e;
+  }
+  return batch;
+}
+
+GraphBatch GraphBatch::from_graphs(const std::vector<MolecularGraph>& graphs) {
+  std::vector<const MolecularGraph*> pointers;
+  pointers.reserve(graphs.size());
+  for (const auto& g : graphs) pointers.push_back(&g);
+  return from_graphs(pointers);
+}
+
+std::vector<std::int64_t> GraphBatch::nodes_per_graph() const {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_graphs), 0);
+  for (const auto gi : node_to_graph) {
+    ++counts[static_cast<std::size_t>(gi)];
+  }
+  return counts;
+}
+
+}  // namespace sgnn

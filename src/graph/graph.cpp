@@ -1,0 +1,55 @@
+#include "sgnn/graph/graph.hpp"
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+MolecularGraph MolecularGraph::from_structure(AtomicStructure structure,
+                                              double cutoff) {
+  structure.validate();
+  MolecularGraph graph;
+  graph.edges = build_neighbors(structure, cutoff);
+  graph.structure = std::move(structure);
+  graph.forces.assign(static_cast<std::size_t>(graph.num_nodes()),
+                      Vec3{0, 0, 0});
+  return graph;
+}
+
+std::size_t MolecularGraph::serialized_bytes() const {
+  // Mirrors store/serialize.cpp exactly; graph_serialization_test pins the
+  // two implementations together.
+  const auto n = static_cast<std::size_t>(num_nodes());
+  const auto e = static_cast<std::size_t>(num_edges());
+  std::size_t bytes = 0;
+  bytes += 8;                     // node count
+  bytes += 8;                     // edge count
+  bytes += 8;                     // energy
+  bytes += 8;                     // dipole
+  bytes += 3 * 8 + 1;             // cell + periodic flag
+  bytes += n * 4;                 // species (int32)
+  bytes += n * 3 * 8;             // positions
+  bytes += n * 3 * 8;             // forces
+  bytes += e * 2 * 8;             // edge endpoints
+  bytes += e * 3 * 8;             // edge displacements
+  return bytes;
+}
+
+void MolecularGraph::validate() const {
+  structure.validate();
+  SGNN_CHECK(forces.size() == structure.species.size(),
+             "graph has " << forces.size() << " force labels for "
+                          << structure.species.size() << " atoms");
+  SGNN_CHECK(edges.src.size() == edges.dst.size() &&
+                 edges.src.size() == edges.displacement.size(),
+             "edge arrays disagree in length");
+  const std::int64_t n = num_nodes();
+  for (std::int64_t k = 0; k < num_edges(); ++k) {
+    const auto i = edges.src[static_cast<std::size_t>(k)];
+    const auto j = edges.dst[static_cast<std::size_t>(k)];
+    SGNN_CHECK(i >= 0 && i < n && j >= 0 && j < n,
+               "edge " << k << " endpoint out of range");
+    SGNN_CHECK(i != j, "edge " << k << " is a self-loop");
+  }
+}
+
+}  // namespace sgnn

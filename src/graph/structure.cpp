@@ -1,0 +1,100 @@
+#include "sgnn/graph/structure.hpp"
+
+#include <cmath>
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+namespace elements {
+
+std::string symbol(int atomic_number) {
+  switch (atomic_number) {
+    case kH: return "H";
+    case kC: return "C";
+    case kN: return "N";
+    case kO: return "O";
+    case kAl: return "Al";
+    case kSi: return "Si";
+    case kTi: return "Ti";
+    case kFe: return "Fe";
+    case kNi: return "Ni";
+    case kCu: return "Cu";
+    case kPt: return "Pt";
+    default: return "X" + std::to_string(atomic_number);
+  }
+}
+
+double covalent_radius(int atomic_number) {
+  switch (atomic_number) {
+    case kH: return 0.31;
+    case kC: return 0.76;
+    case kN: return 0.71;
+    case kO: return 0.66;
+    case kAl: return 1.21;
+    case kSi: return 1.11;
+    case kTi: return 1.60;
+    case kFe: return 1.32;
+    case kNi: return 1.24;
+    case kCu: return 1.32;
+    case kPt: return 1.36;
+    default: return 1.2;
+  }
+}
+
+double atomic_mass(int atomic_number) {
+  switch (atomic_number) {
+    case kH: return 1.008;
+    case kC: return 12.011;
+    case kN: return 14.007;
+    case kO: return 15.999;
+    case kAl: return 26.982;
+    case kSi: return 28.085;
+    case kTi: return 47.867;
+    case kFe: return 55.845;
+    case kNi: return 58.693;
+    case kCu: return 63.546;
+    case kPt: return 195.084;
+    default: return 2.0 * atomic_number;
+  }
+}
+
+}  // namespace elements
+
+Vec3 AtomicStructure::displacement(std::int64_t i, std::int64_t j) const {
+  SGNN_DCHECK(i >= 0 && i < num_atoms() && j >= 0 && j < num_atoms(),
+              "displacement indices out of range");
+  Vec3 d = positions[static_cast<std::size_t>(j)] -
+           positions[static_cast<std::size_t>(i)];
+  if (periodic) {
+    d.x -= cell.x * std::round(d.x / cell.x);
+    d.y -= cell.y * std::round(d.y / cell.y);
+    d.z -= cell.z * std::round(d.z / cell.z);
+  }
+  return d;
+}
+
+void AtomicStructure::wrap_positions() {
+  if (!periodic) return;
+  for (auto& p : positions) {
+    p.x -= cell.x * std::floor(p.x / cell.x);
+    p.y -= cell.y * std::floor(p.y / cell.y);
+    p.z -= cell.z * std::floor(p.z / cell.z);
+  }
+}
+
+void AtomicStructure::validate() const {
+  SGNN_CHECK(species.size() == positions.size(),
+             "structure has " << species.size() << " species but "
+                              << positions.size() << " positions");
+  for (const auto z : species) {
+    SGNN_CHECK(z > 0 && z < elements::kMaxAtomicNumber,
+               "atomic number " << z << " out of supported range");
+  }
+  if (periodic) {
+    SGNN_CHECK(cell.x > 0 && cell.y > 0 && cell.z > 0,
+               "periodic structure requires positive cell, got (" << cell.x
+                   << ", " << cell.y << ", " << cell.z << ")");
+  }
+}
+
+}  // namespace sgnn

@@ -1,0 +1,178 @@
+#include "sgnn/nn/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sgnn/store/serialize.hpp"
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'G', 'M', 'D'};
+constexpr std::uint32_t kVersion = 3;
+
+template <typename T>
+void write_raw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_raw(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  SGNN_CHECK(in.good(), "truncated model file");
+  return value;
+}
+
+void write_config(std::ostream& out, const ModelConfig& config) {
+  write_raw(out, config.hidden_dim);
+  write_raw(out, config.num_layers);
+  write_raw(out, config.num_species);
+  write_raw(out, config.num_rbf);
+  write_raw(out, config.cutoff);
+  write_raw(out, static_cast<std::uint8_t>(config.residual ? 1 : 0));
+  write_raw(out, config.coord_scale);
+  write_raw(out, static_cast<std::int32_t>(config.kernel));
+  write_raw(out, static_cast<std::int32_t>(config.force_head));
+  write_raw(out, static_cast<std::uint8_t>(config.predict_dipole ? 1 : 0));
+  write_raw(out, config.seed);
+}
+
+ModelConfig read_config(std::istream& in) {
+  ModelConfig config;
+  config.hidden_dim = read_raw<std::int64_t>(in);
+  config.num_layers = read_raw<std::int64_t>(in);
+  config.num_species = read_raw<std::int64_t>(in);
+  config.num_rbf = read_raw<std::int64_t>(in);
+  config.cutoff = read_raw<double>(in);
+  config.residual = read_raw<std::uint8_t>(in) != 0;
+  config.coord_scale = read_raw<double>(in);
+  const auto kernel = read_raw<std::int32_t>(in);
+  SGNN_CHECK(kernel >= 0 && kernel <= 2, "invalid kernel in model file");
+  config.kernel = static_cast<MessagePassingKernel>(kernel);
+  const auto head = read_raw<std::int32_t>(in);
+  SGNN_CHECK(head >= 0 && head <= 1, "invalid force head in model file");
+  config.force_head = static_cast<ForceHead>(head);
+  config.predict_dipole = read_raw<std::uint8_t>(in) != 0;
+  config.seed = read_raw<std::uint64_t>(in);
+  SGNN_CHECK(config.hidden_dim > 0 && config.num_layers > 0 &&
+                 config.num_species > 0 && config.num_rbf > 0,
+             "model file carries an invalid config");
+  return config;
+}
+
+/// Serializes config + parameters into a buffer (so the CRC covers all of
+/// it) and returns the payload.
+std::string serialize_payload(const EGNNModel& model) {
+  std::ostringstream out;
+  write_config(out, model.config());
+  const auto params = model.parameters();
+  write_raw(out, static_cast<std::uint64_t>(params.size()));
+  for (const auto& p : params) {
+    write_raw(out, static_cast<std::uint64_t>(p.rank()));
+    for (std::size_t axis = 0; axis < p.rank(); ++axis) {
+      write_raw(out, p.dim(axis));
+    }
+    const real* data = p.data();
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(
+                  static_cast<std::size_t>(p.numel()) * sizeof(real)));
+  }
+  return out.str();
+}
+
+void restore_parameters(std::istream& in, EGNNModel& model) {
+  auto params = model.parameters();
+  const auto count = read_raw<std::uint64_t>(in);
+  SGNN_CHECK(count == params.size(),
+             "model file has " << count << " parameter tensors, model needs "
+                               << params.size());
+  for (auto& p : params) {
+    const auto rank = read_raw<std::uint64_t>(in);
+    SGNN_CHECK(rank == p.rank(), "parameter rank mismatch");
+    for (std::size_t axis = 0; axis < rank; ++axis) {
+      const auto dim = read_raw<std::int64_t>(in);
+      SGNN_CHECK(dim == p.dim(axis), "parameter shape mismatch on axis "
+                                         << axis << ": file has " << dim
+                                         << ", model has " << p.dim(axis));
+    }
+    in.read(reinterpret_cast<char*>(p.data()),
+            static_cast<std::streamsize>(
+                static_cast<std::size_t>(p.numel()) * sizeof(real)));
+    SGNN_CHECK(in.good(), "truncated parameter data");
+  }
+}
+
+std::string read_verified_payload(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SGNN_CHECK(in.is_open(), "cannot open model file '" << path << "'");
+  char magic[4];
+  in.read(magic, 4);
+  SGNN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
+             "'" << path << "' is not a model file");
+  const auto version = read_raw<std::uint32_t>(in);
+  SGNN_CHECK(version == kVersion, "'" << path
+                                      << "' has unsupported model version "
+                                      << version);
+  const auto payload_size = read_raw<std::uint64_t>(in);
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  SGNN_CHECK(in.good(), "'" << path << "' truncated payload");
+  const auto stored_crc = read_raw<std::uint32_t>(in);
+  char tail[4];
+  in.read(tail, 4);
+  SGNN_CHECK(in.good() && std::equal(tail, tail + 4, kMagic),
+             "'" << path << "' missing trailer");
+  SGNN_CHECK(crc32(payload.data(), payload.size()) == stored_crc,
+             "'" << path << "' CRC mismatch (corrupt model file)");
+  return payload;
+}
+
+}  // namespace
+
+void save_model(const EGNNModel& model, const std::string& path) {
+  const std::string payload = serialize_payload(model);
+  std::ofstream out(path, std::ios::binary);
+  SGNN_CHECK(out.is_open(), "cannot open '" << path << "' for writing");
+  out.write(kMagic, 4);
+  write_raw(out, kVersion);
+  write_raw(out, static_cast<std::uint64_t>(payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  write_raw(out, crc32(payload.data(), payload.size()));
+  out.write(kMagic, 4);
+  SGNN_CHECK(out.good(), "write failure while saving model");
+}
+
+std::unique_ptr<EGNNModel> load_model(const std::string& path) {
+  const std::string payload = read_verified_payload(path);
+  std::istringstream in(payload);
+  const ModelConfig config = read_config(in);
+  auto model = std::make_unique<EGNNModel>(config);
+  restore_parameters(in, *model);
+  return model;
+}
+
+void load_parameters_into(EGNNModel& model, const std::string& path) {
+  const std::string payload = read_verified_payload(path);
+  std::istringstream in(payload);
+  const ModelConfig config = read_config(in);
+  SGNN_CHECK(config.hidden_dim == model.config().hidden_dim &&
+                 config.num_layers == model.config().num_layers &&
+                 config.num_species == model.config().num_species &&
+                 config.num_rbf == model.config().num_rbf &&
+                 config.kernel == model.config().kernel &&
+                 config.force_head == model.config().force_head &&
+                 config.predict_dipole == model.config().predict_dipole,
+             "model file architecture does not match the target model");
+  restore_parameters(in, model);
+}
+
+ModelConfig peek_model_config(const std::string& path) {
+  const std::string payload = read_verified_payload(path);
+  std::istringstream in(payload);
+  return read_config(in);
+}
+
+}  // namespace sgnn

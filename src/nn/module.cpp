@@ -1,0 +1,65 @@
+#include "sgnn/nn/module.hpp"
+
+#include <cmath>
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> all = parameters_;
+  for (const Module* child : children_) {
+    const auto sub = child->parameters();
+    all.insert(all.end(), sub.begin(), sub.end());
+  }
+  return all;
+}
+
+std::int64_t Module::num_parameters() const {
+  std::int64_t count = 0;
+  for (const auto& p : parameters()) count += p.numel();
+  return count;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+void Module::copy_parameters_from(const Module& other) {
+  const auto mine = parameters();
+  const auto theirs = other.parameters();
+  SGNN_CHECK(mine.size() == theirs.size(),
+             "copy_parameters_from: " << mine.size() << " vs "
+                                      << theirs.size() << " parameters");
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    SGNN_CHECK(mine[i].shape() == theirs[i].shape(),
+               "parameter " << i << " shape mismatch: "
+                            << mine[i].shape().to_string() << " vs "
+                            << theirs[i].shape().to_string());
+    Tensor dst = mine[i];
+    const std::int64_t n = dst.numel();
+    const real* src = theirs[i].data();
+    real* d = dst.data();
+    for (std::int64_t k = 0; k < n; ++k) d[k] = src[k];
+  }
+}
+
+void Module::register_parameter(Tensor parameter) {
+  SGNN_CHECK(parameter.defined() && parameter.is_leaf() &&
+                 parameter.requires_grad(),
+             "parameters must be leaves requiring grad");
+  parameters_.push_back(std::move(parameter));
+}
+
+void Module::register_module(Module& child) { children_.push_back(&child); }
+
+Tensor glorot_uniform(std::int64_t fan_in, std::int64_t fan_out, Rng& rng) {
+  const ScopedMemCategory scope(MemCategory::kWeight);
+  const real bound = std::sqrt(
+      real{6} / static_cast<real>(fan_in + fan_out));
+  Tensor w = Tensor::uniform(Shape{fan_in, fan_out}, rng, -bound, bound);
+  w.set_requires_grad(true);
+  return w;
+}
+
+}  // namespace sgnn

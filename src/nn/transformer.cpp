@@ -1,0 +1,166 @@
+#include "sgnn/nn/transformer.hpp"
+
+#include <cmath>
+
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+namespace {
+
+std::int64_t mlp_params(const std::vector<std::int64_t>& dims) {
+  std::int64_t count = 0;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    count += dims[i] * dims[i + 1] + dims[i + 1];
+  }
+  return count;
+}
+
+}  // namespace
+
+std::int64_t TransformerConfig::parameter_count() const {
+  const std::int64_t h = hidden_dim;
+  // Pair features: h_i, h_j, RBF(d), and d/span (the linear tail keeps far
+  // pairs distinguishable after the RBFs have decayed to zero).
+  const std::int64_t pair_in = 2 * h + num_rbf + 1;
+  std::int64_t per_layer = 0;
+  per_layer += mlp_params({pair_in, h, 1});  // phi_a
+  per_layer += mlp_params({pair_in, h, h});  // phi_v
+  per_layer += mlp_params({2 * h, h, h});    // phi_h
+  per_layer += mlp_params({pair_in, h, 1});  // phi_f
+  return num_species * h + num_layers * per_layer + mlp_params({h, h, 1});
+}
+
+GraphTransformer::GraphTransformer(const TransformerConfig& config)
+    : config_(config) {
+  SGNN_CHECK(config.hidden_dim > 0 && config.num_layers > 0 &&
+                 config.num_rbf > 0 && config.rbf_span > 0,
+             "invalid transformer config");
+  Rng rng(config.seed);
+  embedding_ = std::make_unique<Embedding>(config.num_species,
+                                           config.hidden_dim, rng);
+  register_module(*embedding_);
+  const std::int64_t h = config.hidden_dim;
+  const std::int64_t pair_in = 2 * h + config.num_rbf + 1;
+  for (std::int64_t i = 0; i < config.num_layers; ++i) {
+    Layer layer;
+    layer.phi_a = std::make_unique<MLP>(std::vector<std::int64_t>{pair_in, h, 1},
+                                        rng, Activation::kSiLU,
+                                        Activation::kNone);
+    layer.phi_v = std::make_unique<MLP>(std::vector<std::int64_t>{pair_in, h, h},
+                                        rng, Activation::kSiLU,
+                                        Activation::kSiLU);
+    layer.phi_h = std::make_unique<MLP>(std::vector<std::int64_t>{2 * h, h, h},
+                                        rng, Activation::kSiLU,
+                                        Activation::kNone);
+    layer.phi_f = std::make_unique<MLP>(std::vector<std::int64_t>{pair_in, h, 1},
+                                        rng, Activation::kSiLU,
+                                        Activation::kNone);
+    register_module(*layer.phi_a);
+    register_module(*layer.phi_v);
+    register_module(*layer.phi_h);
+    register_module(*layer.phi_f);
+    layers_.push_back(std::move(layer));
+  }
+  energy_head_ = std::make_unique<MLP>(
+      std::vector<std::int64_t>{h, h, 1}, rng, Activation::kSiLU,
+      Activation::kNone);
+  register_module(*energy_head_);
+}
+
+GraphTransformer::Output GraphTransformer::forward(
+    const GraphBatch& batch) const {
+  SGNN_CHECK(batch.num_nodes > 0, "forward on empty batch");
+  const std::int64_t n = batch.num_nodes;
+
+  // All ordered intra-graph pairs (i != j). Attention is restricted to a
+  // graph — atoms of different molecules in a batch never interact.
+  std::vector<std::int64_t> pair_src;
+  std::vector<std::int64_t> pair_dst;
+  {
+    // Group nodes by graph (nodes are laid out graph-contiguously).
+    std::int64_t begin = 0;
+    while (begin < n) {
+      std::int64_t end = begin;
+      while (end < n && batch.node_to_graph[static_cast<std::size_t>(end)] ==
+                            batch.node_to_graph[static_cast<std::size_t>(begin)]) {
+        ++end;
+      }
+      for (std::int64_t i = begin; i < end; ++i) {
+        for (std::int64_t j = begin; j < end; ++j) {
+          if (i == j) continue;
+          pair_dst.push_back(i);
+          pair_src.push_back(j);
+        }
+      }
+      begin = end;
+    }
+  }
+  SGNN_CHECK(!pair_src.empty(),
+             "transformer requires at least one multi-atom graph");
+
+  // Pairwise geometry (constant w.r.t. autograd).
+  const Tensor x_dst = index_select_rows(batch.positions, pair_dst);
+  const Tensor x_src = index_select_rows(batch.positions, pair_src);
+  const Tensor rel = x_dst - x_src;
+  const Tensor dist = sqrt_op(row_norm_squared(rel) + real{1e-12});
+  const Tensor unit = rel / dist;
+
+  std::vector<Tensor> rbf;
+  const auto span = static_cast<real>(config_.rbf_span);
+  const real gamma = static_cast<real>(config_.num_rbf * config_.num_rbf) /
+                     (span * span);
+  for (std::int64_t k = 0; k < config_.num_rbf; ++k) {
+    const real mu =
+        span * static_cast<real>(k) /
+        static_cast<real>(config_.num_rbf > 1 ? config_.num_rbf - 1 : 1);
+    rbf.push_back(exp_op(square(dist - mu) * (-gamma)));
+  }
+  rbf.push_back(dist * (real{1} / span));  // linear long-range tail
+  const Tensor rbf_features = concat(rbf, 1);  // (P, K + 1)
+
+  Tensor h = embedding_->forward(batch.species);
+  Tensor forces = Tensor::zeros(Shape{n, 3});
+
+  bool first_layer = true;
+  for (const auto& layer : layers_) {
+    const Tensor h_dst = index_select_rows(h, pair_dst);
+    const Tensor h_src = index_select_rows(h, pair_src);
+    const Tensor pair_features = concat({h_dst, h_src, rbf_features}, 1);
+
+    // Bounded logits keep exp() safe without a segment-max pass.
+    const Tensor logits =
+        tanh_op(layer.phi_a->forward(pair_features)) * real{5};
+    const Tensor weights = exp_op(logits);                       // (P, 1)
+    const Tensor denom = scatter_add_rows(weights, pair_dst, n);  // (N, 1)
+    const Tensor attention =
+        weights / index_select_rows(denom, pair_dst);            // (P, 1)
+
+    if (first_layer) {
+      const autograd::NoGradGuard no_grad;
+      last_attention_ = attention.to_vector();
+      last_pair_dst_ = pair_dst;
+      first_layer = false;
+    }
+
+    const Tensor values = layer.phi_v->forward(pair_features);  // (P, h)
+    const Tensor aggregated =
+        scatter_add_rows(values * attention, pair_dst, n);      // (N, h)
+    h = h + layer.phi_h->forward(concat({h, aggregated}, 1));
+
+    const Tensor force_gate = layer.phi_f->forward(pair_features);  // (P, 1)
+    forces =
+        forces + scatter_add_rows(unit * (attention * force_gate), pair_dst,
+                                  n);
+  }
+
+  const Tensor node_energy = energy_head_->forward(h);
+  Output out;
+  out.energy =
+      scatter_add_rows(node_energy, batch.node_to_graph, batch.num_graphs);
+  out.forces = forces;
+  return out;
+}
+
+}  // namespace sgnn

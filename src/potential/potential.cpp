@@ -1,0 +1,239 @@
+#include "sgnn/potential/potential.hpp"
+
+#include <cmath>
+
+#include "sgnn/util/error.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+
+namespace {
+
+/// Deterministic coefficient in [lo, hi] derived from a key; gives every
+/// element/pair its own physics without tables.
+double procedural_coeff(std::uint64_t seed, std::uint64_t key, double lo,
+                        double hi) {
+  Rng rng(seed ^ (key * 0x9E3779B97F4A7C15ULL));
+  return rng.uniform(lo, hi);
+}
+
+std::uint64_t pair_key(int zi, int zj) {
+  const auto a = static_cast<std::uint64_t>(zi < zj ? zi : zj);
+  const auto b = static_cast<std::uint64_t>(zi < zj ? zj : zi);
+  return a * 1000 + b;
+}
+
+/// Cosine switching function: 1 at r=0, 0 at r=cutoff, C1-continuous.
+double switch_fn(double r, double cutoff) {
+  if (r >= cutoff) return 0.0;
+  return 0.5 * (std::cos(M_PI * r / cutoff) + 1.0);
+}
+
+double switch_fn_deriv(double r, double cutoff) {
+  if (r >= cutoff) return 0.0;
+  return -0.5 * M_PI / cutoff * std::sin(M_PI * r / cutoff);
+}
+
+/// Electron-density contribution for the embedding term; vanishes smoothly
+/// at the cutoff (value and slope).
+double density_fn(double r, double cutoff) {
+  if (r >= cutoff) return 0.0;
+  const double t = 1.0 - r / cutoff;
+  return t * t;
+}
+
+double density_fn_deriv(double r, double cutoff) {
+  if (r >= cutoff) return 0.0;
+  return -2.0 * (1.0 - r / cutoff) / cutoff;
+}
+
+}  // namespace
+
+ReferencePotential::ReferencePotential(Options options)
+    : options_(options) {
+  SGNN_CHECK(options_.cutoff > 0, "potential cutoff must be positive");
+}
+
+double ReferencePotential::atomic_reference_energy(int atomic_number) const {
+  return -procedural_coeff(options_.seed, static_cast<std::uint64_t>(atomic_number),
+                           1.0, 6.0);
+}
+
+PotentialResult ReferencePotential::evaluate(
+    const AtomicStructure& structure) const {
+  return evaluate(structure, build_neighbors(structure, options_.cutoff));
+}
+
+double ReferencePotential::partial_charge(int atomic_number) const {
+  return procedural_coeff(options_.seed,
+                          static_cast<std::uint64_t>(atomic_number) + 424242,
+                          -0.8, 0.8);
+}
+
+double ReferencePotential::dipole_magnitude(
+    const AtomicStructure& structure) const {
+  structure.validate();
+  if (structure.num_atoms() == 0) return 0.0;
+  Vec3 centroid{0, 0, 0};
+  for (const auto& p : structure.positions) centroid += p;
+  centroid = centroid / static_cast<double>(structure.num_atoms());
+  Vec3 dipole{0, 0, 0};
+  for (std::size_t i = 0; i < structure.positions.size(); ++i) {
+    dipole += (structure.positions[i] - centroid) *
+              partial_charge(structure.species[i]);
+  }
+  return dipole.norm();
+}
+
+PotentialResult ReferencePotential::evaluate(const AtomicStructure& structure,
+                                             const EdgeList& edges) const {
+  structure.validate();
+  const std::int64_t n = structure.num_atoms();
+  PotentialResult result;
+  result.forces.assign(static_cast<std::size_t>(n), Vec3{0, 0, 0});
+  const double rc = options_.cutoff;
+  const std::uint64_t seed = options_.seed;
+
+  // Isolated-atom reference energies.
+  for (const auto z : structure.species) {
+    result.energy += atomic_reference_energy(z);
+  }
+
+  // ---- Pair term (Morse with smooth cutoff), over undirected pairs -------
+  // The edge list is directed; process each pair once via src < dst.
+  if (options_.pair_weight != 0.0) {
+    for (std::int64_t k = 0; k < edges.size(); ++k) {
+      const auto ki = static_cast<std::size_t>(k);
+      const std::int64_t i = edges.src[ki];
+      const std::int64_t j = edges.dst[ki];
+      if (i >= j) continue;
+      const Vec3 d = edges.displacement[ki];  // r_j - r_i
+      const double r = d.norm();
+      if (r >= rc || r <= 1e-12) continue;
+
+      const int zi = structure.species[static_cast<std::size_t>(i)];
+      const int zj = structure.species[static_cast<std::size_t>(j)];
+      const std::uint64_t key = pair_key(zi, zj);
+      const double depth = procedural_coeff(seed, key * 3 + 0, 0.5, 2.5);
+      const double stiffness = procedural_coeff(seed, key * 3 + 1, 1.2, 2.2);
+      const double r0 = elements::covalent_radius(zi) +
+                        elements::covalent_radius(zj) +
+                        procedural_coeff(seed, key * 3 + 2, -0.1, 0.1);
+
+      const double expo = std::exp(-stiffness * (r - r0));
+      const double morse = depth * ((1 - expo) * (1 - expo) - 1.0);
+      const double morse_deriv = 2.0 * depth * stiffness * (1 - expo) * expo;
+      const double s = switch_fn(r, rc);
+      const double sd = switch_fn_deriv(r, rc);
+
+      result.energy += options_.pair_weight * morse * s;
+      // dE/dr along the bond; force on j is -dE/dr * d/r, on i the opposite.
+      const double de_dr = options_.pair_weight * (morse_deriv * s + morse * sd);
+      const Vec3 f = d * (de_dr / r);
+      result.forces[static_cast<std::size_t>(j)] -= f;
+      result.forces[static_cast<std::size_t>(i)] += f;
+    }
+  }
+
+  // ---- Embedding term (EAM-like): E_i = -C_zi * sqrt(rho_i + eps) --------
+  if (options_.embed_weight != 0.0) {
+    constexpr double kEps = 1e-3;
+    std::vector<double> rho(static_cast<std::size_t>(n), 0.0);
+    for (std::int64_t k = 0; k < edges.size(); ++k) {
+      const auto ki = static_cast<std::size_t>(k);
+      const double r = edges.displacement[ki].norm();
+      // Directed edges: each (i,j) and (j,i) appears once, so this sums
+      // psi(r_ij) over all neighbors j of src.
+      rho[static_cast<std::size_t>(edges.src[ki])] += density_fn(r, rc);
+    }
+    std::vector<double> dF(static_cast<std::size_t>(n), 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      const int z = structure.species[ii];
+      const double c = procedural_coeff(
+          seed, static_cast<std::uint64_t>(z) + 7777, 0.8, 2.0);
+      // Subtract the rho=0 value so isolated atoms carry no embedding
+      // energy (the per-species reference energy handles that offset).
+      const double root = std::sqrt(rho[ii] + kEps);
+      result.energy +=
+          options_.embed_weight * (-c * (root - std::sqrt(kEps)));
+      dF[ii] = options_.embed_weight * (-c * 0.5 / root);
+    }
+    for (std::int64_t k = 0; k < edges.size(); ++k) {
+      const auto ki = static_cast<std::size_t>(k);
+      const std::int64_t i = edges.src[ki];
+      const std::int64_t j = edges.dst[ki];
+      if (i >= j) continue;  // handle each undirected pair once
+      const Vec3 d = edges.displacement[ki];
+      const double r = d.norm();
+      if (r >= rc || r <= 1e-12) continue;
+      // rho_i and rho_j both depend on r_ij.
+      const double de_dr = (dF[static_cast<std::size_t>(i)] +
+                            dF[static_cast<std::size_t>(j)]) *
+                           density_fn_deriv(r, rc);
+      const Vec3 f = d * (de_dr / r);
+      result.forces[static_cast<std::size_t>(j)] -= f;
+      result.forces[static_cast<std::size_t>(i)] += f;
+    }
+  }
+
+  // ---- Angular term: sum over triplets j-i-k of lambda*(cos - c0)^2 ------
+  if (options_.angular_weight != 0.0) {
+    // Adjacency from the directed edge list.
+    std::vector<std::vector<std::size_t>> incident(
+        static_cast<std::size_t>(n));
+    for (std::int64_t k = 0; k < edges.size(); ++k) {
+      const auto ki = static_cast<std::size_t>(k);
+      incident[static_cast<std::size_t>(edges.src[ki])].push_back(ki);
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      const auto& inc = incident[ii];
+      const int zi = structure.species[ii];
+      const double lambda =
+          options_.angular_weight *
+          procedural_coeff(seed, static_cast<std::uint64_t>(zi) + 333, 0.2,
+                           1.0);
+      const double c0 = procedural_coeff(
+          seed, static_cast<std::uint64_t>(zi) + 555, -0.6, 0.2);
+      for (std::size_t a = 0; a < inc.size(); ++a) {
+        for (std::size_t b = a + 1; b < inc.size(); ++b) {
+          const Vec3 u = edges.displacement[inc[a]];  // r_j - r_i
+          const Vec3 v = edges.displacement[inc[b]];  // r_k - r_i
+          const std::int64_t j = edges.dst[inc[a]];
+          const std::int64_t kk = edges.dst[inc[b]];
+          const double ru = u.norm();
+          const double rv = v.norm();
+          if (ru <= 1e-12 || rv <= 1e-12 || ru >= rc || rv >= rc) continue;
+
+          const double inv = 1.0 / (ru * rv);
+          const double cosang = u.dot(v) * inv;
+          const double g = lambda * (cosang - c0) * (cosang - c0);
+          const double gprime = 2.0 * lambda * (cosang - c0);
+          const double su = switch_fn(ru, rc);
+          const double sv = switch_fn(rv, rc);
+          const double sud = switch_fn_deriv(ru, rc);
+          const double svd = switch_fn_deriv(rv, rc);
+
+          result.energy += g * su * sv;
+
+          // dcos/du and dcos/dv.
+          const Vec3 dcos_du = v * inv - u * (cosang / (ru * ru));
+          const Vec3 dcos_dv = u * inv - v * (cosang / (rv * rv));
+          // dE/du = g'(c) dcos/du * su sv + g * su' (u/ru) * sv; same for v.
+          const Vec3 de_du = dcos_du * (gprime * su * sv) +
+                             u * (g * sud * sv / ru);
+          const Vec3 de_dv = dcos_dv * (gprime * su * sv) +
+                             v * (g * su * svd / rv);
+          result.forces[static_cast<std::size_t>(j)] -= de_du;
+          result.forces[static_cast<std::size_t>(kk)] -= de_dv;
+          result.forces[ii] += de_du + de_dv;
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace sgnn

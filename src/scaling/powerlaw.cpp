@@ -1,0 +1,114 @@
+#include "sgnn/scaling/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+double PowerLawFit::evaluate(double x) const {
+  return a * std::pow(x, -alpha) + c;
+}
+
+namespace {
+
+/// Least squares of log(y - c) = log(a) - alpha * log(x); returns R^2.
+double fit_with_offset(const std::vector<double>& x,
+                       const std::vector<double>& y, double c,
+                       PowerLawFit& out) {
+  const std::size_t n = x.size();
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  double syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i] - c);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return -1;
+  const double slope = (dn * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / dn;
+
+  out.alpha = -slope;
+  out.a = std::exp(intercept);
+  out.c = c;
+
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double predicted = intercept + slope * std::log(x[i]);
+    const double residual = std::log(y[i] - c) - predicted;
+    ss_res += residual * residual;
+  }
+  out.r_squared = ss_tot > 1e-15 ? 1.0 - ss_res / ss_tot : 1.0;
+  return out.r_squared;
+}
+
+void validate_series(const std::vector<double>& x,
+                     const std::vector<double>& y, std::size_t min_points) {
+  SGNN_CHECK(x.size() == y.size(), "x/y length mismatch");
+  SGNN_CHECK(x.size() >= min_points,
+             "need at least " << min_points << " points, got " << x.size());
+  for (const auto v : x) SGNN_CHECK(v > 0, "x values must be positive");
+}
+
+}  // namespace
+
+PowerLawFit fit_power_law(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  validate_series(x, y, 3);
+  const double y_min = *std::min_element(y.begin(), y.end());
+  for (const auto v : y) {
+    SGNN_CHECK(v > 0, "y values must be positive for a loss power law");
+  }
+
+  PowerLawFit best;
+  double best_r2 = -2;
+  // Profile the offset on a fine grid in [0, y_min); the grid endpoint is
+  // excluded because log(y_min - c) must stay finite.
+  constexpr int kGrid = 200;
+  for (int g = 0; g < kGrid; ++g) {
+    const double c = y_min * static_cast<double>(g) / kGrid * 0.999;
+    PowerLawFit candidate;
+    const double r2 = fit_with_offset(x, y, c, candidate);
+    if (r2 > best_r2) {
+      best_r2 = r2;
+      best = candidate;
+    }
+  }
+  SGNN_CHECK(best_r2 > -2, "power-law fit failed (degenerate inputs)");
+  return best;
+}
+
+PowerLawFit fit_pure_power_law(const std::vector<double>& x,
+                               const std::vector<double>& y) {
+  validate_series(x, y, 2);
+  for (const auto v : y) SGNN_CHECK(v > 0, "y values must be positive");
+  PowerLawFit fit;
+  fit_with_offset(x, y, 0.0, fit);
+  return fit;
+}
+
+std::vector<double> local_loglog_slopes(const std::vector<double>& x,
+                                        const std::vector<double>& y) {
+  validate_series(x, y, 2);
+  std::vector<double> slopes;
+  slopes.reserve(x.size() - 1);
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double dx = std::log(x[i + 1]) - std::log(x[i]);
+    SGNN_CHECK(std::abs(dx) > 1e-12, "duplicate x values");
+    slopes.push_back((std::log(y[i + 1]) - std::log(y[i])) / dx);
+  }
+  return slopes;
+}
+
+}  // namespace sgnn

@@ -1,0 +1,47 @@
+#include "sgnn/scaling/sweep.hpp"
+
+#include "sgnn/util/logging.hpp"
+#include "sgnn/util/timer.hpp"
+
+namespace sgnn {
+
+SweepPoint run_scaling_point(const AggregatedDataset& dataset,
+                             const std::vector<std::size_t>& train_indices,
+                             const std::vector<std::size_t>& test_indices,
+                             const ModelConfig& model_config,
+                             const SweepProtocol& protocol) {
+  const WallTimer timer;
+
+  EGNNModel model(model_config);
+  Trainer trainer(model, protocol.train);
+  // Composition baseline fitted on the TRAINING subset only (no test
+  // leakage); applied to train and test targets alike.
+  trainer.set_energy_baseline(
+      EnergyBaseline::fit(dataset.view(train_indices)));
+  DataLoader loader(dataset.view(train_indices), protocol.train.batch_size,
+                    /*seed=*/model_config.seed ^ 0xD47A, /*shuffle=*/true);
+
+  const auto history = trainer.fit(loader);
+  const EvalMetrics test =
+      trainer.evaluate(dataset.view(test_indices), protocol.eval_batch_size);
+
+  SweepPoint point;
+  point.parameters = model.num_parameters();
+  point.hidden_dim = model_config.hidden_dim;
+  point.num_layers = model_config.num_layers;
+  point.dataset_bytes = dataset.bytes_of(train_indices);
+  point.train_graphs = static_cast<std::int64_t>(train_indices.size());
+  point.train_loss = history.back().mean_train_loss;
+  point.test_loss = test.loss;
+  point.energy_mae_per_atom = test.energy_mae_per_atom;
+  point.force_mae = test.force_mae;
+  point.feature_spread = model.last_feature_spread();
+  point.seconds = timer.seconds();
+
+  SGNN_LOG_DEBUG << "sweep point: " << point.parameters << " params, "
+                 << point.dataset_bytes << " bytes -> test loss "
+                 << point.test_loss;
+  return point;
+}
+
+}  // namespace sgnn

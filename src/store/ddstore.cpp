@@ -1,0 +1,60 @@
+#include "sgnn/store/ddstore.hpp"
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+DDStore::DDStore(int num_ranks) : num_ranks_(num_ranks) {
+  SGNN_CHECK(num_ranks > 0, "DDStore needs at least one rank");
+  shards_.resize(static_cast<std::size_t>(num_ranks));
+}
+
+void DDStore::insert(std::vector<MolecularGraph> graphs) {
+  for (auto& g : graphs) {
+    const auto rank = static_cast<std::size_t>(total_ % num_ranks_);
+    shards_[rank].push_back(std::move(g));
+    ++total_;
+  }
+}
+
+int DDStore::owner_rank(std::int64_t index) const {
+  SGNN_CHECK(index >= 0 && index < total_,
+             "DDStore index " << index << " out of range [0, " << total_
+                              << ")");
+  return static_cast<int>(index % num_ranks_);
+}
+
+const MolecularGraph& DDStore::fetch(int requesting_rank,
+                                     std::int64_t index) const {
+  SGNN_CHECK(requesting_rank >= 0 && requesting_rank < num_ranks_,
+             "invalid requesting rank " << requesting_rank);
+  const int owner = owner_rank(index);
+  const auto& graph = shards_[static_cast<std::size_t>(owner)]
+                             [static_cast<std::size_t>(index / num_ranks_)];
+  if (owner == requesting_rank) {
+    local_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    remote_fetches_.fetch_add(1, std::memory_order_relaxed);
+    remote_bytes_.fetch_add(graph.serialized_bytes(),
+                            std::memory_order_relaxed);
+  }
+  return graph;
+}
+
+DDStore::TrafficStats DDStore::stats() const {
+  return {local_hits_.load(), remote_fetches_.load(), remote_bytes_.load()};
+}
+
+void DDStore::reset_stats() {
+  local_hits_ = 0;
+  remote_fetches_ = 0;
+  remote_bytes_ = 0;
+}
+
+std::int64_t DDStore::shard_size(int rank) const {
+  SGNN_CHECK(rank >= 0 && rank < num_ranks_, "invalid rank " << rank);
+  return static_cast<std::int64_t>(
+      shards_[static_cast<std::size_t>(rank)].size());
+}
+
+}  // namespace sgnn

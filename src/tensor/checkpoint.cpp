@@ -1,0 +1,77 @@
+#include "sgnn/tensor/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+Tensor checkpoint(const SegmentFn& fn, const std::vector<Tensor>& inputs) {
+  SGNN_CHECK(static_cast<bool>(fn), "checkpoint requires a segment function");
+
+  // Detached aliases: share the input storage without keeping any upstream
+  // graph alive from inside this node's closure.
+  std::vector<Tensor> saved;
+  saved.reserve(inputs.size());
+  std::vector<bool> needs_grad(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    SGNN_CHECK(inputs[i].defined(), "checkpoint input " << i << " undefined");
+    saved.push_back(inputs[i].detach());
+    needs_grad[i] = inputs[i].requires_grad();
+  }
+
+  // Forward without recording: intermediates die at the end of this scope.
+  Tensor forward_value;
+  {
+    const autograd::NoGradGuard no_grad;
+    forward_value = fn(saved);
+  }
+  SGNN_CHECK(forward_value.defined(), "checkpoint segment returned undefined");
+
+  Tensor out = Tensor::make_result(
+      forward_value.shape(), inputs,
+      [fn, saved, needs_grad](const Tensor& grad_output)
+          -> std::vector<Tensor> {
+        // Recompute the segment with fresh leaves standing in for the
+        // original inputs, then differentiate the local graph.
+        std::vector<Tensor> leaves;
+        leaves.reserve(saved.size());
+        Tensor recomputed;
+        {
+          const autograd::EnableGradGuard enable;
+          // Recomputed intermediates are activation memory again, exactly
+          // as on the original forward pass.
+          const ScopedMemCategory activations(MemCategory::kActivation);
+          for (const auto& s : saved) {
+            Tensor leaf = s.detach();
+            leaf.set_requires_grad(true);
+            leaves.push_back(leaf);
+          }
+          recomputed = fn(leaves);
+        }
+        SGNN_CHECK(recomputed.shape() == grad_output.shape(),
+                   "checkpoint recomputation shape "
+                       << recomputed.shape().to_string()
+                       << " != original output shape "
+                       << grad_output.shape().to_string());
+        {
+          const autograd::EnableGradGuard enable;
+          recomputed.backward(grad_output);
+        }
+        std::vector<Tensor> grads(saved.size());
+        for (std::size_t i = 0; i < saved.size(); ++i) {
+          if (!needs_grad[i]) continue;
+          Tensor g = leaves[i].grad();
+          // A segment may ignore an input; its gradient is then zero.
+          grads[i] = g.defined() ? g : Tensor::zeros(saved[i].shape());
+        }
+        return grads;
+      },
+      "checkpoint");
+  std::copy_n(forward_value.data(),
+              static_cast<std::size_t>(forward_value.numel()), out.data());
+  return out;
+}
+
+}  // namespace sgnn

@@ -1,0 +1,85 @@
+#include "sgnn/tensor/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/error.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+
+namespace {
+
+/// Scalar objective: <fn(inputs), cotangent>.
+real objective(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+               const std::vector<Tensor>& inputs, const Tensor& cotangent) {
+  const autograd::NoGradGuard no_grad;
+  const Tensor y = fn(inputs);
+  const real* py = y.data();
+  const real* pc = cotangent.data();
+  real acc = 0;
+  const std::int64_t n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += py[i] * pc[i];
+  return acc;
+}
+
+}  // namespace
+
+GradcheckResult gradcheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    const std::vector<Tensor>& inputs, double eps, double tolerance) {
+  GradcheckResult result;
+  result.ok = true;
+
+  // Fresh leaf copies so the caller's tensors keep their autograd state.
+  std::vector<Tensor> leaves;
+  leaves.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    Tensor leaf = input.clone();
+    leaf.set_requires_grad(input.requires_grad());
+    leaves.push_back(leaf);
+  }
+
+  // Analytic pass.
+  Tensor output = fn(leaves);
+  Rng rng(0xC07A4E57ULL);
+  Tensor cotangent = Tensor::randn(output.shape(), rng);
+  output.backward(cotangent);
+
+  for (std::size_t k = 0; k < leaves.size(); ++k) {
+    if (!inputs[k].requires_grad()) continue;
+    Tensor analytic = leaves[k].grad();
+    SGNN_CHECK(analytic.defined(),
+               "gradcheck: input " << k << " received no gradient");
+    const real* pa = analytic.data();
+    Tensor& leaf = leaves[k];
+    const std::int64_t n = leaf.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const real original = leaf.data()[i];
+      leaf.data()[i] = original + static_cast<real>(eps);
+      const real plus = objective(fn, leaves, cotangent);
+      leaf.data()[i] = original - static_cast<real>(eps);
+      const real minus = objective(fn, leaves, cotangent);
+      leaf.data()[i] = original;
+
+      const double numeric = (plus - minus) / (2.0 * eps);
+      const double abs_err = std::abs(numeric - pa[i]);
+      const double scale =
+          std::max({std::abs(numeric), std::abs(double(pa[i])), 1.0});
+      const double rel_err = abs_err / scale;
+      if (abs_err > result.max_abs_error) result.max_abs_error = abs_err;
+      if (rel_err > result.max_rel_error) {
+        result.max_rel_error = rel_err;
+        std::ostringstream os;
+        os << "input " << k << " element " << i << ": analytic " << pa[i]
+           << " vs numeric " << numeric;
+        result.detail = os.str();
+      }
+      if (rel_err > tolerance) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace sgnn

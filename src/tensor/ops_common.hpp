@@ -1,0 +1,94 @@
+#pragma once
+
+// Internal helpers shared by the op implementation files. Not installed.
+
+#include <vector>
+
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/tensor/tensor.hpp"
+#include "sgnn/util/error.hpp"
+
+namespace sgnn::ops_detail {
+
+/// Strides (in elements) for reading `in` as if broadcast to `out`:
+/// broadcast dimensions get stride 0. `in` is right-aligned against `out`.
+inline std::vector<std::int64_t> broadcast_strides(const Shape& in,
+                                                   const Shape& out) {
+  const auto in_strides = in.strides();
+  std::vector<std::int64_t> result(out.rank(), 0);
+  for (std::size_t i = 0; i < in.rank(); ++i) {
+    const std::size_t out_axis = out.rank() - in.rank() + i;
+    result[out_axis] = in.dim(i) == 1 ? 0 : in_strides[i];
+  }
+  return result;
+}
+
+/// Applies `f(a_val, b_val)` over the broadcast of a and b into `out`.
+template <typename F>
+void binary_broadcast(const Tensor& a, const Tensor& b, Tensor& out, F f) {
+  const real* pa = a.data();
+  const real* pb = b.data();
+  real* po = out.data();
+  const std::int64_t n = out.numel();
+
+  if (a.shape() == b.shape()) {
+    for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return;
+  }
+  if (a.numel() == 1) {
+    const real av = pa[0];
+    for (std::int64_t i = 0; i < n; ++i) po[i] = f(av, pb[i]);
+    return;
+  }
+  if (b.numel() == 1) {
+    const real bv = pb[0];
+    for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], bv);
+    return;
+  }
+
+  const auto sa = broadcast_strides(a.shape(), out.shape());
+  const auto sb = broadcast_strides(b.shape(), out.shape());
+  const auto so = out.shape().strides();
+  const std::size_t rank = out.rank();
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t rem = i;
+    std::int64_t oa = 0;
+    std::int64_t ob = 0;
+    for (std::size_t axis = 0; axis < rank; ++axis) {
+      const std::int64_t coord = rem / so[axis];
+      rem -= coord * so[axis];
+      oa += coord * sa[axis];
+      ob += coord * sb[axis];
+    }
+    po[i] = f(pa[oa], pb[ob]);
+  }
+}
+
+/// Sum-reduces `grad` (shaped like the broadcast output) back to `target`,
+/// the pre-broadcast input shape. Used by the backward of broadcasting ops.
+inline Tensor reduce_to(const Tensor& grad, const Shape& target) {
+  if (grad.shape() == target) return grad;
+  SGNN_CHECK(Shape::broadcastable_to(target, grad.shape()),
+             "reduce_to: " << target.to_string() << " does not broadcast to "
+                           << grad.shape().to_string());
+  Tensor out = Tensor::zeros(target);
+  const auto st = broadcast_strides(target, grad.shape());
+  const auto sg = grad.shape().strides();
+  const std::size_t rank = grad.rank();
+  const real* pg = grad.data();
+  real* po = out.data();
+  const std::int64_t n = grad.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t rem = i;
+    std::int64_t ot = 0;
+    for (std::size_t axis = 0; axis < rank; ++axis) {
+      const std::int64_t coord = rem / sg[axis];
+      rem -= coord * sg[axis];
+      ot += coord * st[axis];
+    }
+    po[ot] += pg[i];
+  }
+  return out;
+}
+
+}  // namespace sgnn::ops_detail

@@ -1,0 +1,256 @@
+#include <cmath>
+
+#include "ops_common.hpp"
+#include "sgnn/tensor/ops.hpp"
+
+namespace sgnn {
+
+using ops_detail::binary_broadcast;
+using ops_detail::reduce_to;
+
+namespace {
+
+/// Builds a broadcasting binary op with custom forward/backward kernels.
+template <typename Forward, typename BackwardA, typename BackwardB>
+Tensor binary_op(const Tensor& a, const Tensor& b, const char* name,
+                 Forward fwd, BackwardA bwd_a, BackwardB bwd_b) {
+  const Shape out_shape = Shape::broadcast(a.shape(), b.shape());
+  const Tensor ad = a.detach();
+  const Tensor bd = b.detach();
+  const Shape a_shape = a.shape();
+  const Shape b_shape = b.shape();
+  Tensor out = Tensor::make_result(
+      out_shape, {a, b},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        // Gradient in the broadcast shape, then reduced to each input.
+        Tensor ga = Tensor::zeros(grad.shape());
+        Tensor gb = Tensor::zeros(grad.shape());
+        {
+          // Evaluate d(out)/d(a) * grad and d(out)/d(b) * grad pointwise.
+          const auto sa =
+              ops_detail::broadcast_strides(a_shape, grad.shape());
+          const auto sb =
+              ops_detail::broadcast_strides(b_shape, grad.shape());
+          const auto so = grad.shape().strides();
+          const std::size_t rank = grad.rank();
+          const real* pa = ad.data();
+          const real* pb = bd.data();
+          const real* pg = grad.data();
+          real* pga = ga.data();
+          real* pgb = gb.data();
+          const std::int64_t n = grad.numel();
+          for (std::int64_t i = 0; i < n; ++i) {
+            std::int64_t rem = i;
+            std::int64_t oa = 0;
+            std::int64_t ob = 0;
+            for (std::size_t axis = 0; axis < rank; ++axis) {
+              const std::int64_t coord = rem / so[axis];
+              rem -= coord * so[axis];
+              oa += coord * sa[axis];
+              ob += coord * sb[axis];
+            }
+            pga[i] = bwd_a(pa[oa], pb[ob]) * pg[i];
+            pgb[i] = bwd_b(pa[oa], pb[ob]) * pg[i];
+          }
+        }
+        return {reduce_to(ga, a_shape), reduce_to(gb, b_shape)};
+      },
+      name);
+  binary_broadcast(ad, bd, out, fwd);
+  return out;
+}
+
+/// Builds an elementwise unary op. `dfdx` receives the input value.
+template <typename Forward, typename Derivative>
+Tensor unary_op(const Tensor& x, const char* name, Forward fwd,
+                Derivative dfdx) {
+  const Tensor xd = x.detach();
+  Tensor out = Tensor::make_result(
+      x.shape(), {x},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        Tensor gx = Tensor::zeros(grad.shape());
+        const real* px = xd.data();
+        const real* pg = grad.data();
+        real* pgx = gx.data();
+        const std::int64_t n = grad.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+          pgx[i] = dfdx(px[i]) * pg[i];
+        }
+        return {gx};
+      },
+      name);
+  const real* px = xd.data();
+  real* po = out.data();
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = fwd(px[i]);
+  return out;
+}
+
+real sigmoid_val(real v) { return real{1} / (real{1} + std::exp(-v)); }
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  const Shape a_shape = a.shape();
+  const Shape b_shape = b.shape();
+  Tensor out = Tensor::make_result(
+      Shape::broadcast(a_shape, b_shape), {a, b},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        return {reduce_to(grad, a_shape), reduce_to(grad, b_shape)};
+      },
+      "add");
+  binary_broadcast(a.detach(), b.detach(), out,
+                   [](real x, real y) { return x + y; });
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  const Shape a_shape = a.shape();
+  const Shape b_shape = b.shape();
+  Tensor out = Tensor::make_result(
+      Shape::broadcast(a_shape, b_shape), {a, b},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        Tensor gneg = Tensor::zeros(grad.shape());
+        const real* pg = grad.data();
+        real* pn = gneg.data();
+        const std::int64_t n = grad.numel();
+        for (std::int64_t i = 0; i < n; ++i) pn[i] = -pg[i];
+        return {reduce_to(grad, a_shape), reduce_to(gneg, b_shape)};
+      },
+      "sub");
+  binary_broadcast(a.detach(), b.detach(), out,
+                   [](real x, real y) { return x - y; });
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, "mul", [](real x, real y) { return x * y; },
+      [](real, real y) { return y; }, [](real x, real) { return x; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, "div", [](real x, real y) { return x / y; },
+      [](real, real y) { return real{1} / y; },
+      [](real x, real y) { return -x / (y * y); });
+}
+
+Tensor neg(const Tensor& x) {
+  return unary_op(
+      x, "neg", [](real v) { return -v; }, [](real) { return real{-1}; });
+}
+
+Tensor scale(const Tensor& x, real factor) {
+  return unary_op(
+      x, "scale", [factor](real v) { return factor * v; },
+      [factor](real) { return factor; });
+}
+
+Tensor add_scalar(const Tensor& x, real value) {
+  return unary_op(
+      x, "add_scalar", [value](real v) { return v + value; },
+      [](real) { return real{1}; });
+}
+
+Tensor pow_scalar(const Tensor& x, real exponent) {
+  return unary_op(
+      x, "pow_scalar",
+      [exponent](real v) { return std::pow(v, exponent); },
+      [exponent](real v) { return exponent * std::pow(v, exponent - 1); });
+}
+
+Tensor square(const Tensor& x) {
+  return unary_op(
+      x, "square", [](real v) { return v * v; },
+      [](real v) { return 2 * v; });
+}
+
+Tensor sqrt_op(const Tensor& x) {
+  return unary_op(
+      x, "sqrt", [](real v) { return std::sqrt(v); },
+      [](real v) { return real{0.5} / std::sqrt(v); });
+}
+
+Tensor exp_op(const Tensor& x) {
+  return unary_op(
+      x, "exp", [](real v) { return std::exp(v); },
+      [](real v) { return std::exp(v); });
+}
+
+Tensor log_op(const Tensor& x) {
+  return unary_op(
+      x, "log", [](real v) { return std::log(v); },
+      [](real v) { return real{1} / v; });
+}
+
+Tensor abs_op(const Tensor& x) {
+  return unary_op(
+      x, "abs", [](real v) { return std::abs(v); },
+      [](real v) { return v > 0 ? real{1} : (v < 0 ? real{-1} : real{0}); });
+}
+
+Tensor clamp_min(const Tensor& x, real bound) {
+  return unary_op(
+      x, "clamp_min", [bound](real v) { return v > bound ? v : bound; },
+      [bound](real v) { return v > bound ? real{1} : real{0}; });
+}
+
+Tensor relu(const Tensor& x) {
+  return unary_op(
+      x, "relu", [](real v) { return v > 0 ? v : real{0}; },
+      [](real v) { return v > 0 ? real{1} : real{0}; });
+}
+
+Tensor sigmoid(const Tensor& x) {
+  return unary_op(
+      x, "sigmoid", [](real v) { return sigmoid_val(v); },
+      [](real v) {
+        const real s = sigmoid_val(v);
+        return s * (1 - s);
+      });
+}
+
+Tensor tanh_op(const Tensor& x) {
+  return unary_op(
+      x, "tanh", [](real v) { return std::tanh(v); },
+      [](real v) {
+        const real t = std::tanh(v);
+        return 1 - t * t;
+      });
+}
+
+Tensor silu(const Tensor& x) {
+  return unary_op(
+      x, "silu", [](real v) { return v * sigmoid_val(v); },
+      [](real v) {
+        const real s = sigmoid_val(v);
+        return s * (1 + v * (1 - s));
+      });
+}
+
+Tensor softplus(const Tensor& x) {
+  return unary_op(
+      x, "softplus",
+      [](real v) {
+        // Stable softplus: max(v, 0) + log1p(exp(-|v|)).
+        return (v > 0 ? v : real{0}) + std::log1p(std::exp(-std::abs(v)));
+      },
+      [](real v) { return sigmoid_val(v); });
+}
+
+Tensor row_norm_squared(const Tensor& x) {
+  SGNN_CHECK(x.rank() == 2, "row_norm_squared requires rank-2 input, got "
+                                << x.shape().to_string());
+  return sum(square(x), /*axis=*/1, /*keepdim=*/true);
+}
+
+Tensor mse_loss(const Tensor& prediction, const Tensor& target) {
+  SGNN_CHECK(prediction.shape() == target.shape(),
+             "mse_loss shape mismatch: " << prediction.shape().to_string()
+                                         << " vs "
+                                         << target.shape().to_string());
+  return mean(square(prediction - target.detach()));
+}
+
+}  // namespace sgnn

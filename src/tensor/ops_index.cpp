@@ -1,0 +1,85 @@
+#include <algorithm>
+
+#include "ops_common.hpp"
+#include "sgnn/tensor/ops.hpp"
+
+namespace sgnn {
+
+Tensor index_select_rows(const Tensor& x,
+                         const std::vector<std::int64_t>& index) {
+  SGNN_CHECK(x.rank() == 2, "index_select_rows requires rank-2 input, got "
+                                << x.shape().to_string());
+  const std::int64_t rows = x.dim(0);
+  const std::int64_t cols = x.dim(1);
+  for (const auto i : index) {
+    SGNN_CHECK(i >= 0 && i < rows,
+               "index_select_rows index " << i << " out of range [0, " << rows
+                                          << ")");
+  }
+  const Tensor xd = x.detach();
+  const auto out_rows = static_cast<std::int64_t>(index.size());
+  Tensor out = Tensor::make_result(
+      Shape{out_rows, cols}, {x},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        // Rows gathered multiple times accumulate their gradients.
+        Tensor gx = Tensor::zeros(Shape{rows, cols});
+        real* pgx = gx.data();
+        const real* pg = grad.data();
+        for (std::int64_t r = 0; r < out_rows; ++r) {
+          real* dst = pgx + index[static_cast<std::size_t>(r)] * cols;
+          const real* src = pg + r * cols;
+          for (std::int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+        }
+        return {gx};
+      },
+      "index_select_rows");
+  const real* px = xd.data();
+  real* po = out.data();
+  for (std::int64_t r = 0; r < out_rows; ++r) {
+    std::copy_n(px + index[static_cast<std::size_t>(r)] * cols,
+                static_cast<std::size_t>(cols), po + r * cols);
+  }
+  return out;
+}
+
+Tensor scatter_add_rows(const Tensor& src,
+                        const std::vector<std::int64_t>& index,
+                        std::int64_t num_rows) {
+  SGNN_CHECK(src.rank() == 2, "scatter_add_rows requires rank-2 input, got "
+                                  << src.shape().to_string());
+  SGNN_CHECK(static_cast<std::size_t>(src.dim(0)) == index.size(),
+             "scatter_add_rows: " << src.dim(0) << " rows vs " << index.size()
+                                  << " indices");
+  const std::int64_t in_rows = src.dim(0);
+  const std::int64_t cols = src.dim(1);
+  for (const auto i : index) {
+    SGNN_CHECK(i >= 0 && i < num_rows,
+               "scatter_add_rows index " << i << " out of range [0, "
+                                         << num_rows << ")");
+  }
+  const Tensor sd = src.detach();
+  Tensor out = Tensor::make_result(
+      Shape{num_rows, cols}, {src},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        // d(out[idx[i]])/d(src[i]) = I, so the gradient is a row gather.
+        Tensor gs = Tensor::zeros(Shape{in_rows, cols});
+        real* pgs = gs.data();
+        const real* pg = grad.data();
+        for (std::int64_t r = 0; r < in_rows; ++r) {
+          std::copy_n(pg + index[static_cast<std::size_t>(r)] * cols,
+                      static_cast<std::size_t>(cols), pgs + r * cols);
+        }
+        return {gs};
+      },
+      "scatter_add_rows");
+  const real* ps = sd.data();
+  real* po = out.data();
+  for (std::int64_t r = 0; r < in_rows; ++r) {
+    real* dst = po + index[static_cast<std::size_t>(r)] * cols;
+    const real* srow = ps + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) dst[c] += srow[c];
+  }
+  return out;
+}
+
+}  // namespace sgnn

@@ -1,0 +1,114 @@
+#include "ops_common.hpp"
+#include "sgnn/tensor/ops.hpp"
+
+namespace sgnn {
+
+namespace {
+
+/// C = A(m,k) @ B(k,n) into pre-allocated C. ikj loop order keeps the inner
+/// loop contiguous in both B and C.
+void matmul_into(const real* a, const real* b, real* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    real* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) crow[j] = 0;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const real av = a[i * k + p];
+      if (av == 0) continue;
+      const real* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C = Aᵀ(k,m) @ B(m,n): accumulates without materializing the transpose.
+void matmul_at_b(const real* a, const real* b, real* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < k * n; ++i) c[i] = 0;
+  for (std::int64_t p = 0; p < m; ++p) {
+    const real* arow = a + p * k;
+    const real* brow = b + p * n;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const real av = arow[i];
+      if (av == 0) continue;
+      real* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C = A(m,n) @ Bᵀ(n,k): B given as (k,n).
+void matmul_a_bt(const real* a, const real* b, real* c, std::int64_t m,
+                 std::int64_t n, std::int64_t k) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const real* arow = a + i * n;
+    real* crow = c + i * k;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const real* brow = b + j * n;
+      real acc = 0;
+      for (std::int64_t p = 0; p < n; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  SGNN_CHECK(a.rank() == 2 && b.rank() == 2,
+             "matmul requires rank-2 operands, got "
+                 << a.shape().to_string() << " x " << b.shape().to_string());
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  SGNN_CHECK(b.dim(0) == k, "matmul inner-dimension mismatch: "
+                                << a.shape().to_string() << " x "
+                                << b.shape().to_string());
+  const Tensor ad = a.detach();
+  const Tensor bd = b.detach();
+  Tensor out = Tensor::make_result(
+      Shape{m, n}, {a, b},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        // dA = G @ Bᵀ, dB = Aᵀ @ G.
+        Tensor ga = Tensor::zeros(Shape{m, k});
+        Tensor gb = Tensor::zeros(Shape{k, n});
+        matmul_a_bt(grad.data(), bd.data(), ga.data(), m, n, k);
+        matmul_at_b(ad.data(), grad.data(), gb.data(), m, k, n);
+        return {ga, gb};
+      },
+      "matmul");
+  matmul_into(ad.data(), bd.data(), out.data(), m, k, n);
+  return out;
+}
+
+Tensor transpose(const Tensor& x) {
+  SGNN_CHECK(x.rank() == 2, "transpose requires rank-2 input, got "
+                                << x.shape().to_string());
+  const std::int64_t rows = x.dim(0);
+  const std::int64_t cols = x.dim(1);
+  const Tensor xd = x.detach();
+  Tensor out = Tensor::make_result(
+      Shape{cols, rows}, {x},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        Tensor gx = Tensor::zeros(Shape{rows, cols});
+        const real* pg = grad.data();
+        real* pgx = gx.data();
+        for (std::int64_t i = 0; i < cols; ++i) {
+          for (std::int64_t j = 0; j < rows; ++j) {
+            pgx[j * cols + i] = pg[i * rows + j];
+          }
+        }
+        return {gx};
+      },
+      "transpose");
+  const real* px = xd.data();
+  real* po = out.data();
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      po[j * rows + i] = px[i * cols + j];
+    }
+  }
+  return out;
+}
+
+}  // namespace sgnn

@@ -1,0 +1,106 @@
+#include "ops_common.hpp"
+#include "sgnn/tensor/ops.hpp"
+
+namespace sgnn {
+
+Tensor sum(const Tensor& x) {
+  const Shape x_shape = x.shape();
+  Tensor out = Tensor::make_result(
+      Shape{}, {x},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        const real g = grad.item();
+        Tensor gx = Tensor::full(x_shape, g);
+        return {gx};
+      },
+      "sum");
+  const real* px = x.data();
+  real acc = 0;
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += px[i];
+  out.data()[0] = acc;
+  return out;
+}
+
+Tensor mean(const Tensor& x) {
+  SGNN_CHECK(x.numel() > 0, "mean of empty tensor");
+  return scale(sum(x), real{1} / static_cast<real>(x.numel()));
+}
+
+namespace {
+
+/// Decomposes shape around `axis` into (outer, reduced, inner) extents so a
+/// rank-agnostic reduction is three nested loops.
+struct AxisSplit {
+  std::int64_t outer = 1;
+  std::int64_t axis_len = 1;
+  std::int64_t inner = 1;
+};
+
+AxisSplit split_axis(const Shape& shape, std::size_t axis) {
+  SGNN_CHECK(axis < shape.rank(), "axis " << axis << " out of range for shape "
+                                          << shape.to_string());
+  AxisSplit s;
+  for (std::size_t i = 0; i < axis; ++i) s.outer *= shape.dim(i);
+  s.axis_len = shape.dim(axis);
+  for (std::size_t i = axis + 1; i < shape.rank(); ++i) s.inner *= shape.dim(i);
+  return s;
+}
+
+Shape reduced_shape(const Shape& shape, std::size_t axis, bool keepdim) {
+  std::vector<std::int64_t> dims;
+  for (std::size_t i = 0; i < shape.rank(); ++i) {
+    if (i == axis) {
+      if (keepdim) dims.push_back(1);
+    } else {
+      dims.push_back(shape.dim(i));
+    }
+  }
+  return Shape(std::move(dims));
+}
+
+}  // namespace
+
+Tensor sum(const Tensor& x, std::size_t axis, bool keepdim) {
+  const Shape x_shape = x.shape();
+  const AxisSplit s = split_axis(x_shape, axis);
+  const Shape out_shape = reduced_shape(x_shape, axis, keepdim);
+  Tensor out = Tensor::make_result(
+      out_shape, {x},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        // Broadcast grad back along the reduced axis.
+        Tensor gx = Tensor::zeros(x_shape);
+        const real* pg = grad.data();
+        real* pgx = gx.data();
+        for (std::int64_t o = 0; o < s.outer; ++o) {
+          for (std::int64_t a = 0; a < s.axis_len; ++a) {
+            for (std::int64_t in = 0; in < s.inner; ++in) {
+              pgx[(o * s.axis_len + a) * s.inner + in] =
+                  pg[o * s.inner + in];
+            }
+          }
+        }
+        return {gx};
+      },
+      "sum_axis");
+  const real* px = x.data();
+  real* po = out.data();
+  for (std::int64_t o = 0; o < s.outer; ++o) {
+    for (std::int64_t in = 0; in < s.inner; ++in) {
+      po[o * s.inner + in] = 0;
+    }
+    for (std::int64_t a = 0; a < s.axis_len; ++a) {
+      const real* src = px + (o * s.axis_len + a) * s.inner;
+      real* dst = po + o * s.inner;
+      for (std::int64_t in = 0; in < s.inner; ++in) dst[in] += src[in];
+    }
+  }
+  return out;
+}
+
+Tensor mean(const Tensor& x, std::size_t axis, bool keepdim) {
+  const std::int64_t axis_len = x.shape().dim(axis);
+  SGNN_CHECK(axis_len > 0, "mean over empty axis");
+  return scale(sum(x, axis, keepdim), real{1} / static_cast<real>(axis_len));
+}
+
+}  // namespace sgnn

@@ -1,0 +1,155 @@
+#include <algorithm>
+
+#include "ops_common.hpp"
+#include "sgnn/tensor/ops.hpp"
+
+namespace sgnn {
+
+Tensor reshape(const Tensor& x, const Shape& shape) {
+  SGNN_CHECK(x.numel() == shape.numel(),
+             "reshape " << x.shape().to_string() << " -> " << shape.to_string()
+                        << " changes element count");
+  const Shape x_shape = x.shape();
+  const Tensor xd = x.detach();
+  Tensor out = Tensor::make_result(
+      shape, {x},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        Tensor gx = Tensor::zeros(x_shape);
+        std::copy_n(grad.data(), static_cast<std::size_t>(grad.numel()),
+                    gx.data());
+        return {gx};
+      },
+      "reshape");
+  std::copy_n(xd.data(), static_cast<std::size_t>(xd.numel()), out.data());
+  return out;
+}
+
+namespace {
+
+struct AxisSplit {
+  std::int64_t outer = 1;
+  std::int64_t inner = 1;  ///< elements per unit of the concat axis
+};
+
+AxisSplit split_around(const Shape& shape, std::size_t axis) {
+  AxisSplit s;
+  for (std::size_t i = 0; i < axis; ++i) s.outer *= shape.dim(i);
+  for (std::size_t i = axis + 1; i < shape.rank(); ++i) s.inner *= shape.dim(i);
+  return s;
+}
+
+}  // namespace
+
+Tensor concat(const std::vector<Tensor>& parts, std::size_t axis) {
+  SGNN_CHECK(!parts.empty(), "concat of zero tensors");
+  const Shape& first = parts.front().shape();
+  SGNN_CHECK(axis < first.rank(),
+             "concat axis " << axis << " out of range for rank "
+                            << first.rank());
+  std::int64_t axis_total = 0;
+  for (const auto& p : parts) {
+    SGNN_CHECK(p.rank() == first.rank(), "concat rank mismatch");
+    for (std::size_t i = 0; i < first.rank(); ++i) {
+      if (i == axis) continue;
+      SGNN_CHECK(p.dim(i) == first.dim(i),
+                 "concat shape mismatch on axis " << i << ": "
+                     << p.shape().to_string() << " vs " << first.to_string());
+    }
+    axis_total += p.dim(axis);
+  }
+  std::vector<std::int64_t> out_dims = first.dims();
+  out_dims[axis] = axis_total;
+  const Shape out_shape{std::move(out_dims)};
+  const AxisSplit s = split_around(out_shape, axis);
+
+  std::vector<std::int64_t> part_axis_lens;
+  part_axis_lens.reserve(parts.size());
+  std::vector<Shape> part_shapes;
+  part_shapes.reserve(parts.size());
+  for (const auto& p : parts) {
+    part_axis_lens.push_back(p.dim(axis));
+    part_shapes.push_back(p.shape());
+  }
+
+  Tensor out = Tensor::make_result(
+      out_shape, parts,
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        std::vector<Tensor> grads;
+        grads.reserve(part_shapes.size());
+        const real* pg = grad.data();
+        std::int64_t axis_offset = 0;
+        for (std::size_t pi = 0; pi < part_shapes.size(); ++pi) {
+          Tensor gp = Tensor::zeros(part_shapes[pi]);
+          real* pgp = gp.data();
+          const std::int64_t len = part_axis_lens[pi];
+          for (std::int64_t o = 0; o < s.outer; ++o) {
+            const real* src =
+                pg + (o * axis_total + axis_offset) * s.inner;
+            real* dst = pgp + o * len * s.inner;
+            std::copy_n(src, static_cast<std::size_t>(len * s.inner), dst);
+          }
+          axis_offset += len;
+          grads.push_back(std::move(gp));
+        }
+        return grads;
+      },
+      "concat");
+
+  real* po = out.data();
+  std::int64_t axis_offset = 0;
+  for (const auto& p : parts) {
+    const real* pp = p.data();
+    const std::int64_t len = p.dim(axis);
+    for (std::int64_t o = 0; o < s.outer; ++o) {
+      const real* src = pp + o * len * s.inner;
+      real* dst = po + (o * axis_total + axis_offset) * s.inner;
+      std::copy_n(src, static_cast<std::size_t>(len * s.inner), dst);
+    }
+    axis_offset += len;
+  }
+  return out;
+}
+
+Tensor narrow(const Tensor& x, std::size_t axis, std::int64_t start,
+              std::int64_t length) {
+  const Shape x_shape = x.shape();
+  SGNN_CHECK(axis < x_shape.rank(),
+             "narrow axis " << axis << " out of range for "
+                            << x_shape.to_string());
+  SGNN_CHECK(start >= 0 && length >= 0 && start + length <= x_shape.dim(axis),
+             "narrow range [" << start << ", " << start + length
+                              << ") out of bounds for axis " << axis << " of "
+                              << x_shape.to_string());
+  std::vector<std::int64_t> out_dims = x_shape.dims();
+  out_dims[axis] = length;
+  const Shape out_shape{std::move(out_dims)};
+  const AxisSplit s = split_around(x_shape, axis);
+  const std::int64_t axis_len = x_shape.dim(axis);
+  const Tensor xd = x.detach();
+
+  Tensor out = Tensor::make_result(
+      out_shape, {x},
+      [=](const Tensor& grad) -> std::vector<Tensor> {
+        Tensor gx = Tensor::zeros(x_shape);
+        real* pgx = gx.data();
+        const real* pg = grad.data();
+        for (std::int64_t o = 0; o < s.outer; ++o) {
+          const real* src = pg + o * length * s.inner;
+          real* dst = pgx + (o * axis_len + start) * s.inner;
+          std::copy_n(src, static_cast<std::size_t>(length * s.inner), dst);
+        }
+        return {gx};
+      },
+      "narrow");
+
+  const real* px = xd.data();
+  real* po = out.data();
+  for (std::int64_t o = 0; o < s.outer; ++o) {
+    const real* src = px + (o * axis_len + start) * s.inner;
+    real* dst = po + o * length * s.inner;
+    std::copy_n(src, static_cast<std::size_t>(length * s.inner), dst);
+  }
+  return out;
+}
+
+}  // namespace sgnn

@@ -1,0 +1,33 @@
+#include "sgnn/tensor/shape.hpp"
+
+#include <algorithm>
+
+namespace sgnn {
+
+Shape Shape::broadcast(const Shape& a, const Shape& b) {
+  const std::size_t rank = std::max(a.rank(), b.rank());
+  std::vector<std::int64_t> out(rank);
+  for (std::size_t i = 0; i < rank; ++i) {
+    const std::int64_t da =
+        i < a.rank() ? a.dim(a.rank() - 1 - i) : 1;
+    const std::int64_t db =
+        i < b.rank() ? b.dim(b.rank() - 1 - i) : 1;
+    SGNN_CHECK(da == db || da == 1 || db == 1,
+               "shapes " << a.to_string() << " and " << b.to_string()
+                         << " are not broadcastable");
+    out[rank - 1 - i] = std::max(da, db);
+  }
+  return Shape(std::move(out));
+}
+
+bool Shape::broadcastable_to(const Shape& from, const Shape& to) {
+  if (from.rank() > to.rank()) return false;
+  for (std::size_t i = 0; i < from.rank(); ++i) {
+    const std::int64_t df = from.dim(from.rank() - 1 - i);
+    const std::int64_t dt = to.dim(to.rank() - 1 - i);
+    if (df != dt && df != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace sgnn

@@ -1,0 +1,103 @@
+#include "sgnn/train/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+EnergyBaseline EnergyBaseline::fit(
+    const std::vector<const MolecularGraph*>& graphs) {
+  SGNN_CHECK(!graphs.empty(), "baseline fit needs graphs");
+
+  // Map the species actually present to compact columns.
+  std::array<int, elements::kMaxAtomicNumber> column{};
+  column.fill(-1);
+  int num_columns = 0;
+  for (const auto* g : graphs) {
+    for (const auto z : g->structure.species) {
+      auto& c = column[static_cast<std::size_t>(z)];
+      if (c < 0) c = num_columns++;
+    }
+  }
+
+  // Normal equations A^T A x = A^T b with a small ridge term; A[g][c] is
+  // the count of species c in graph g.
+  const auto n = static_cast<std::size_t>(num_columns);
+  std::vector<std::vector<double>> ata(n, std::vector<double>(n, 0.0));
+  std::vector<double> atb(n, 0.0);
+  std::vector<double> counts(n);
+  for (const auto* g : graphs) {
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (const auto z : g->structure.species) {
+      counts[static_cast<std::size_t>(column[static_cast<std::size_t>(z)])] +=
+          1.0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (counts[i] == 0.0) continue;
+      atb[i] += counts[i] * g->energy;
+      for (std::size_t j = 0; j < n; ++j) {
+        ata[i][j] += counts[i] * counts[j];
+      }
+    }
+  }
+  constexpr double kRidge = 1e-6;
+  for (std::size_t i = 0; i < n; ++i) ata[i][i] += kRidge;
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<double> solution = atb;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(ata[row][col]) > std::abs(ata[pivot][col])) pivot = row;
+    }
+    std::swap(ata[col], ata[pivot]);
+    std::swap(solution[col], solution[pivot]);
+    SGNN_CHECK(std::abs(ata[col][col]) > 1e-12,
+               "singular system in baseline fit");
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = ata[row][col] / ata[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) ata[row][j] -= factor * ata[col][j];
+      solution[row] -= factor * solution[col];
+    }
+  }
+  for (std::size_t col = n; col-- > 0;) {
+    for (std::size_t j = col + 1; j < n; ++j) {
+      solution[col] -= ata[col][j] * solution[j];
+    }
+    solution[col] /= ata[col][col];
+  }
+
+  EnergyBaseline baseline;
+  for (int z = 0; z < elements::kMaxAtomicNumber; ++z) {
+    const int c = column[static_cast<std::size_t>(z)];
+    if (c >= 0) {
+      baseline.e0_[static_cast<std::size_t>(z)] =
+          solution[static_cast<std::size_t>(c)];
+    }
+  }
+  return baseline;
+}
+
+double EnergyBaseline::offset(const std::vector<int>& species) const {
+  double total = 0;
+  for (const auto z : species) {
+    SGNN_DCHECK(z >= 0 && z < elements::kMaxAtomicNumber,
+                "species out of range");
+    total += e0_[static_cast<std::size_t>(z)];
+  }
+  return total;
+}
+
+void EnergyBaseline::subtract_from(GraphBatch& batch) const {
+  real* energy = batch.energy.data();
+  for (std::size_t i = 0; i < batch.species.size(); ++i) {
+    const auto graph = static_cast<std::size_t>(batch.node_to_graph[i]);
+    energy[graph] -=
+        static_cast<real>(e0_[static_cast<std::size_t>(batch.species[i])]);
+  }
+}
+
+}  // namespace sgnn

@@ -1,0 +1,200 @@
+#include "sgnn/train/distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "sgnn/graph/batch.hpp"
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/train/zero.hpp"
+#include "sgnn/util/error.hpp"
+#include "sgnn/util/rng.hpp"
+#include "sgnn/util/timer.hpp"
+
+namespace sgnn {
+
+const char* dist_strategy_name(DistStrategy strategy) {
+  switch (strategy) {
+    case DistStrategy::kDDP: return "DDP (all-reduce)";
+    case DistStrategy::kZeRO1: return "ZeRO-1 (sharded optimizer)";
+  }
+  return "?";
+}
+
+DistributedTrainer::DistributedTrainer(const ModelConfig& config,
+                                       const DistTrainOptions& options)
+    : options_(options) {
+  SGNN_CHECK(options.num_ranks > 0, "need at least one rank");
+  SGNN_CHECK(options.epochs > 0, "epochs must be positive");
+  for (int r = 0; r < options.num_ranks; ++r) {
+    replicas_.push_back(std::make_unique<EGNNModel>(config));
+  }
+  // Same seed means same init already, but copying makes the invariant
+  // explicit and robust to config changes.
+  for (int r = 1; r < options.num_ranks; ++r) {
+    replicas_[static_cast<std::size_t>(r)]->copy_parameters_from(
+        *replicas_.front());
+  }
+}
+
+double DistributedTrainer::replica_divergence() const {
+  double worst = 0;
+  const auto reference = replicas_.front()->parameters();
+  for (std::size_t r = 1; r < replicas_.size(); ++r) {
+    const auto params = replicas_[r]->parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const real* a = reference[i].data();
+      const real* b = params[i].data();
+      for (std::int64_t k = 0; k < params[i].numel(); ++k) {
+        worst = std::max(worst, std::abs(static_cast<double>(a[k] - b[k])));
+      }
+    }
+  }
+  return worst;
+}
+
+DistTrainReport DistributedTrainer::train(const DDStore& store) {
+  const int R = options_.num_ranks;
+  SGNN_CHECK(store.num_ranks() == R,
+             "DDStore was sharded for " << store.num_ranks() << " ranks, "
+                                        << "trainer has " << R);
+  SGNN_CHECK(store.size() >= R, "fewer samples than ranks");
+
+  Communicator comm(R);
+  MemoryTracker::instance().reset_peak();
+
+  // Per-rank optimizers (constructed up front so optimizer-state memory is
+  // part of the profile from step zero, as in a real framework).
+  std::vector<std::unique_ptr<DDPAdam>> ddp;
+  std::vector<std::unique_ptr<ZeroAdam>> zero;
+  for (int r = 0; r < R; ++r) {
+    auto params = replicas_[static_cast<std::size_t>(r)]->parameters();
+    if (options_.strategy == DistStrategy::kDDP) {
+      ddp.push_back(
+          std::make_unique<DDPAdam>(comm, std::move(params), options_.adam));
+    } else {
+      zero.push_back(
+          std::make_unique<ZeroAdam>(comm, std::move(params), options_.adam));
+    }
+  }
+
+  // Steps per epoch: every rank must execute the same number of collective
+  // steps, so the per-epoch sample count is truncated to a multiple of
+  // R * batch.
+  const std::int64_t global_batch =
+      static_cast<std::int64_t>(R) * options_.per_rank_batch_size;
+  const std::int64_t steps_per_epoch = store.size() / global_batch;
+  SGNN_CHECK(steps_per_epoch > 0, "dataset smaller than one global batch");
+
+  std::vector<double> rank_loss(static_cast<std::size_t>(R), 0.0);
+  std::vector<double> rank_seconds(static_cast<std::size_t>(R), 0.0);
+
+  const auto worker = [&](int rank) {
+    const auto ri = static_cast<std::size_t>(rank);
+    EGNNModel& model = *replicas_[ri];
+    EGNNModel::ForwardOptions forward_options;
+    forward_options.activation_checkpointing =
+        options_.activation_checkpointing;
+    Rng sampler(options_.sampler_seed);  // identical on every rank
+    const WallTimer timer;
+    double loss_sum = 0;
+    std::int64_t counted_steps = 0;
+
+    for (std::int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      // Shared shuffled order; rank r takes the r-th stride (the standard
+      // distributed sampler). All ranks draw the same permutation because
+      // the sampler RNG is seeded identically.
+      std::vector<std::int64_t> order(
+          static_cast<std::size_t>(store.size()));
+      std::iota(order.begin(), order.end(), 0);
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[sampler.uniform_index(i)]);
+      }
+
+      for (std::int64_t step = 0; step < steps_per_epoch; ++step) {
+        std::vector<const MolecularGraph*> samples;
+        for (std::int64_t b = 0; b < options_.per_rank_batch_size; ++b) {
+          const std::int64_t position =
+              step * global_batch + b * R + rank;
+          samples.push_back(&store.fetch(
+              rank, order[static_cast<std::size_t>(position)]));
+        }
+        const GraphBatch batch = GraphBatch::from_graphs(samples);
+
+        if (options_.strategy == DistStrategy::kDDP) {
+          ddp[ri]->zero_grad();
+        } else {
+          zero[ri]->zero_grad();
+        }
+        Tensor total;
+        {
+          const ScopedTrainPhase phase(TrainPhase::kForward);
+          const auto out = model.forward(batch, forward_options);
+          const LossTerms terms =
+              multitask_loss(out, batch, options_.loss_weights);
+          loss_sum += terms.total.item();
+          total = terms.total;
+        }
+        {
+          const ScopedTrainPhase phase(TrainPhase::kBackward);
+          total.backward();
+        }
+        {
+          const ScopedTrainPhase phase(TrainPhase::kOptimizer);
+          if (options_.strategy == DistStrategy::kDDP) {
+            ddp[ri]->step(rank);
+          } else {
+            zero[ri]->step(rank);
+          }
+        }
+        ++counted_steps;
+      }
+    }
+    rank_loss[ri] = loss_sum / static_cast<double>(counted_steps);
+    rank_seconds[ri] = timer.seconds();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    threads.emplace_back(worker, r);
+  }
+  for (auto& t : threads) t.join();
+
+  SGNN_CHECK(replica_divergence() == 0.0,
+             "replicas diverged — gradient synchronization is broken");
+
+  DistTrainReport report;
+  report.steps = options_.epochs * steps_per_epoch;
+  report.final_train_loss =
+      std::accumulate(rank_loss.begin(), rank_loss.end(), 0.0) / R;
+  report.compute_seconds =
+      *std::max_element(rank_seconds.begin(), rank_seconds.end());
+  report.collective_traffic = comm.traffic();
+  report.data_traffic = store.stats();
+  report.peak_memory = MemoryTracker::instance().peak();
+  report.peak_phase = MemoryTracker::instance().peak_phase();
+  report.peak_forward =
+      MemoryTracker::instance().peak_during(TrainPhase::kForward);
+  report.peak_backward =
+      MemoryTracker::instance().peak_during(TrainPhase::kBackward);
+  report.peak_optimizer =
+      MemoryTracker::instance().peak_during(TrainPhase::kOptimizer);
+
+  // Interconnect time from the recorded payload volumes. The bandwidth term
+  // is exact for aggregated payloads; the per-step launch latency (a few
+  // microseconds per collective) is added separately.
+  const auto& traffic = report.collective_traffic;
+  report.comm_seconds =
+      interconnect_.all_reduce_seconds(traffic.all_reduce_bytes, R) +
+      interconnect_.reduce_scatter_seconds(traffic.reduce_scatter_bytes, R) +
+      interconnect_.all_gather_seconds(traffic.all_gather_bytes, R) +
+      interconnect_.broadcast_seconds(traffic.broadcast_bytes, R) +
+      (R > 1 ? static_cast<double>(traffic.collective_calls) *
+                   interconnect_.latency_seconds
+             : 0.0);
+  return report;
+}
+
+}  // namespace sgnn

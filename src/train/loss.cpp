@@ -1,0 +1,126 @@
+#include "sgnn/train/loss.hpp"
+
+#include <cmath>
+
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+namespace {
+
+/// (G, 1) tensor of 1/atom-count per graph.
+Tensor inverse_atoms(const GraphBatch& batch) {
+  const ScopedMemCategory scope(MemCategory::kWorkspace);
+  Tensor inv = Tensor::zeros(Shape{batch.num_graphs, 1});
+  real* p = inv.data();
+  const auto counts = batch.nodes_per_graph();
+  for (std::int64_t g = 0; g < batch.num_graphs; ++g) {
+    const auto n = counts[static_cast<std::size_t>(g)];
+    SGNN_CHECK(n > 0, "graph " << g << " has no atoms");
+    p[g] = real{1} / static_cast<real>(n);
+  }
+  return inv;
+}
+
+}  // namespace
+
+LossTerms multitask_loss(const Tensor& predicted_energy,
+                         const Tensor& predicted_forces,
+                         const GraphBatch& batch,
+                         const LossWeights& weights) {
+  SGNN_CHECK(predicted_energy.shape() == batch.energy.shape(),
+             "energy prediction shape mismatch");
+  SGNN_CHECK(predicted_forces.shape() == batch.forces.shape(),
+             "force prediction shape mismatch");
+
+  const Tensor inv = inverse_atoms(batch);
+  const Tensor energy_loss =
+      mse_loss(predicted_energy * inv, batch.energy * inv);
+  const Tensor force_loss = mse_loss(predicted_forces, batch.forces);
+
+  LossTerms terms;
+  terms.energy_mse = energy_loss.item();
+  terms.force_mse = force_loss.item();
+  terms.total = energy_loss * weights.energy + force_loss * weights.force;
+  return terms;
+}
+
+LossTerms multitask_loss(const EGNNModel::Output& prediction,
+                         const GraphBatch& batch, const LossWeights& weights) {
+  LossTerms terms =
+      multitask_loss(prediction.energy, prediction.forces, batch, weights);
+  if (prediction.dipole.defined()) {
+    const Tensor dipole_loss = mse_loss(prediction.dipole, batch.dipole);
+    terms.dipole_mse = dipole_loss.item();
+    terms.total = terms.total + dipole_loss * weights.dipole;
+  }
+  return terms;
+}
+
+EvalMetrics evaluate_batch(const EGNNModel& model, const GraphBatch& batch,
+                           const LossWeights& weights) {
+  const autograd::NoGradGuard no_grad;
+  const auto out = model.forward(batch);
+  const LossTerms terms = multitask_loss(out, batch, weights);
+
+  EvalMetrics metrics;
+  metrics.loss = terms.total.item();
+  metrics.num_graphs = batch.num_graphs;
+  metrics.num_nodes = batch.num_nodes;
+
+  const auto counts = batch.nodes_per_graph();
+  const real* ep = out.energy.data();
+  const real* et = batch.energy.data();
+  double energy_abs = 0;
+  for (std::int64_t g = 0; g < batch.num_graphs; ++g) {
+    energy_abs += std::abs(ep[g] - et[g]) /
+                  static_cast<double>(counts[static_cast<std::size_t>(g)]);
+  }
+  metrics.energy_mae_per_atom =
+      energy_abs / static_cast<double>(batch.num_graphs);
+
+  const real* fp = out.forces.data();
+  const real* ft = batch.forces.data();
+  double force_abs = 0;
+  for (std::int64_t i = 0; i < batch.num_nodes * 3; ++i) {
+    force_abs += std::abs(fp[i] - ft[i]);
+  }
+  metrics.force_mae = force_abs / static_cast<double>(batch.num_nodes * 3);
+
+  if (out.dipole.defined()) {
+    const real* dp = out.dipole.data();
+    const real* dt = batch.dipole.data();
+    double dipole_abs = 0;
+    for (std::int64_t g = 0; g < batch.num_graphs; ++g) {
+      dipole_abs += std::abs(dp[g] - dt[g]);
+    }
+    metrics.dipole_mae = dipole_abs / static_cast<double>(batch.num_graphs);
+  }
+  return metrics;
+}
+
+void MetricAccumulator::add(const EvalMetrics& m) {
+  loss_sum += m.loss;
+  energy_mae_sum += m.energy_mae_per_atom * static_cast<double>(m.num_graphs);
+  dipole_mae_sum += m.dipole_mae * static_cast<double>(m.num_graphs);
+  force_mae_sum += m.force_mae * static_cast<double>(m.num_nodes);
+  graphs += m.num_graphs;
+  nodes += m.num_nodes;
+  batches += 1;
+}
+
+EvalMetrics MetricAccumulator::mean() const {
+  EvalMetrics m;
+  if (batches > 0) m.loss = loss_sum / static_cast<double>(batches);
+  if (graphs > 0) {
+    m.energy_mae_per_atom = energy_mae_sum / static_cast<double>(graphs);
+    m.dipole_mae = dipole_mae_sum / static_cast<double>(graphs);
+  }
+  if (nodes > 0) m.force_mae = force_mae_sum / static_cast<double>(nodes);
+  m.num_graphs = graphs;
+  m.num_nodes = nodes;
+  return m;
+}
+
+}  // namespace sgnn

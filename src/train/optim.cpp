@@ -1,0 +1,99 @@
+#include "sgnn/train/optim.hpp"
+
+#include <cmath>
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+Optimizer::Optimizer(std::vector<Tensor> parameters)
+    : parameters_(std::move(parameters)) {
+  SGNN_CHECK(!parameters_.empty(), "optimizer needs parameters");
+  for (const auto& p : parameters_) {
+    SGNN_CHECK(p.defined() && p.is_leaf() && p.requires_grad(),
+               "optimizer parameters must be grad-requiring leaves");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : parameters_) p.zero_grad();
+}
+
+SGD::SGD(std::vector<Tensor> parameters, double learning_rate, double momentum)
+    : Optimizer(std::move(parameters)), momentum_(momentum) {
+  learning_rate_ = learning_rate;
+  if (momentum_ != 0.0) {
+    const ScopedMemCategory scope(MemCategory::kOptimizerState);
+    for (const auto& p : this->parameters()) {
+      velocity_.push_back(Tensor::zeros(p.shape()));
+    }
+  }
+}
+
+void SGD::step() {
+  auto& params = parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Tensor grad = params[i].grad();
+    if (!grad.defined()) continue;
+    real* p = params[i].data();
+    const real* g = grad.data();
+    const std::int64_t n = params[i].numel();
+    const auto lr = static_cast<real>(learning_rate_);
+    if (momentum_ == 0.0) {
+      for (std::int64_t k = 0; k < n; ++k) p[k] -= lr * g[k];
+    } else {
+      real* vel = velocity_[i].data();
+      const auto mu = static_cast<real>(momentum_);
+      for (std::int64_t k = 0; k < n; ++k) {
+        vel[k] = mu * vel[k] + g[k];
+        p[k] -= lr * vel[k];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> parameters, const Options& options)
+    : Optimizer(std::move(parameters)), options_(options) {
+  learning_rate_ = options.learning_rate;
+  const ScopedMemCategory scope(MemCategory::kOptimizerState);
+  for (const auto& p : this->parameters()) {
+    m_.push_back(Tensor::zeros(p.shape()));
+    v_.push_back(Tensor::zeros(p.shape()));
+  }
+}
+
+void Adam::update_flat(real* param, const real* grad, real* m, real* v,
+                       std::size_t count, std::int64_t timestep,
+                       const Options& options) {
+  const auto beta1 = static_cast<real>(options.beta1);
+  const auto beta2 = static_cast<real>(options.beta2);
+  const auto eps = static_cast<real>(options.epsilon);
+  const auto lr = static_cast<real>(options.learning_rate);
+  const real bias1 =
+      real{1} - std::pow(beta1, static_cast<real>(timestep));
+  const real bias2 =
+      real{1} - std::pow(beta2, static_cast<real>(timestep));
+  for (std::size_t k = 0; k < count; ++k) {
+    m[k] = beta1 * m[k] + (real{1} - beta1) * grad[k];
+    v[k] = beta2 * v[k] + (real{1} - beta2) * grad[k] * grad[k];
+    const real m_hat = m[k] / bias1;
+    const real v_hat = v[k] / bias2;
+    param[k] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+void Adam::step() {
+  ++timestep_;
+  Options options = options_;
+  options.learning_rate = learning_rate_;  // honor schedule updates
+  auto& params = parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Tensor grad = params[i].grad();
+    if (!grad.defined()) continue;
+    update_flat(params[i].data(), grad.data(), m_[i].data(), v_[i].data(),
+                static_cast<std::size_t>(params[i].numel()), timestep_,
+                options);
+  }
+}
+
+}  // namespace sgnn

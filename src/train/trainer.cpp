@@ -1,0 +1,93 @@
+#include "sgnn/train/trainer.hpp"
+
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/error.hpp"
+#include "sgnn/util/timer.hpp"
+
+namespace sgnn {
+
+Trainer::Trainer(EGNNModel& model, const TrainOptions& options)
+    : model_(model), options_(options), optimizer_(model.parameters(),
+                                                   options.adam) {
+  SGNN_CHECK(options.epochs > 0, "epochs must be positive");
+}
+
+Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
+  const WallTimer timer;
+  double loss_sum = 0;
+  std::int64_t batches = 0;
+
+  loader.begin_epoch();
+  EGNNModel::ForwardOptions forward_options;
+  forward_options.activation_checkpointing =
+      options_.activation_checkpointing;
+
+  while (loader.has_next()) {
+    GraphBatch batch = loader.next();
+    if (use_baseline_) baseline_.subtract_from(batch);
+    optimizer_.zero_grad();
+
+    Tensor total;
+    {
+      const ScopedTrainPhase phase(TrainPhase::kForward);
+      const auto out = model_.forward(batch, forward_options);
+      LossTerms terms = multitask_loss(out, batch, options_.loss_weights);
+      loss_sum += terms.total.item();
+      total = terms.total;
+    }
+    {
+      const ScopedTrainPhase phase(TrainPhase::kBackward);
+      total.backward();
+    }
+    {
+      const ScopedTrainPhase phase(TrainPhase::kOptimizer);
+      if (options_.schedule) {
+        optimizer_.set_learning_rate(options_.schedule->at_step(global_step_));
+      }
+      if (options_.max_grad_norm > 0) {
+        clip_grad_norm(model_.parameters(), options_.max_grad_norm);
+      }
+      optimizer_.step();
+      ++global_step_;
+    }
+    ++batches;
+  }
+
+  EpochResult result;
+  result.mean_train_loss =
+      batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+std::vector<Trainer::EpochResult> Trainer::fit(DataLoader& loader) {
+  std::vector<EpochResult> history;
+  double lr = options_.adam.learning_rate;
+  for (std::int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // A step-based schedule takes precedence over the per-epoch decay.
+    if (!options_.schedule) optimizer_.set_learning_rate(lr);
+    history.push_back(train_epoch(loader));
+    lr *= options_.lr_decay;
+  }
+  return history;
+}
+
+EvalMetrics Trainer::evaluate(const std::vector<const MolecularGraph*>& graphs,
+                              std::int64_t batch_size) const {
+  SGNN_CHECK(!graphs.empty(), "evaluate on empty set");
+  MetricAccumulator accumulator;
+  std::size_t cursor = 0;
+  while (cursor < graphs.size()) {
+    std::vector<const MolecularGraph*> chunk;
+    while (cursor < graphs.size() &&
+           chunk.size() < static_cast<std::size_t>(batch_size)) {
+      chunk.push_back(graphs[cursor++]);
+    }
+    GraphBatch batch = GraphBatch::from_graphs(chunk);
+    if (use_baseline_) baseline_.subtract_from(batch);
+    accumulator.add(evaluate_batch(model_, batch, options_.loss_weights));
+  }
+  return accumulator.mean();
+}
+
+}  // namespace sgnn

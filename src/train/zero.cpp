@@ -1,0 +1,149 @@
+#include "sgnn/train/zero.hpp"
+
+#include <algorithm>
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+std::vector<real> flatten_parameters(const std::vector<Tensor>& parameters) {
+  std::vector<real> flat;
+  for (const auto& p : parameters) {
+    const real* d = p.data();
+    flat.insert(flat.end(), d, d + p.numel());
+  }
+  return flat;
+}
+
+std::vector<real> flatten_gradients(const std::vector<Tensor>& parameters) {
+  std::vector<real> flat;
+  for (const auto& p : parameters) {
+    const Tensor grad = p.grad();
+    if (grad.defined()) {
+      const real* d = grad.data();
+      flat.insert(flat.end(), d, d + grad.numel());
+    } else {
+      flat.insert(flat.end(), static_cast<std::size_t>(p.numel()), real{0});
+    }
+  }
+  return flat;
+}
+
+void unflatten_into_parameters(const std::vector<real>& flat,
+                               std::vector<Tensor>& parameters) {
+  std::size_t offset = 0;
+  for (auto& p : parameters) {
+    const auto n = static_cast<std::size_t>(p.numel());
+    SGNN_CHECK(offset + n <= flat.size(), "unflatten size mismatch");
+    std::copy_n(flat.data() + offset, n, p.data());
+    offset += n;
+  }
+  SGNN_CHECK(offset == flat.size(), "unflatten left " << flat.size() - offset
+                                                      << " dangling values");
+}
+
+namespace {
+
+std::size_t total_elements(const std::vector<Tensor>& parameters) {
+  std::size_t total = 0;
+  for (const auto& p : parameters) total += static_cast<std::size_t>(p.numel());
+  return total;
+}
+
+}  // namespace
+
+DDPAdam::DDPAdam(Communicator& comm, std::vector<Tensor> parameters,
+                 const Adam::Options& options)
+    : comm_(comm), parameters_(std::move(parameters)), options_(options) {
+  SGNN_CHECK(!parameters_.empty(), "DDPAdam needs parameters");
+  const auto n = static_cast<std::int64_t>(total_elements(parameters_));
+  const ScopedMemCategory scope(MemCategory::kOptimizerState);
+  m_ = Tensor::zeros(Shape{n});
+  v_ = Tensor::zeros(Shape{n});
+}
+
+void DDPAdam::step(int rank) {
+  ++timestep_;
+  std::vector<real> grad = flatten_gradients(parameters_);
+  const ScopedBytes grad_staging(grad.size() * sizeof(real),
+                                 MemCategory::kWorkspace);
+  comm_.all_reduce_sum(rank, grad);
+  const auto scale = real{1} / static_cast<real>(comm_.num_ranks());
+  for (auto& g : grad) g *= scale;
+
+  std::vector<real> param = flatten_parameters(parameters_);
+  const ScopedBytes param_staging(param.size() * sizeof(real),
+                                  MemCategory::kWorkspace);
+  Adam::update_flat(param.data(), grad.data(), m_.data(), v_.data(),
+                    param.size(), timestep_, options_);
+  unflatten_into_parameters(param, parameters_);
+}
+
+void DDPAdam::zero_grad() {
+  for (auto& p : parameters_) p.zero_grad();
+}
+
+ZeroAdam::ZeroAdam(Communicator& comm, std::vector<Tensor> parameters,
+                   const Adam::Options& options, int stage)
+    : comm_(comm),
+      parameters_(std::move(parameters)),
+      options_(options),
+      stage_(stage) {
+  SGNN_CHECK(!parameters_.empty(), "ZeroAdam needs parameters");
+  SGNN_CHECK(stage == 1 || stage == 2, "ZeRO stage must be 1 or 2");
+  total_elements_ = total_elements(parameters_);
+  // The shard this rank owns is fixed by its position in the communicator;
+  // every rank constructs its own ZeroAdam, so each allocates 1/R of the
+  // optimizer state — the ZeRO stage-1 saving, visible to the memory
+  // tracker. We size it to the LARGEST shard so ranks are interchangeable.
+  std::size_t max_shard = 0;
+  for (int r = 0; r < comm.num_ranks(); ++r) {
+    const auto [begin, end] =
+        Communicator::shard_range(total_elements_, r, comm.num_ranks());
+    max_shard = std::max(max_shard, end - begin);
+  }
+  const ScopedMemCategory scope(MemCategory::kOptimizerState);
+  m_ = Tensor::zeros(Shape{static_cast<std::int64_t>(max_shard)});
+  v_ = Tensor::zeros(Shape{static_cast<std::int64_t>(max_shard)});
+}
+
+void ZeroAdam::step(int rank) {
+  ++timestep_;
+  const std::vector<real> grad = flatten_gradients(parameters_);
+  const ScopedBytes grad_staging(grad.size() * sizeof(real),
+                                 MemCategory::kWorkspace);
+  SGNN_CHECK(grad.size() == total_elements_, "gradient size changed");
+
+  // Gradient shard for this rank (summed across ranks), then averaged.
+  std::vector<real> grad_shard = comm_.reduce_scatter_sum(rank, grad);
+  if (stage_ == 2) {
+    // Gradient partitioning: the full per-parameter gradient buffers are
+    // no longer needed once the owned shard exists.
+    for (auto& p : parameters_) p.zero_grad();
+  }
+  const auto scale = real{1} / static_cast<real>(comm_.num_ranks());
+  for (auto& g : grad_shard) g *= scale;
+
+  // Update only the owned parameter shard with the owned optimizer state.
+  std::vector<real> param = flatten_parameters(parameters_);
+  const ScopedBytes param_staging(param.size() * sizeof(real),
+                                  MemCategory::kWorkspace);
+  const auto [begin, end] =
+      Communicator::shard_range(total_elements_, rank, comm_.num_ranks());
+  SGNN_CHECK(end - begin == grad_shard.size(), "shard size mismatch");
+  std::vector<real> param_shard(param.begin() + static_cast<std::ptrdiff_t>(begin),
+                                param.begin() + static_cast<std::ptrdiff_t>(end));
+  Adam::update_flat(param_shard.data(), grad_shard.data(), m_.data(),
+                    v_.data(), param_shard.size(), timestep_, options_);
+
+  // Reassemble the full updated parameter vector on every rank.
+  const std::vector<real> gathered = comm_.all_gather(rank, param_shard);
+  SGNN_CHECK(gathered.size() == total_elements_, "all_gather size mismatch");
+  unflatten_into_parameters(gathered, parameters_);
+}
+
+void ZeroAdam::zero_grad() {
+  for (auto& p : parameters_) p.zero_grad();
+}
+
+}  // namespace sgnn

@@ -1,0 +1,113 @@
+#include "sgnn/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SGNN_CHECK(!headers_.empty(), "table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SGNN_CHECK(cells.size() == headers_.size(),
+             "row arity " << cells.size() << " != header arity "
+                          << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_ascii(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string s = "+";
+    for (const auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  out += rule();
+  out += line(headers_);
+  out += rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << headers_[c] << (c + 1 < headers_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+  return os.str();
+}
+
+std::string Table::fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::scientific(double value, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::human_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  while (bytes >= 1000.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(bytes < 10 ? 2 : (bytes < 100 ? 1 : 0))
+     << bytes << " " << kUnits[unit];
+  return os.str();
+}
+
+std::string Table::human_count(double count) {
+  static const char* kUnits[] = {"", "K", "M", "B", "T"};
+  int unit = 0;
+  while (std::abs(count) >= 1000.0 && unit < 4) {
+    count /= 1000.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed
+     << std::setprecision(std::abs(count) < 10 ? 2 : (std::abs(count) < 100 ? 1 : 0))
+     << count;
+  if (unit > 0) os << " " << kUnits[unit];
+  return os.str();
+}
+
+}  // namespace sgnn

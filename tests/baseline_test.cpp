@@ -1,0 +1,98 @@
+#include "sgnn/train/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sgnn/data/sources.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+MolecularGraph graph_with(const std::vector<int>& species, double energy) {
+  MolecularGraph g;
+  g.structure.species = species;
+  for (std::size_t i = 0; i < species.size(); ++i) {
+    g.structure.positions.push_back({static_cast<double>(i) * 10, 0, 0});
+  }
+  g.edges = {};  // no edges needed for baseline fitting
+  g.energy = energy;
+  g.forces.assign(species.size(), Vec3{0, 0, 0});
+  return g;
+}
+
+TEST(BaselineTest, DefaultIsIdentity) {
+  const EnergyBaseline baseline;
+  EXPECT_EQ(baseline.offset({elements::kC, elements::kO}), 0.0);
+}
+
+TEST(BaselineTest, RecoversExactLinearComposition) {
+  // Energies are exactly 2*n_H + 5*n_O: the fit must recover e0 exactly.
+  std::vector<MolecularGraph> graphs = {
+      graph_with({elements::kH, elements::kH}, 4.0),
+      graph_with({elements::kO}, 5.0),
+      graph_with({elements::kH, elements::kO}, 7.0),
+      graph_with({elements::kH, elements::kH, elements::kO}, 9.0),
+  };
+  std::vector<const MolecularGraph*> view;
+  for (const auto& g : graphs) view.push_back(&g);
+  const EnergyBaseline baseline = EnergyBaseline::fit(view);
+  EXPECT_NEAR(baseline.species_energy(elements::kH), 2.0, 1e-4);
+  EXPECT_NEAR(baseline.species_energy(elements::kO), 5.0, 1e-4);
+  EXPECT_NEAR(baseline.offset({elements::kH, elements::kO, elements::kO}),
+              12.0, 1e-5);
+}
+
+TEST(BaselineTest, UnseenSpeciesHasZeroEnergy) {
+  std::vector<MolecularGraph> graphs = {graph_with({elements::kH}, 1.0)};
+  std::vector<const MolecularGraph*> view = {&graphs[0]};
+  const EnergyBaseline baseline = EnergyBaseline::fit(view);
+  EXPECT_EQ(baseline.species_energy(elements::kPt), 0.0);
+}
+
+TEST(BaselineTest, SubtractFromBatchRemovesComposition) {
+  std::vector<MolecularGraph> graphs = {
+      graph_with({elements::kH, elements::kH}, 4.0),
+      graph_with({elements::kO}, 5.0),
+      graph_with({elements::kH, elements::kO}, 7.0),
+  };
+  std::vector<const MolecularGraph*> view;
+  for (const auto& g : graphs) view.push_back(&g);
+  const EnergyBaseline baseline = EnergyBaseline::fit(view);
+
+  GraphBatch batch = GraphBatch::from_graphs(view);
+  baseline.subtract_from(batch);
+  const real* e = batch.energy.data();
+  for (std::int64_t g = 0; g < batch.num_graphs; ++g) {
+    EXPECT_NEAR(e[g], 0.0, 1e-5) << "graph " << g;
+  }
+}
+
+TEST(BaselineTest, ShrinksResidualsOnRealGeneratedData) {
+  const ReferencePotential potential;
+  Rng rng(77);
+  std::vector<MolecularGraph> graphs;
+  for (int i = 0; i < 20; ++i) {
+    graphs.push_back(generate_sample(DataSource::kANI1x, rng, potential));
+    graphs.push_back(generate_sample(DataSource::kMPTrj, rng, potential));
+  }
+  std::vector<const MolecularGraph*> view;
+  for (const auto& g : graphs) view.push_back(&g);
+  const EnergyBaseline baseline = EnergyBaseline::fit(view);
+
+  double raw = 0;
+  double residual = 0;
+  for (const auto& g : graphs) {
+    raw += g.energy * g.energy;
+    const double r = g.energy - baseline.offset(g.structure.species);
+    residual += r * r;
+  }
+  // Composition explains the overwhelming majority of the energy variance.
+  EXPECT_LT(residual, 0.05 * raw);
+}
+
+TEST(BaselineTest, FitOnEmptySetThrows) {
+  EXPECT_THROW(EnergyBaseline::fit({}), Error);
+}
+
+}  // namespace
+}  // namespace sgnn

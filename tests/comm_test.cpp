@@ -1,0 +1,166 @@
+#include "sgnn/comm/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sgnn {
+namespace {
+
+/// Runs `body(rank)` on num_ranks threads and joins.
+template <typename Body>
+void run_ranks(int num_ranks, Body body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) threads.emplace_back(body, r);
+  for (auto& t : threads) t.join();
+}
+
+class CommRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommRankSweep, AllReduceMatchesSequentialSum) {
+  const int R = GetParam();
+  Communicator comm(R);
+  const std::size_t n = 37;  // deliberately not divisible by R
+  std::vector<std::vector<real>> data(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      data[static_cast<std::size_t>(r)].push_back(
+          static_cast<real>(r * 100) + static_cast<real>(i));
+    }
+  }
+  run_ranks(R, [&](int rank) {
+    comm.all_reduce_sum(rank, data[static_cast<std::size_t>(rank)]);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    real expected = 0;
+    for (int r = 0; r < R; ++r) {
+      expected += static_cast<real>(r * 100) + static_cast<real>(i);
+    }
+    for (int r = 0; r < R; ++r) {
+      EXPECT_DOUBLE_EQ(data[static_cast<std::size_t>(r)][i], expected)
+          << "rank " << r << " element " << i;
+    }
+  }
+}
+
+TEST_P(CommRankSweep, ReduceScatterThenAllGatherReconstructsSum) {
+  const int R = GetParam();
+  Communicator comm(R);
+  const std::size_t n = 41;
+  std::vector<std::vector<real>> input(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      input[static_cast<std::size_t>(r)].push_back(
+          static_cast<real>((r + 1)) * static_cast<real>(i));
+    }
+  }
+  std::vector<std::vector<real>> reconstructed(static_cast<std::size_t>(R));
+  run_ranks(R, [&](int rank) {
+    const auto shard =
+        comm.reduce_scatter_sum(rank, input[static_cast<std::size_t>(rank)]);
+    reconstructed[static_cast<std::size_t>(rank)] =
+        comm.all_gather(rank, shard);
+  });
+  for (int r = 0; r < R; ++r) {
+    ASSERT_EQ(reconstructed[static_cast<std::size_t>(r)].size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      real expected = 0;
+      for (int s = 0; s < R; ++s) {
+        expected += static_cast<real>(s + 1) * static_cast<real>(i);
+      }
+      EXPECT_DOUBLE_EQ(reconstructed[static_cast<std::size_t>(r)][i],
+                       expected);
+    }
+  }
+}
+
+TEST_P(CommRankSweep, BroadcastReplicatesRoot) {
+  const int R = GetParam();
+  Communicator comm(R);
+  const int root = R - 1;
+  std::vector<std::vector<real>> data(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    data[static_cast<std::size_t>(r)] = {static_cast<real>(r),
+                                         static_cast<real>(r * 2)};
+  }
+  run_ranks(R, [&](int rank) {
+    comm.broadcast(rank, data[static_cast<std::size_t>(rank)], root);
+  });
+  for (int r = 0; r < R; ++r) {
+    EXPECT_EQ(data[static_cast<std::size_t>(r)],
+              (std::vector<real>{static_cast<real>(root),
+                                 static_cast<real>(root * 2)}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CommRankSweep, ::testing::Values(1, 2, 3, 4, 7));
+
+TEST(CommTest, ShardRangeBalancedPartition) {
+  // 10 elements over 4 ranks: 3, 3, 2, 2.
+  EXPECT_EQ(Communicator::shard_range(10, 0, 4), (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(Communicator::shard_range(10, 1, 4), (std::pair<std::size_t, std::size_t>{3, 6}));
+  EXPECT_EQ(Communicator::shard_range(10, 2, 4), (std::pair<std::size_t, std::size_t>{6, 8}));
+  EXPECT_EQ(Communicator::shard_range(10, 3, 4), (std::pair<std::size_t, std::size_t>{8, 10}));
+  // Full coverage property across sizes and rank counts.
+  for (const std::size_t n : {0u, 1u, 5u, 16u, 97u}) {
+    for (const int ranks : {1, 2, 3, 8}) {
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (int r = 0; r < ranks; ++r) {
+        const auto [begin, end] = Communicator::shard_range(n, r, ranks);
+        EXPECT_EQ(begin, expected_begin);
+        covered += end - begin;
+        expected_begin = end;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(CommTest, TrafficCountsPayloadOncePerCall) {
+  const int R = 4;
+  Communicator comm(R);
+  std::vector<std::vector<real>> data(
+      R, std::vector<real>(100, real{1}));
+  run_ranks(R, [&](int rank) {
+    comm.all_reduce_sum(rank, data[static_cast<std::size_t>(rank)]);
+    comm.all_reduce_sum(rank, data[static_cast<std::size_t>(rank)]);
+  });
+  const auto traffic = comm.traffic();
+  EXPECT_EQ(traffic.all_reduce_bytes, 2 * 100 * sizeof(real));
+  EXPECT_EQ(traffic.collective_calls, 2u);
+  comm.reset_traffic();
+  EXPECT_EQ(comm.traffic().total_bytes(), 0u);
+}
+
+TEST(CommTest, BarrierSynchronizesPhases) {
+  const int R = 3;
+  Communicator comm(R);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> violated{false};
+  run_ranks(R, [&](int) {
+    phase_counter.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must observe all R arrivals.
+    if (phase_counter.load() != R) violated = true;
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(InterconnectModelTest, CostScalesWithBytesAndRanks) {
+  const InterconnectModel model;
+  EXPECT_EQ(model.all_reduce_seconds(1 << 20, 1), 0.0);
+  const double t4 = model.all_reduce_seconds(1 << 20, 4);
+  const double t4_big = model.all_reduce_seconds(1 << 24, 4);
+  EXPECT_GT(t4, 0.0);
+  EXPECT_GT(t4_big, t4);
+  // All-reduce moves twice the data of a reduce-scatter.
+  EXPECT_GT(model.all_reduce_seconds(1 << 24, 4),
+            model.reduce_scatter_seconds(1 << 24, 4));
+}
+
+}  // namespace
+}  // namespace sgnn

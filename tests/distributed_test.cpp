@@ -1,0 +1,345 @@
+#include "sgnn/train/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "sgnn/data/dataset.hpp"
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/train/zero.hpp"
+
+namespace sgnn {
+namespace {
+
+const AggregatedDataset& tiny_dataset() {
+  static const AggregatedDataset dataset = [] {
+    DatasetOptions options;
+    options.target_bytes = 700 << 10;
+    options.seed = 31;
+    static const ReferencePotential potential;
+    return AggregatedDataset::generate(options, potential);
+  }();
+  return dataset;
+}
+
+std::unique_ptr<DDStore> make_store(int ranks) {
+  auto store = std::make_unique<DDStore>(ranks);
+  store->insert(tiny_dataset().graphs());
+  return store;
+}
+
+template <typename Body>
+void run_ranks(int num_ranks, Body body) {
+  std::vector<std::thread> threads;
+  for (int r = 0; r < num_ranks; ++r) threads.emplace_back(body, r);
+  for (auto& t : threads) t.join();
+}
+
+TEST(FlattenTest, RoundTrip) {
+  Rng rng(1);
+  std::vector<Tensor> params = {
+      Tensor::randn(Shape{3, 4}, rng).set_requires_grad(true),
+      Tensor::randn(Shape{7}, rng).set_requires_grad(true)};
+  const auto flat = flatten_parameters(params);
+  ASSERT_EQ(flat.size(), 19u);
+  std::vector<real> modified = flat;
+  for (auto& v : modified) v += 1.0;
+  unflatten_into_parameters(modified, params);
+  EXPECT_DOUBLE_EQ(params[0].to_vector()[0], flat[0] + 1.0);
+  EXPECT_DOUBLE_EQ(params[1].to_vector()[6], flat[18] + 1.0);
+}
+
+TEST(FlattenTest, UndefinedGradientsBecomeZeros) {
+  Tensor with_grad = Tensor::scalar(2.0).set_requires_grad(true);
+  Tensor without = Tensor::scalar(3.0).set_requires_grad(true);
+  square(with_grad).backward();
+  const auto flat = flatten_gradients({with_grad, without});
+  EXPECT_DOUBLE_EQ(flat[0], 4.0);
+  EXPECT_DOUBLE_EQ(flat[1], 0.0);
+}
+
+/// Property: R-rank DDP and ZeRO updates must equal a single-process Adam
+/// step on the rank-averaged gradient.
+class StrategyEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyEquivalence, DistributedUpdatesMatchSingleProcessAdam) {
+  const int R = GetParam();
+  Rng rng(42);
+  const Tensor init_a = Tensor::randn(Shape{13}, rng);
+  const Tensor init_b = Tensor::randn(Shape{3, 5}, rng);
+
+  // Per-rank gradients, fixed by formula.
+  const auto grad_for = [&](int rank, const Shape& shape, int salt) {
+    Tensor g = Tensor::zeros(shape);
+    real* p = g.data();
+    for (std::int64_t i = 0; i < g.numel(); ++i) {
+      p[i] = static_cast<real>(0.01) * static_cast<real>(rank + 1) *
+             static_cast<real>(i + salt);
+    }
+    return g;
+  };
+
+  // Reference: single Adam on the averaged gradients for 3 steps.
+  std::vector<Tensor> ref = {init_a.clone().set_requires_grad(true),
+                             init_b.clone().set_requires_grad(true)};
+  Adam::Options options;
+  options.learning_rate = 0.05;
+  {
+    Tensor m_a = Tensor::zeros(Shape{13});
+    Tensor v_a = Tensor::zeros(Shape{13});
+    Tensor m_b = Tensor::zeros(Shape{3, 5});
+    Tensor v_b = Tensor::zeros(Shape{3, 5});
+    for (int step = 1; step <= 3; ++step) {
+      for (int which = 0; which < 2; ++which) {
+        const Shape shape = which == 0 ? Shape{13} : Shape{3, 5};
+        Tensor avg = Tensor::zeros(shape);
+        for (int r = 0; r < R; ++r) {
+          const Tensor g = grad_for(r, shape, step + which);
+          const real* pg = g.data();
+          real* pa = avg.data();
+          for (std::int64_t i = 0; i < avg.numel(); ++i) pa[i] += pg[i];
+        }
+        real* pa = avg.data();
+        for (std::int64_t i = 0; i < avg.numel(); ++i) {
+          pa[i] /= static_cast<real>(R);
+        }
+        Adam::update_flat(ref[static_cast<std::size_t>(which)].data(),
+                          avg.data(),
+                          which == 0 ? m_a.data() : m_b.data(),
+                          which == 0 ? v_a.data() : v_b.data(),
+                          static_cast<std::size_t>(avg.numel()), step,
+                          options);
+      }
+    }
+  }
+
+  for (const bool use_zero : {false, true}) {
+    Communicator comm(R);
+    // Per-rank replicas of the two parameters.
+    std::vector<std::vector<Tensor>> params(static_cast<std::size_t>(R));
+    for (int r = 0; r < R; ++r) {
+      params[static_cast<std::size_t>(r)] = {
+          init_a.clone().set_requires_grad(true),
+          init_b.clone().set_requires_grad(true)};
+    }
+    std::vector<std::unique_ptr<DDPAdam>> ddp(static_cast<std::size_t>(R));
+    std::vector<std::unique_ptr<ZeroAdam>> zero(static_cast<std::size_t>(R));
+    for (int r = 0; r < R; ++r) {
+      if (use_zero) {
+        zero[static_cast<std::size_t>(r)] = std::make_unique<ZeroAdam>(
+            comm, params[static_cast<std::size_t>(r)], options);
+      } else {
+        ddp[static_cast<std::size_t>(r)] = std::make_unique<DDPAdam>(
+            comm, params[static_cast<std::size_t>(r)], options);
+      }
+    }
+    run_ranks(R, [&](int rank) {
+      const auto ri = static_cast<std::size_t>(rank);
+      for (int step = 1; step <= 3; ++step) {
+        // Install gradients by differentiating a synthetic objective whose
+        // gradient is exactly grad_for(...).
+        for (int which = 0; which < 2; ++which) {
+          Tensor& p = params[ri][static_cast<std::size_t>(which)];
+          p.zero_grad();
+          const Shape shape = which == 0 ? Shape{13} : Shape{3, 5};
+          const Tensor coeff = grad_for(rank, shape, step + which);
+          sum(p * coeff.detach()).backward();
+        }
+        if (use_zero) {
+          zero[ri]->step(rank);
+        } else {
+          ddp[ri]->step(rank);
+        }
+      }
+    });
+
+    for (int r = 0; r < R; ++r) {
+      for (int which = 0; which < 2; ++which) {
+        const auto got =
+            params[static_cast<std::size_t>(r)][static_cast<std::size_t>(which)]
+                .to_vector();
+        const auto want = ref[static_cast<std::size_t>(which)].to_vector();
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          EXPECT_NEAR(got[i], want[i], 1e-12)
+              << (use_zero ? "zero" : "ddp") << " rank " << r << " param "
+              << which << " element " << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, StrategyEquivalence,
+                         ::testing::Values(1, 2, 4));
+
+TEST(ZeroAdamTest, Stage2MatchesStage1Updates) {
+  // Gradient partitioning is a memory optimization only: stage 2 must be
+  // numerically identical to stage 1.
+  const int R = 2;
+  Rng rng(99);
+  const Tensor init = Tensor::randn(Shape{9}, rng);
+
+  const auto run = [&](int stage) {
+    Communicator comm(R);
+    std::vector<std::vector<Tensor>> params(R);
+    std::vector<std::unique_ptr<ZeroAdam>> opt(R);
+    for (int r = 0; r < R; ++r) {
+      params[static_cast<std::size_t>(r)] = {
+          init.clone().set_requires_grad(true)};
+      opt[static_cast<std::size_t>(r)] = std::make_unique<ZeroAdam>(
+          comm, params[static_cast<std::size_t>(r)], Adam::Options{}, stage);
+    }
+    run_ranks(R, [&](int rank) {
+      const auto ri = static_cast<std::size_t>(rank);
+      for (int step = 0; step < 3; ++step) {
+        Tensor& p = params[ri][0];
+        p.zero_grad();
+        sum(p * static_cast<real>(rank + 1)).backward();
+        opt[ri]->step(rank);
+      }
+    });
+    return params[0][0].to_vector();
+  };
+
+  EXPECT_EQ(run(1), run(2));
+}
+
+TEST(ZeroAdamTest, Stage2ReleasesGradientBuffers) {
+  const int R = 2;
+  Communicator comm(R);
+  Rng rng(7);
+  std::vector<std::vector<Tensor>> params(R);
+  std::vector<std::unique_ptr<ZeroAdam>> opt(R);
+  for (int r = 0; r < R; ++r) {
+    params[static_cast<std::size_t>(r)] = {
+        Tensor::randn(Shape{64}, rng).set_requires_grad(true)};
+    opt[static_cast<std::size_t>(r)] = std::make_unique<ZeroAdam>(
+        comm, params[static_cast<std::size_t>(r)], Adam::Options{},
+        /*stage=*/2);
+  }
+  run_ranks(R, [&](int rank) {
+    const auto ri = static_cast<std::size_t>(rank);
+    Tensor& p = params[ri][0];
+    sum(square(p)).backward();
+    opt[ri]->step(rank);
+  });
+  // Stage 2 dropped every gradient during the step.
+  for (int r = 0; r < R; ++r) {
+    EXPECT_FALSE(params[static_cast<std::size_t>(r)][0].grad().defined());
+  }
+}
+
+TEST(ZeroAdamTest, OptimizerStateIsShardedAcrossRanks) {
+  const int R = 4;
+  Communicator comm(R);
+  Rng rng(7);
+  const auto state_bytes = [&] {
+    return MemoryTracker::instance().live().of(MemCategory::kOptimizerState);
+  };
+
+  std::vector<Tensor> params = {
+      Tensor::randn(Shape{1000}, rng).set_requires_grad(true)};
+  const auto before = state_bytes();
+  const ZeroAdam sharded(comm, params, {});
+  const auto shard_cost = state_bytes() - before;
+  // 2 moments x 1000/4 elements (x sizeof real).
+  EXPECT_EQ(shard_cost, static_cast<std::int64_t>(2 * 250 * sizeof(real)));
+  EXPECT_EQ(sharded.shard_elements(), 250u);
+
+  Communicator solo(1);
+  const auto before_full = state_bytes();
+  const DDPAdam full(solo, params, {});
+  const auto full_cost = state_bytes() - before_full;
+  EXPECT_EQ(full_cost, static_cast<std::int64_t>(2 * 1000 * sizeof(real)));
+}
+
+TEST(DistributedTrainerTest, DDPTrainsAndReplicasStayInSync) {
+  ModelConfig config;
+  config.hidden_dim = 12;
+  config.num_layers = 2;
+  DistTrainOptions options;
+  options.num_ranks = 2;
+  options.epochs = 1;
+  options.per_rank_batch_size = 4;
+  options.strategy = DistStrategy::kDDP;
+
+  DistributedTrainer trainer(config, options);
+  const auto store = make_store(2);
+  const DistTrainReport report = trainer.train(*store);
+
+  EXPECT_GT(report.steps, 0);
+  EXPECT_GT(report.final_train_loss, 0);
+  EXPECT_EQ(trainer.replica_divergence(), 0.0);
+  EXPECT_GT(report.collective_traffic.all_reduce_bytes, 0u);
+  EXPECT_EQ(report.collective_traffic.reduce_scatter_bytes, 0u);
+  EXPECT_GT(report.comm_seconds, 0.0);
+}
+
+TEST(DistributedTrainerTest, ZeroUsesScatterGatherInsteadOfAllReduce) {
+  ModelConfig config;
+  config.hidden_dim = 12;
+  config.num_layers = 2;
+  DistTrainOptions options;
+  options.num_ranks = 2;
+  options.epochs = 1;
+  options.per_rank_batch_size = 4;
+  options.strategy = DistStrategy::kZeRO1;
+
+  DistributedTrainer trainer(config, options);
+  const auto store = make_store(2);
+  const DistTrainReport report = trainer.train(*store);
+
+  EXPECT_EQ(trainer.replica_divergence(), 0.0);
+  EXPECT_EQ(report.collective_traffic.all_reduce_bytes, 0u);
+  EXPECT_GT(report.collective_traffic.reduce_scatter_bytes, 0u);
+  EXPECT_GT(report.collective_traffic.all_gather_bytes, 0u);
+}
+
+TEST(DistributedTrainerTest, DDPAndZeroLearnTheSameModel) {
+  // Same seeds, same data, same schedule: the two strategies must produce
+  // numerically equivalent models (ZeRO is an exact refactoring of Adam).
+  const auto run = [&](DistStrategy strategy) {
+    ModelConfig config;
+    config.hidden_dim = 10;
+    config.num_layers = 2;
+    DistTrainOptions options;
+    options.num_ranks = 2;
+    options.epochs = 1;
+    options.per_rank_batch_size = 4;
+    options.strategy = strategy;
+    DistributedTrainer trainer(config, options);
+    const auto store = make_store(2);
+    trainer.train(*store);
+    return flatten_parameters(
+        const_cast<EGNNModel&>(trainer.model()).parameters());
+  };
+  const auto ddp = run(DistStrategy::kDDP);
+  const auto zero = run(DistStrategy::kZeRO1);
+  ASSERT_EQ(ddp.size(), zero.size());
+  for (std::size_t i = 0; i < ddp.size(); ++i) {
+    EXPECT_NEAR(ddp[i], zero[i], 1e-10) << "element " << i;
+  }
+}
+
+TEST(DistributedTrainerTest, DataTrafficReflectsShardLocality) {
+  ModelConfig config;
+  config.hidden_dim = 8;
+  config.num_layers = 1;
+  DistTrainOptions options;
+  options.num_ranks = 2;
+  options.epochs = 1;
+  options.per_rank_batch_size = 2;
+  DistributedTrainer trainer(config, options);
+  const auto store = make_store(2);
+  const DistTrainReport report = trainer.train(*store);
+  // With random sampling over 2 shards, roughly half the fetches are
+  // remote; require a sane nonzero split rather than an exact ratio.
+  EXPECT_GT(report.data_traffic.local_hits, 0u);
+  EXPECT_GT(report.data_traffic.remote_fetches, 0u);
+  EXPECT_GT(report.data_traffic.remote_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace sgnn

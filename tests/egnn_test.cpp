@@ -1,0 +1,487 @@
+#include "sgnn/nn/egnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "sgnn/graph/batch.hpp"
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+using Mat3 = std::array<std::array<double, 3>, 3>;
+
+Vec3 rotate_vec(const Mat3& m, const Vec3& v) {
+  return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+          m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+          m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+}
+
+/// Random proper rotation via composed axis rotations.
+Mat3 random_rotation(Rng& rng) {
+  const double a = rng.uniform(0, 2 * M_PI);
+  const double b = rng.uniform(0, 2 * M_PI);
+  const double c = rng.uniform(0, 2 * M_PI);
+  const Mat3 rz{{{std::cos(a), -std::sin(a), 0},
+                 {std::sin(a), std::cos(a), 0},
+                 {0, 0, 1}}};
+  const Mat3 ry{{{std::cos(b), 0, std::sin(b)},
+                 {0, 1, 0},
+                 {-std::sin(b), 0, std::cos(b)}}};
+  const Mat3 rx{{{1, 0, 0},
+                 {0, std::cos(c), -std::sin(c)},
+                 {0, std::sin(c), std::cos(c)}}};
+  const auto matmul3 = [](const Mat3& p, const Mat3& q) {
+    Mat3 r{};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        for (int k = 0; k < 3; ++k) r[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] += p[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] * q[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+      }
+    }
+    return r;
+  };
+  return matmul3(rz, matmul3(ry, rx));
+}
+
+AtomicStructure random_molecule(std::int64_t atoms, Rng& rng) {
+  AtomicStructure s;
+  const int palette[] = {elements::kH, elements::kC, elements::kN,
+                         elements::kO};
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    s.species.push_back(palette[rng.uniform_index(4)]);
+    for (;;) {
+      const Vec3 p{rng.uniform(0, 6), rng.uniform(0, 6), rng.uniform(0, 6)};
+      bool ok = true;
+      for (const auto& q : s.positions) {
+        if ((p - q).norm() < 0.9) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        s.positions.push_back(p);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+GraphBatch batch_of(const AtomicStructure& s, double cutoff = 3.0) {
+  MolecularGraph g = MolecularGraph::from_structure(s, cutoff);
+  return GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&g});
+}
+
+ModelConfig tiny_config() {
+  ModelConfig config;
+  config.hidden_dim = 16;
+  config.num_layers = 3;
+  config.seed = 99;
+  return config;
+}
+
+TEST(ModelConfigTest, ClosedFormParameterCountMatchesModule) {
+  for (const std::int64_t width : {4, 16, 40}) {
+    for (const std::int64_t depth : {1, 3, 6}) {
+      ModelConfig config;
+      config.hidden_dim = width;
+      config.num_layers = depth;
+      const EGNNModel model(config);
+      EXPECT_EQ(model.num_parameters(), config.parameter_count())
+          << "width " << width << " depth " << depth;
+    }
+  }
+}
+
+TEST(ModelConfigTest, ParameterBudgetSearchIsAccurate) {
+  for (const std::int64_t target : {50'000, 300'000, 2'000'000}) {
+    const ModelConfig config = ModelConfig::for_parameter_budget(target, 3);
+    const double ratio = static_cast<double>(config.parameter_count()) /
+                         static_cast<double>(target);
+    EXPECT_GT(ratio, 0.9) << target;
+    EXPECT_LT(ratio, 1.1) << target;
+  }
+}
+
+TEST(ModelConfigTest, BudgetGrowsWidthMonotonically) {
+  const auto small = ModelConfig::for_parameter_budget(10'000, 3);
+  const auto large = ModelConfig::for_parameter_budget(1'000'000, 3);
+  EXPECT_LT(small.hidden_dim, large.hidden_dim);
+}
+
+TEST(EGNNTest, ForwardShapes) {
+  Rng rng(31);
+  const AtomicStructure s = random_molecule(12, rng);
+  const GraphBatch batch = batch_of(s);
+  const EGNNModel model(tiny_config());
+  const auto out = model.forward(batch);
+  EXPECT_EQ(out.energy.shape(), Shape({1, 1}));
+  EXPECT_EQ(out.forces.shape(), Shape({12, 3}));
+}
+
+TEST(EGNNTest, DeterministicForGivenSeed) {
+  Rng rng(32);
+  const AtomicStructure s = random_molecule(10, rng);
+  const GraphBatch batch = batch_of(s);
+  const EGNNModel a(tiny_config());
+  const EGNNModel b(tiny_config());
+  EXPECT_EQ(a.forward(batch).energy.item(), b.forward(batch).energy.item());
+}
+
+TEST(EGNNTest, DifferentSeedsDiffer) {
+  Rng rng(33);
+  const GraphBatch batch = batch_of(random_molecule(10, rng));
+  ModelConfig other = tiny_config();
+  other.seed = 100;
+  const EGNNModel a(tiny_config());
+  const EGNNModel b(other);
+  EXPECT_NE(a.forward(batch).energy.item(), b.forward(batch).energy.item());
+}
+
+TEST(EGNNTest, EnergyInvariantUnderTranslation) {
+  Rng rng(34);
+  AtomicStructure s = random_molecule(10, rng);
+  const EGNNModel model(tiny_config());
+  const double e0 = model.forward(batch_of(s)).energy.item();
+  for (auto& p : s.positions) p += Vec3{5.3, -2.1, 0.7};
+  EXPECT_NEAR(model.forward(batch_of(s)).energy.item(), e0, 1e-9);
+}
+
+TEST(EGNNTest, EnergyInvariantAndForcesEquivariantUnderRotation) {
+  Rng rng(35);
+  AtomicStructure s = random_molecule(10, rng);
+  const EGNNModel model(tiny_config());
+  const auto out0 = model.forward(batch_of(s));
+
+  Rng rot_rng(36);
+  const Mat3 rot = random_rotation(rot_rng);
+  AtomicStructure rotated = s;
+  for (auto& p : rotated.positions) p = rotate_vec(rot, p);
+  const auto out1 = model.forward(batch_of(rotated));
+
+  EXPECT_NEAR(out1.energy.item(), out0.energy.item(), 1e-9);
+  const real* f0 = out0.forces.data();
+  const real* f1 = out1.forces.data();
+  for (std::int64_t i = 0; i < 10; ++i) {
+    const Vec3 expected =
+        rotate_vec(rot, Vec3{f0[i * 3], f0[i * 3 + 1], f0[i * 3 + 2]});
+    EXPECT_NEAR(f1[i * 3 + 0], expected.x, 1e-9);
+    EXPECT_NEAR(f1[i * 3 + 1], expected.y, 1e-9);
+    EXPECT_NEAR(f1[i * 3 + 2], expected.z, 1e-9);
+  }
+}
+
+TEST(EGNNTest, EnergyInvariantUnderReflection) {
+  Rng rng(37);
+  AtomicStructure s = random_molecule(9, rng);
+  const EGNNModel model(tiny_config());
+  const auto out0 = model.forward(batch_of(s));
+  AtomicStructure mirrored = s;
+  for (auto& p : mirrored.positions) p.x = -p.x;
+  const auto out1 = model.forward(batch_of(mirrored));
+  EXPECT_NEAR(out1.energy.item(), out0.energy.item(), 1e-9);
+  // Forces reflect: x component flips, y/z stay.
+  const real* f0 = out0.forces.data();
+  const real* f1 = out1.forces.data();
+  for (std::int64_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(f1[i * 3 + 0], -f0[i * 3 + 0], 1e-9);
+    EXPECT_NEAR(f1[i * 3 + 1], f0[i * 3 + 1], 1e-9);
+  }
+}
+
+TEST(EGNNTest, PermutationEquivariance) {
+  Rng rng(38);
+  AtomicStructure s = random_molecule(8, rng);
+  const EGNNModel model(tiny_config());
+  const auto out0 = model.forward(batch_of(s));
+
+  AtomicStructure swapped = s;
+  std::swap(swapped.species[1], swapped.species[6]);
+  std::swap(swapped.positions[1], swapped.positions[6]);
+  const auto out1 = model.forward(batch_of(swapped));
+
+  EXPECT_NEAR(out1.energy.item(), out0.energy.item(), 1e-9);
+  const real* f0 = out0.forces.data();
+  const real* f1 = out1.forces.data();
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(f1[1 * 3 + c], f0[6 * 3 + c], 1e-9);
+    EXPECT_NEAR(f1[6 * 3 + c], f0[1 * 3 + c], 1e-9);
+  }
+}
+
+TEST(EGNNTest, BatchingDoesNotChangePredictions) {
+  Rng rng(39);
+  MolecularGraph a = MolecularGraph::from_structure(random_molecule(7, rng), 3.0);
+  MolecularGraph b = MolecularGraph::from_structure(random_molecule(11, rng), 3.0);
+  const EGNNModel model(tiny_config());
+
+  const auto solo_a = model.forward(
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&a}));
+  const auto solo_b = model.forward(
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&b}));
+  const auto joint = model.forward(
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&a, &b}));
+
+  EXPECT_NEAR(joint.energy.at(0, 0), solo_a.energy.item(), 1e-10);
+  EXPECT_NEAR(joint.energy.at(1, 0), solo_b.energy.item(), 1e-10);
+  // Forces of graph b occupy rows 7..17 of the joint output.
+  const real* fj = joint.forces.data();
+  const real* fb = solo_b.forces.data();
+  for (std::int64_t i = 0; i < 11 * 3; ++i) {
+    EXPECT_NEAR(fj[7 * 3 + i], fb[i], 1e-10);
+  }
+}
+
+TEST(EGNNTest, CheckpointedForwardMatchesPlain) {
+  Rng rng(40);
+  const GraphBatch batch = batch_of(random_molecule(14, rng));
+  const EGNNModel model(tiny_config());
+  const auto plain = model.forward(batch);
+  EGNNModel::ForwardOptions opts;
+  opts.activation_checkpointing = true;
+  const auto ckpt = model.forward(batch, opts);
+  EXPECT_DOUBLE_EQ(ckpt.energy.item(), plain.energy.item());
+  EXPECT_EQ(ckpt.forces.to_vector(), plain.forces.to_vector());
+}
+
+TEST(EGNNTest, CheckpointedGradientsMatchPlain) {
+  Rng rng(41);
+  const GraphBatch batch = batch_of(random_molecule(10, rng));
+  const EGNNModel model(tiny_config());
+
+  const auto run = [&](bool use_ckpt) {
+    EGNNModel::ForwardOptions opts;
+    opts.activation_checkpointing = use_ckpt;
+    const auto out = model.forward(batch, opts);
+    (sum(square(out.energy)) + sum(square(out.forces))).backward();
+    std::vector<std::vector<real>> grads;
+    for (auto& p : model.parameters()) {
+      grads.push_back(p.grad().to_vector());
+      p.zero_grad();
+    }
+    return grads;
+  };
+
+  const auto plain = run(false);
+  const auto ckpt = run(true);
+  ASSERT_EQ(plain.size(), ckpt.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], ckpt[i]) << "parameter " << i;
+  }
+}
+
+TEST(EGNNTest, GradientsReachEveryParameter) {
+  Rng rng(42);
+  const GraphBatch batch = batch_of(random_molecule(10, rng));
+  const EGNNModel model(tiny_config());
+  const auto out = model.forward(batch);
+  (sum(square(out.energy)) + sum(square(out.forces))).backward();
+  std::size_t nonzero = 0;
+  for (const auto& p : model.parameters()) {
+    ASSERT_TRUE(p.grad().defined());
+    for (const auto g : p.grad().to_vector()) {
+      if (g != 0) {
+        ++nonzero;
+        break;
+      }
+    }
+  }
+  // Every parameter tensor should receive gradient signal EXCEPT the last
+  // layer's coordinate gate phi_x (2 Linears = 4 tensors): its coordinate
+  // update feeds only the next layer's geometry, and there is no next
+  // layer. This mirrors PyTorch semantics (unused path -> zero grad).
+  EXPECT_EQ(nonzero, model.parameters().size() - 4);
+}
+
+TEST(EGNNTest, FeatureSpreadIsPopulatedAfterForward) {
+  Rng rng(43);
+  const GraphBatch batch = batch_of(random_molecule(10, rng));
+  const EGNNModel model(tiny_config());
+  (void)model.forward(batch);
+  EXPECT_GT(model.last_feature_spread(), 0.0);
+}
+
+// Every interaction kernel must preserve the symmetry contract and keep
+// graphs independent under batching.
+class KernelSuite : public ::testing::TestWithParam<MessagePassingKernel> {};
+
+TEST_P(KernelSuite, EnergyInvariantForcesEquivariant) {
+  Rng rng(71);
+  AtomicStructure s = random_molecule(9, rng);
+  ModelConfig config = tiny_config();
+  config.kernel = GetParam();
+  const EGNNModel model(config);
+  const auto out0 = model.forward(batch_of(s));
+
+  Rng rot_rng(72);
+  const Mat3 rot = random_rotation(rot_rng);
+  AtomicStructure rotated = s;
+  for (auto& p : rotated.positions) {
+    p = rotate_vec(rot, p) + Vec3{1.5, -2.0, 0.25};
+  }
+  const auto out1 = model.forward(batch_of(rotated));
+  EXPECT_NEAR(out1.energy.item(), out0.energy.item(), 1e-9)
+      << kernel_name(GetParam());
+  const real* f0 = out0.forces.data();
+  const real* f1 = out1.forces.data();
+  for (std::int64_t i = 0; i < 9; ++i) {
+    const Vec3 expected =
+        rotate_vec(rot, Vec3{f0[i * 3], f0[i * 3 + 1], f0[i * 3 + 2]});
+    EXPECT_NEAR(f1[i * 3 + 0], expected.x, 1e-9);
+    EXPECT_NEAR(f1[i * 3 + 1], expected.y, 1e-9);
+    EXPECT_NEAR(f1[i * 3 + 2], expected.z, 1e-9);
+  }
+}
+
+TEST_P(KernelSuite, ParameterCountMatchesClosedForm) {
+  ModelConfig config = tiny_config();
+  config.kernel = GetParam();
+  const EGNNModel model(config);
+  EXPECT_EQ(model.num_parameters(), config.parameter_count())
+      << kernel_name(GetParam());
+}
+
+TEST_P(KernelSuite, BatchingIndependence) {
+  Rng rng(73);
+  MolecularGraph a =
+      MolecularGraph::from_structure(random_molecule(6, rng), 3.0);
+  MolecularGraph b =
+      MolecularGraph::from_structure(random_molecule(8, rng), 3.0);
+  ModelConfig config = tiny_config();
+  config.kernel = GetParam();
+  const EGNNModel model(config);
+  const auto solo = model.forward(
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&a}));
+  const auto joint = model.forward(
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&a, &b}));
+  EXPECT_NEAR(joint.energy.at(0, 0), solo.energy.item(), 1e-10)
+      << kernel_name(GetParam());
+}
+
+TEST_P(KernelSuite, GradientsFlowAndKernelsDiffer) {
+  Rng rng(74);
+  const GraphBatch batch = batch_of(random_molecule(8, rng));
+  ModelConfig config = tiny_config();
+  config.kernel = GetParam();
+  const EGNNModel model(config);
+  const auto out = model.forward(batch);
+  (sum(square(out.energy)) + sum(square(out.forces))).backward();
+  bool any = false;
+  for (const auto& p : model.parameters()) {
+    if (p.grad().defined()) any = true;
+  }
+  EXPECT_TRUE(any);
+
+  // Each kernel is a genuinely different function.
+  ModelConfig egnn_config = tiny_config();
+  const EGNNModel reference(egnn_config);
+  if (GetParam() != MessagePassingKernel::kEGNN) {
+    EXPECT_NE(model.forward(batch).energy.item(),
+              reference.forward(batch).energy.item());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelSuite,
+    ::testing::Values(MessagePassingKernel::kEGNN,
+                      MessagePassingKernel::kSchNet,
+                      MessagePassingKernel::kGAT),
+    [](const ::testing::TestParamInfo<MessagePassingKernel>& param_info) {
+      switch (param_info.param) {
+        case MessagePassingKernel::kEGNN: return std::string("EGNN");
+        case MessagePassingKernel::kSchNet: return std::string("SchNet");
+        case MessagePassingKernel::kGAT: return std::string("GAT");
+      }
+      return std::string("unknown");
+    });
+
+TEST(EGNNTest, PeriodicPredictionsInvariantUnderCellTranslation) {
+  // Translating every atom by an arbitrary vector and wrapping back into
+  // the cell must not change predictions: edges are built from minimum-
+  // image displacements, and the batch shift term reconstructs them.
+  Rng rng(61);
+  AtomicStructure s;
+  s.cell = {8, 8, 8};
+  s.periodic = true;
+  const int palette[] = {elements::kFe, elements::kO};
+  for (int i = 0; i < 16; ++i) {
+    s.species.push_back(palette[i % 2]);
+    s.positions.push_back(
+        {rng.uniform(0, 8), rng.uniform(0, 8), rng.uniform(0, 8)});
+  }
+  const EGNNModel model(tiny_config());
+  const auto out0 = model.forward(batch_of(s));
+
+  AtomicStructure moved = s;
+  for (auto& p : moved.positions) p += Vec3{3.1, -7.7, 12.4};
+  moved.wrap_positions();
+  const auto out1 = model.forward(batch_of(moved));
+  EXPECT_NEAR(out1.energy.item(), out0.energy.item(), 1e-9);
+  const auto f0 = out0.forces.to_vector();
+  const auto f1 = out1.forces.to_vector();
+  for (std::size_t i = 0; i < f0.size(); ++i) {
+    EXPECT_NEAR(f1[i], f0[i], 1e-9);
+  }
+}
+
+TEST(ForceHeadTest, NodeMlpHeadParameterCountMatches) {
+  ModelConfig config = tiny_config();
+  config.force_head = ForceHead::kNodeMLP;
+  const EGNNModel model(config);
+  EXPECT_EQ(model.num_parameters(), config.parameter_count());
+}
+
+TEST(ForceHeadTest, NodeMlpHeadIsNotEquivariantButEnergyStaysInvariant) {
+  // The HydraGNN-style node-level force head maps invariant features to
+  // vectors, which CANNOT rotate with the molecule — documenting the
+  // faithful head's known limitation (and why the equivariant edge head is
+  // the default here).
+  Rng rng(81);
+  AtomicStructure s = random_molecule(8, rng);
+  ModelConfig config = tiny_config();
+  config.force_head = ForceHead::kNodeMLP;
+  const EGNNModel model(config);
+  const auto out0 = model.forward(batch_of(s));
+
+  AtomicStructure rotated = s;
+  for (auto& p : rotated.positions) {
+    p = {-p.y, p.x, p.z};  // 90-degree z rotation
+  }
+  const auto out1 = model.forward(batch_of(rotated));
+  EXPECT_NEAR(out1.energy.item(), out0.energy.item(), 1e-9);
+  // Forces are numerically IDENTICAL instead of rotated: invariant.
+  EXPECT_EQ(out1.forces.to_vector(), out0.forces.to_vector());
+}
+
+TEST(ForceHeadTest, NodeMlpHeadTrainsAndGradsFlow) {
+  Rng rng(82);
+  const GraphBatch batch = batch_of(random_molecule(8, rng));
+  ModelConfig config = tiny_config();
+  config.force_head = ForceHead::kNodeMLP;
+  const EGNNModel model(config);
+  const auto out = model.forward(batch);
+  EXPECT_EQ(out.forces.shape(), Shape({8, 3}));
+  (sum(square(out.energy)) + sum(square(out.forces))).backward();
+  std::size_t with_grad = 0;
+  for (const auto& p : model.parameters()) {
+    if (p.grad().defined()) ++with_grad;
+  }
+  EXPECT_EQ(with_grad, model.parameters().size());
+}
+
+TEST(EGNNTest, RejectsSpeciesOutsideVocabulary) {
+  Rng rng(44);
+  AtomicStructure s = random_molecule(4, rng);
+  s.species[0] = 95;  // allowed: vocabulary is [0, 96)
+  const GraphBatch ok_batch = batch_of(s);
+  ModelConfig config = tiny_config();
+  config.num_species = 10;  // now species 95 is out of range
+  const EGNNModel model(config);
+  EXPECT_THROW(model.forward(ok_batch), Error);
+}
+
+}  // namespace
+}  // namespace sgnn

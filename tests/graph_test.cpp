@@ -1,0 +1,246 @@
+#include "sgnn/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "sgnn/graph/batch.hpp"
+#include "sgnn/graph/neighbor.hpp"
+#include "sgnn/util/error.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+AtomicStructure random_cluster(std::int64_t atoms, double box, Rng& rng,
+                               bool periodic = false) {
+  AtomicStructure s;
+  const int palette[] = {elements::kH, elements::kC, elements::kN,
+                         elements::kO, elements::kCu};
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    s.species.push_back(palette[rng.uniform_index(5)]);
+    s.positions.push_back(
+        {rng.uniform(0, box), rng.uniform(0, box), rng.uniform(0, box)});
+  }
+  if (periodic) {
+    s.cell = {box, box, box};
+    s.periodic = true;
+  }
+  return s;
+}
+
+using EdgeSet = std::set<std::pair<std::int64_t, std::int64_t>>;
+
+EdgeSet to_set(const EdgeList& edges) {
+  EdgeSet set;
+  for (std::int64_t k = 0; k < edges.size(); ++k) {
+    set.emplace(edges.src[static_cast<std::size_t>(k)],
+                edges.dst[static_cast<std::size_t>(k)]);
+  }
+  return set;
+}
+
+TEST(StructureTest, ValidateCatchesMismatchedArrays) {
+  AtomicStructure s;
+  s.species = {elements::kH, elements::kO};
+  s.positions = {{0, 0, 0}};
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(StructureTest, ValidateCatchesBadCell) {
+  AtomicStructure s;
+  s.species = {elements::kH};
+  s.positions = {{0, 0, 0}};
+  s.periodic = true;
+  s.cell = {5, -1, 5};
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(StructureTest, MinimumImageDisplacement) {
+  AtomicStructure s;
+  s.species = {elements::kH, elements::kH};
+  s.positions = {{0.5, 0.5, 0.5}, {9.5, 0.5, 0.5}};
+  s.cell = {10, 10, 10};
+  s.periodic = true;
+  const Vec3 d = s.displacement(0, 1);
+  EXPECT_DOUBLE_EQ(d.x, -1.0);  // wraps through the boundary
+  EXPECT_DOUBLE_EQ(d.y, 0.0);
+}
+
+TEST(StructureTest, WrapPositionsBringsAtomsIntoCell) {
+  AtomicStructure s;
+  s.species = {elements::kO};
+  s.positions = {{-1.0, 12.0, 5.0}};
+  s.cell = {10, 10, 10};
+  s.periodic = true;
+  s.wrap_positions();
+  EXPECT_DOUBLE_EQ(s.positions[0].x, 9.0);
+  EXPECT_DOUBLE_EQ(s.positions[0].y, 2.0);
+  EXPECT_DOUBLE_EQ(s.positions[0].z, 5.0);
+}
+
+TEST(NeighborTest, BruteForceFindsKnownPair) {
+  AtomicStructure s;
+  s.species = {elements::kH, elements::kH, elements::kH};
+  s.positions = {{0, 0, 0}, {1.0, 0, 0}, {5, 5, 5}};
+  const EdgeList edges = brute_force_neighbors(s, 2.0);
+  const EdgeSet set = to_set(edges);
+  EXPECT_EQ(set.size(), 2u);  // both directions of the single pair
+  EXPECT_TRUE(set.count({0, 1}));
+  EXPECT_TRUE(set.count({1, 0}));
+}
+
+TEST(NeighborTest, EdgesComeInDirectedPairs) {
+  Rng rng(7);
+  const AtomicStructure s = random_cluster(40, 8.0, rng);
+  const EdgeList edges = brute_force_neighbors(s, 3.0);
+  const EdgeSet set = to_set(edges);
+  for (const auto& [i, j] : set) {
+    EXPECT_TRUE(set.count({j, i})) << "missing reverse of " << i << "->" << j;
+  }
+}
+
+TEST(NeighborTest, CutoffTooLargeForCellThrows) {
+  Rng rng(8);
+  AtomicStructure s = random_cluster(10, 6.0, rng, /*periodic=*/true);
+  EXPECT_THROW(brute_force_neighbors(s, 3.5), Error);
+  EXPECT_NO_THROW(brute_force_neighbors(s, 3.0));
+}
+
+// Property: cell-list search must agree with the brute-force oracle across
+// sizes, densities, and boundary conditions.
+struct NeighborCase {
+  std::int64_t atoms;
+  double box;
+  double cutoff;
+  bool periodic;
+  std::uint64_t seed;
+};
+
+class NeighborEquivalence : public ::testing::TestWithParam<NeighborCase> {};
+
+TEST_P(NeighborEquivalence, CellListMatchesBruteForce) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  const AtomicStructure s = random_cluster(c.atoms, c.box, rng, c.periodic);
+  const EdgeList brute = brute_force_neighbors(s, c.cutoff);
+  const EdgeList cell = cell_list_neighbors(s, c.cutoff);
+  EXPECT_EQ(to_set(brute), to_set(cell));
+  EXPECT_EQ(brute.size(), cell.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NeighborEquivalence,
+    ::testing::Values(NeighborCase{1, 5.0, 2.0, false, 1},
+                      NeighborCase{2, 3.0, 1.4, true, 2},
+                      NeighborCase{30, 6.0, 2.5, false, 3},
+                      NeighborCase{30, 6.0, 2.5, true, 4},
+                      NeighborCase{120, 10.0, 3.0, false, 5},
+                      NeighborCase{120, 10.0, 3.0, true, 6},
+                      NeighborCase{250, 14.0, 4.5, true, 7},
+                      NeighborCase{250, 30.0, 4.5, false, 8},
+                      NeighborCase{64, 9.5, 4.7, true, 9},
+                      NeighborCase{50, 40.0, 3.0, false, 10}));
+
+TEST(NeighborTest, DisplacementsMatchPositions) {
+  Rng rng(11);
+  const AtomicStructure s = random_cluster(25, 7.0, rng);
+  const EdgeList edges = build_neighbors(s, 3.0);
+  for (std::int64_t k = 0; k < edges.size(); ++k) {
+    const auto ki = static_cast<std::size_t>(k);
+    const Vec3 expected = s.displacement(edges.src[ki], edges.dst[ki]);
+    EXPECT_EQ(edges.displacement[ki], expected);
+  }
+}
+
+TEST(GraphTest, FromStructureBuildsValidGraph) {
+  Rng rng(12);
+  const AtomicStructure s = random_cluster(20, 6.0, rng);
+  const MolecularGraph g = MolecularGraph::from_structure(s, 3.0);
+  g.validate();
+  EXPECT_EQ(g.num_nodes(), 20);
+  EXPECT_EQ(g.forces.size(), 20u);
+}
+
+TEST(GraphTest, SerializedBytesScaleWithSize) {
+  Rng rng(13);
+  const MolecularGraph small =
+      MolecularGraph::from_structure(random_cluster(5, 6.0, rng), 3.0);
+  const MolecularGraph large =
+      MolecularGraph::from_structure(random_cluster(50, 6.0, rng), 3.0);
+  EXPECT_GT(large.serialized_bytes(), small.serialized_bytes());
+  EXPECT_GT(small.serialized_bytes(), 0u);
+}
+
+TEST(BatchTest, SingleGraphRoundTrip) {
+  Rng rng(14);
+  AtomicStructure s = random_cluster(10, 5.0, rng);
+  MolecularGraph g = MolecularGraph::from_structure(s, 2.5);
+  g.energy = -7.5;
+  const GraphBatch batch = GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&g});
+  EXPECT_EQ(batch.num_graphs, 1);
+  EXPECT_EQ(batch.num_nodes, 10);
+  EXPECT_EQ(batch.num_edges, g.num_edges());
+  EXPECT_DOUBLE_EQ(batch.energy.item(), -7.5);
+  EXPECT_EQ(batch.species, g.structure.species);
+}
+
+TEST(BatchTest, OffsetsAreAppliedPerGraph) {
+  Rng rng(15);
+  MolecularGraph a =
+      MolecularGraph::from_structure(random_cluster(4, 4.0, rng), 3.0);
+  MolecularGraph b =
+      MolecularGraph::from_structure(random_cluster(6, 4.0, rng), 3.0);
+  const GraphBatch batch = GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&a, &b});
+  EXPECT_EQ(batch.num_nodes, 10);
+  // Every edge of graph b must point at nodes >= 4.
+  for (std::size_t k = static_cast<std::size_t>(a.num_edges());
+       k < batch.edge_src.size(); ++k) {
+    EXPECT_GE(batch.edge_src[k], 4);
+    EXPECT_GE(batch.edge_dst[k], 4);
+  }
+  // node_to_graph maps first 4 to 0, rest to 1.
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(batch.node_to_graph[i], i < 4 ? 0 : 1);
+  }
+}
+
+TEST(BatchTest, ShiftReconstructsMinimumImage) {
+  Rng rng(16);
+  const AtomicStructure s = random_cluster(30, 6.0, rng, /*periodic=*/true);
+  MolecularGraph g = MolecularGraph::from_structure(s, 2.9);
+  const GraphBatch batch = GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&g});
+  const real* pos = batch.positions.data();
+  const real* shift = batch.edge_shift.data();
+  for (std::int64_t k = 0; k < batch.num_edges; ++k) {
+    const std::int64_t i = batch.edge_src[static_cast<std::size_t>(k)];
+    const std::int64_t j = batch.edge_dst[static_cast<std::size_t>(k)];
+    for (int c = 0; c < 3; ++c) {
+      const double reconstructed =
+          pos[j * 3 + c] - pos[i * 3 + c] + shift[k * 3 + c];
+      const Vec3 expected = g.edges.displacement[static_cast<std::size_t>(k)];
+      const double e = c == 0 ? expected.x : (c == 1 ? expected.y : expected.z);
+      EXPECT_NEAR(reconstructed, e, 1e-12);
+    }
+  }
+}
+
+TEST(BatchTest, EmptyBatchThrows) {
+  EXPECT_THROW(GraphBatch::from_graphs(std::vector<const MolecularGraph*>{}),
+               Error);
+}
+
+TEST(BatchTest, NodesPerGraphCounts) {
+  Rng rng(17);
+  MolecularGraph a =
+      MolecularGraph::from_structure(random_cluster(3, 4.0, rng), 2.0);
+  MolecularGraph b =
+      MolecularGraph::from_structure(random_cluster(5, 4.0, rng), 2.0);
+  const GraphBatch batch = GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&a, &b});
+  EXPECT_EQ(batch.nodes_per_graph(), (std::vector<std::int64_t>{3, 5}));
+}
+
+}  // namespace
+}  // namespace sgnn

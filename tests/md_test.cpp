@@ -1,0 +1,187 @@
+// Physics-substrate property tests: velocity-Verlet molecular dynamics
+// under the reference potential. A symplectic integrator with a smooth,
+// conservative force field must (a) conserve total energy to O(dt^2) and
+// (b) conserve momentum exactly — sharp checks that the analytic forces
+// ARE the gradient of the energy across the full composite potential.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sgnn/graph/neighbor.hpp"
+#include "sgnn/potential/potential.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+struct MdState {
+  AtomicStructure structure;
+  std::vector<Vec3> velocity;
+};
+
+double kinetic_energy(const MdState& state) {
+  double twice_ke = 0;
+  for (std::size_t i = 0; i < state.velocity.size(); ++i) {
+    // Unit system: mass in amu, velocity in A/tau with tau chosen so that
+    // 1 amu * (A/tau)^2 = 1 eV (keeps the test free of unit constants).
+    twice_ke += elements::atomic_mass(state.structure.species[i]) *
+                state.velocity[i].norm_squared();
+  }
+  return 0.5 * twice_ke;
+}
+
+Vec3 total_momentum(const MdState& state) {
+  Vec3 p{0, 0, 0};
+  for (std::size_t i = 0; i < state.velocity.size(); ++i) {
+    p += state.velocity[i] *
+         elements::atomic_mass(state.structure.species[i]);
+  }
+  return p;
+}
+
+/// One velocity-Verlet step; returns the new forces.
+std::vector<Vec3> verlet_step(MdState& state, std::vector<Vec3>& forces,
+                              const ReferencePotential& potential,
+                              double dt) {
+  for (std::size_t i = 0; i < state.velocity.size(); ++i) {
+    const double inv_m =
+        1.0 / elements::atomic_mass(state.structure.species[i]);
+    state.velocity[i] += forces[i] * (0.5 * dt * inv_m);
+    state.structure.positions[i] += state.velocity[i] * dt;
+  }
+  std::vector<Vec3> new_forces = potential.evaluate(state.structure).forces;
+  for (std::size_t i = 0; i < state.velocity.size(); ++i) {
+    const double inv_m =
+        1.0 / elements::atomic_mass(state.structure.species[i]);
+    state.velocity[i] += new_forces[i] * (0.5 * dt * inv_m);
+  }
+  return new_forces;
+}
+
+MdState equilibrated_cluster(std::int64_t atoms, std::uint64_t seed) {
+  Rng rng(seed);
+  MdState state;
+  const int palette[] = {elements::kCu, elements::kNi};
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    for (;;) {
+      const Vec3 p{rng.uniform(0, 8), rng.uniform(0, 8), rng.uniform(0, 8)};
+      bool ok = true;
+      for (const auto& q : state.structure.positions) {
+        if ((p - q).norm() < 2.2) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        state.structure.positions.push_back(p);
+        state.structure.species.push_back(palette[rng.uniform_index(2)]);
+        break;
+      }
+    }
+  }
+  // Small random velocities, net momentum removed.
+  state.velocity.resize(static_cast<std::size_t>(atoms));
+  Vec3 mean{0, 0, 0};
+  for (auto& v : state.velocity) {
+    v = {rng.normal(0, 0.02), rng.normal(0, 0.02), rng.normal(0, 0.02)};
+    mean += v;
+  }
+  mean = mean / static_cast<double>(atoms);
+  for (auto& v : state.velocity) v -= mean;
+  return state;
+}
+
+TEST(MdTest, VelocityVerletConservesEnergy) {
+  const ReferencePotential potential;
+  MdState state = equilibrated_cluster(12, 5);
+  std::vector<Vec3> forces = potential.evaluate(state.structure).forces;
+
+  const double e0 =
+      potential.evaluate(state.structure).energy + kinetic_energy(state);
+  const double dt = 2e-3;
+  double max_drift = 0;
+  for (int step = 0; step < 500; ++step) {
+    forces = verlet_step(state, forces, potential, dt);
+    if (step % 50 == 0) {
+      const double e = potential.evaluate(state.structure).energy +
+                       kinetic_energy(state);
+      max_drift = std::max(max_drift, std::abs(e - e0));
+    }
+  }
+  // Symplectic integration with a C1 potential: energy stays within a small
+  // bounded oscillation of the initial value.
+  EXPECT_LT(max_drift, 5e-3 * std::abs(e0));
+}
+
+TEST(MdTest, EnergyErrorShrinksQuadraticallyWithTimestep) {
+  const ReferencePotential potential;
+  const auto drift_for = [&](double dt) {
+    MdState state = equilibrated_cluster(10, 6);
+    std::vector<Vec3> forces = potential.evaluate(state.structure).forces;
+    const double e0 =
+        potential.evaluate(state.structure).energy + kinetic_energy(state);
+    const double horizon = 0.4;  // fixed physical time
+    const int steps = static_cast<int>(horizon / dt);
+    for (int step = 0; step < steps; ++step) {
+      forces = verlet_step(state, forces, potential, dt);
+    }
+    return std::abs(potential.evaluate(state.structure).energy +
+                    kinetic_energy(state) - e0);
+  };
+  const double coarse = drift_for(4e-3);
+  const double fine = drift_for(1e-3);
+  // O(dt^2) global energy error: 4x smaller dt -> ~16x smaller drift.
+  // Allow generous slack for the chaotic trajectory.
+  EXPECT_LT(fine, coarse / 4.0);
+}
+
+TEST(MdTest, MomentumIsConservedExactly) {
+  const ReferencePotential potential;
+  MdState state = equilibrated_cluster(14, 7);
+  std::vector<Vec3> forces = potential.evaluate(state.structure).forces;
+  const Vec3 p0 = total_momentum(state);
+  for (int step = 0; step < 200; ++step) {
+    forces = verlet_step(state, forces, potential, 2e-3);
+  }
+  // Newton's third law in the force field => momentum conserved to
+  // round-off.
+  EXPECT_NEAR((total_momentum(state) - p0).norm(), 0.0, 1e-10);
+}
+
+TEST(MdTest, PeriodicSystemStaysBounded) {
+  const ReferencePotential potential;
+  Rng rng(8);
+  MdState state;
+  state.structure.cell = {9, 9, 9};
+  state.structure.periodic = true;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      for (std::int64_t k = 0; k < 3; ++k) {
+        state.structure.species.push_back(elements::kCu);
+        state.structure.positions.push_back(
+            {3.0 * static_cast<double>(i) + 1.5 + rng.normal(0, 0.05),
+             3.0 * static_cast<double>(j) + 1.5 + rng.normal(0, 0.05),
+             3.0 * static_cast<double>(k) + 1.5 + rng.normal(0, 0.05)});
+      }
+    }
+  }
+  state.velocity.assign(27, Vec3{0, 0, 0});
+  std::vector<Vec3> forces = potential.evaluate(state.structure).forces;
+  const double e0 =
+      potential.evaluate(state.structure).energy + kinetic_energy(state);
+  for (int step = 0; step < 300; ++step) {
+    forces = verlet_step(state, forces, potential, 2e-3);
+    state.structure.wrap_positions();
+  }
+  const double e1 =
+      potential.evaluate(state.structure).energy + kinetic_energy(state);
+  EXPECT_LT(std::abs(e1 - e0), 5e-3 * std::abs(e0));
+  for (const auto& p : state.structure.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 9.0);
+  }
+}
+
+}  // namespace
+}  // namespace sgnn

@@ -1,0 +1,121 @@
+#include "sgnn/nn/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sgnn/nn/layers.hpp"
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+namespace {
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Rng rng(1);
+  const Linear layer(4, 3, rng);
+  const Tensor x = Tensor::ones(Shape{2, 4});
+  const Tensor y = layer.forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 3}));
+  EXPECT_EQ(layer.parameters().size(), 2u);  // weight + bias
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(2);
+  const Linear layer(4, 3, rng, /*bias=*/false);
+  EXPECT_EQ(layer.parameters().size(), 1u);
+  EXPECT_EQ(layer.num_parameters(), 12);
+}
+
+TEST(LinearTest, RejectsWrongRank) {
+  Rng rng(3);
+  const Linear layer(4, 3, rng);
+  EXPECT_THROW(layer.forward(Tensor::ones(Shape{4})), Error);
+}
+
+TEST(LinearTest, GradientsFlowToWeightAndBias) {
+  Rng rng(4);
+  Linear layer(3, 2, rng);
+  const Tensor x = Tensor::ones(Shape{5, 3});
+  sum(layer.forward(x)).backward();
+  for (const auto& p : layer.parameters()) {
+    ASSERT_TRUE(p.grad().defined());
+  }
+  layer.zero_grad();
+  for (const auto& p : layer.parameters()) {
+    EXPECT_FALSE(p.grad().defined());
+  }
+}
+
+TEST(MLPTest, ParameterCountAndDepth) {
+  Rng rng(5);
+  const MLP mlp({4, 8, 8, 2}, rng);
+  // (4*8+8) + (8*8+8) + (8*2+2) = 40 + 72 + 18
+  EXPECT_EQ(mlp.num_parameters(), 130);
+}
+
+TEST(MLPTest, OutputActivationApplied) {
+  Rng rng(6);
+  const MLP mlp({3, 4, 2}, rng, Activation::kSiLU, Activation::kTanh);
+  const Tensor y = mlp.forward(Tensor::ones(Shape{10, 3}));
+  for (const auto v : y.to_vector()) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MLPTest, RequiresAtLeastTwoDims) {
+  Rng rng(7);
+  EXPECT_THROW(MLP({4}, rng), Error);
+}
+
+TEST(EmbeddingTest, LookupSelectsRows) {
+  Rng rng(8);
+  const Embedding emb(10, 4, rng);
+  const Tensor out = emb.forward(std::vector<std::int64_t>{3, 3, 7});
+  EXPECT_EQ(out.shape(), Shape({3, 4}));
+  const auto v = out.to_vector();
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(v[static_cast<std::size_t>(c)], v[static_cast<std::size_t>(4 + c)]);
+}
+
+TEST(EmbeddingTest, GradientAccumulatesOnRepeatedIds) {
+  Rng rng(9);
+  Embedding emb(5, 2, rng);
+  sum(emb.forward(std::vector<std::int64_t>{1, 1, 1})).backward();
+  const Tensor g = emb.parameters()[0].grad();
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 0.0);
+}
+
+TEST(ModuleTest, CopyParametersFrom) {
+  Rng rng_a(10);
+  Rng rng_b(11);
+  Linear a(3, 3, rng_a);
+  Linear b(3, 3, rng_b);
+  const Tensor x = Tensor::ones(Shape{1, 3});
+  EXPECT_NE(a.forward(x).to_vector(), b.forward(x).to_vector());
+  b.copy_parameters_from(a);
+  EXPECT_EQ(a.forward(x).to_vector(), b.forward(x).to_vector());
+}
+
+TEST(ModuleTest, ParametersTaggedAsWeightMemory) {
+  const auto before =
+      MemoryTracker::instance().live().of(MemCategory::kWeight);
+  Rng rng(12);
+  const Linear layer(8, 8, rng);
+  const auto after = MemoryTracker::instance().live().of(MemCategory::kWeight);
+  EXPECT_EQ(after - before,
+            static_cast<std::int64_t>((8 * 8 + 8) * sizeof(real)));
+}
+
+TEST(GlorotTest, BoundDependsOnFanInOut) {
+  Rng rng(13);
+  const Tensor w = glorot_uniform(100, 100, rng);
+  const double bound = std::sqrt(6.0 / 200.0);
+  for (const auto v : w.to_vector()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+  EXPECT_TRUE(w.requires_grad());
+}
+
+}  // namespace
+}  // namespace sgnn

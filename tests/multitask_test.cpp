@@ -1,0 +1,176 @@
+// Multi-task learning: the third (dipole-magnitude) prediction target,
+// end-to-end — teacher labels, serialization, batching, the extra head,
+// and the composite loss.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sgnn/data/sources.hpp"
+#include "sgnn/graph/batch.hpp"
+#include "sgnn/nn/egnn.hpp"
+#include "sgnn/store/serialize.hpp"
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/train/loss.hpp"
+#include "sgnn/train/optim.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+AtomicStructure water_like() {
+  AtomicStructure s;
+  s.species = {elements::kO, elements::kH, elements::kH};
+  s.positions = {{0, 0, 0}, {0.96, 0, 0}, {-0.24, 0.93, 0}};
+  return s;
+}
+
+TEST(DipoleLabelTest, InvariantUnderRotationAndTranslation) {
+  const ReferencePotential potential;
+  AtomicStructure s = water_like();
+  const double d0 = potential.dipole_magnitude(s);
+  EXPECT_GT(d0, 0.0);
+
+  for (auto& p : s.positions) {
+    const Vec3 rotated{-p.y, p.x, p.z};
+    p = rotated + Vec3{10, -3, 2};
+  }
+  EXPECT_NEAR(potential.dipole_magnitude(s), d0, 1e-12);
+}
+
+TEST(DipoleLabelTest, SymmetricStructureHasZeroDipole) {
+  // Two identical atoms: charges equal, centroid-symmetric -> zero dipole.
+  const ReferencePotential potential;
+  AtomicStructure s;
+  s.species = {elements::kO, elements::kO};
+  s.positions = {{0, 0, 0}, {2, 0, 0}};
+  EXPECT_NEAR(potential.dipole_magnitude(s), 0.0, 1e-12);
+}
+
+TEST(DipoleLabelTest, GeneratedSamplesCarryDipoleLabels) {
+  const ReferencePotential potential;
+  Rng rng(5);
+  const MolecularGraph g =
+      generate_sample(DataSource::kANI1x, rng, potential);
+  EXPECT_GT(g.dipole, 0.0);
+  EXPECT_TRUE(std::isfinite(g.dipole));
+}
+
+TEST(DipoleLabelTest, SurvivesSerializationRoundTrip) {
+  const ReferencePotential potential;
+  Rng rng(6);
+  const MolecularGraph g =
+      generate_sample(DataSource::kQM7X, rng, potential);
+  std::stringstream buffer;
+  write_graph_record(buffer, g);
+  const MolecularGraph back = read_graph_record(buffer);
+  EXPECT_DOUBLE_EQ(back.dipole, g.dipole);
+  EXPECT_EQ(buffer.str().size(), g.serialized_bytes());
+}
+
+TEST(DipoleLabelTest, BatchCarriesDipoleColumn) {
+  const ReferencePotential potential;
+  Rng rng(7);
+  std::vector<MolecularGraph> graphs = {
+      generate_sample(DataSource::kANI1x, rng, potential),
+      generate_sample(DataSource::kMPTrj, rng, potential)};
+  const GraphBatch batch = GraphBatch::from_graphs(graphs);
+  EXPECT_EQ(batch.dipole.shape(), Shape({2, 1}));
+  EXPECT_DOUBLE_EQ(batch.dipole.at(0, 0), graphs[0].dipole);
+  EXPECT_DOUBLE_EQ(batch.dipole.at(1, 0), graphs[1].dipole);
+}
+
+TEST(MultitaskModelTest, DipoleHeadShapeAndParameterCount) {
+  ModelConfig config;
+  config.hidden_dim = 16;
+  config.num_layers = 2;
+  config.predict_dipole = true;
+  const EGNNModel model(config);
+  EXPECT_EQ(model.num_parameters(), config.parameter_count());
+
+  ModelConfig without = config;
+  without.predict_dipole = false;
+  EXPECT_GT(config.parameter_count(), without.parameter_count());
+
+  const ReferencePotential potential;
+  Rng rng(8);
+  const MolecularGraph g =
+      generate_sample(DataSource::kANI1x, rng, potential);
+  const GraphBatch batch =
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&g});
+  const auto out = model.forward(batch);
+  ASSERT_TRUE(out.dipole.defined());
+  EXPECT_EQ(out.dipole.shape(), Shape({1, 1}));
+  EXPECT_GE(out.dipole.item(), 0.0);  // softplus head is non-negative
+
+  const EGNNModel single(without);
+  EXPECT_FALSE(single.forward(batch).dipole.defined());
+}
+
+TEST(MultitaskModelTest, LossIncludesDipoleTermOnlyWhenPredicted) {
+  const ReferencePotential potential;
+  Rng rng(9);
+  const MolecularGraph g =
+      generate_sample(DataSource::kANI1x, rng, potential);
+  const GraphBatch batch =
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&g});
+
+  ModelConfig config;
+  config.hidden_dim = 12;
+  config.num_layers = 2;
+  config.predict_dipole = true;
+  const EGNNModel multi(config);
+  const LossTerms with_dipole =
+      multitask_loss(multi.forward(batch), batch, LossWeights{});
+  EXPECT_GT(with_dipole.dipole_mse, 0.0);
+
+  config.predict_dipole = false;
+  const EGNNModel single(config);
+  const LossTerms without =
+      multitask_loss(single.forward(batch), batch, LossWeights{});
+  EXPECT_EQ(without.dipole_mse, 0.0);
+
+  // Weight scales the term.
+  LossWeights heavy;
+  heavy.dipole = 100.0;
+  const LossTerms weighted =
+      multitask_loss(multi.forward(batch), batch, heavy);
+  EXPECT_GT(weighted.total.item(), with_dipole.total.item());
+}
+
+TEST(MultitaskModelTest, DipoleTaskIsLearnable) {
+  // Fixed batch, many steps: dipole MSE must drop substantially.
+  const ReferencePotential potential;
+  Rng rng(10);
+  std::vector<MolecularGraph> graphs;
+  for (int i = 0; i < 6; ++i) {
+    graphs.push_back(generate_sample(DataSource::kANI1x, rng, potential));
+  }
+  const GraphBatch batch = GraphBatch::from_graphs(graphs);
+
+  ModelConfig config;
+  config.hidden_dim = 16;
+  config.num_layers = 2;
+  config.predict_dipole = true;
+  const EGNNModel model(config);
+  Adam::Options adam_options;
+  adam_options.learning_rate = 5e-3;
+  Adam adam(model.parameters(), adam_options);
+
+  double first = 0;
+  double last = 0;
+  for (int step = 0; step < 60; ++step) {
+    adam.zero_grad();
+    const auto out = model.forward(batch);
+    Tensor loss = mse_loss(out.dipole, batch.dipole);
+    if (step == 0) first = loss.item();
+    last = loss.item();
+    loss.backward();
+    adam.step();
+  }
+  EXPECT_LT(last, 0.3 * first);
+}
+
+}  // namespace
+}  // namespace sgnn

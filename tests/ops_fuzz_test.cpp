@@ -1,0 +1,190 @@
+// Randomized differential testing of the broadcasting machinery: every op
+// result is compared against an independent naive reference that computes
+// multi-indices explicitly. Catches stride/offset bugs that fixed-shape
+// unit tests can miss.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+/// Multi-index into a shape from a flat index.
+std::vector<std::int64_t> unravel(std::int64_t flat, const Shape& shape) {
+  std::vector<std::int64_t> index(shape.rank());
+  const auto strides = shape.strides();
+  for (std::size_t axis = 0; axis < shape.rank(); ++axis) {
+    index[axis] = flat / strides[axis];
+    flat -= index[axis] * strides[axis];
+  }
+  return index;
+}
+
+/// Value of `t` at the broadcast position `out_index` (right-aligned).
+real broadcast_at(const Tensor& t, const std::vector<std::int64_t>& out_index,
+                  const Shape& out_shape) {
+  const Shape& shape = t.shape();
+  std::int64_t offset = 0;
+  const auto strides = shape.strides();
+  for (std::size_t i = 0; i < shape.rank(); ++i) {
+    const std::size_t out_axis = out_shape.rank() - shape.rank() + i;
+    const std::int64_t coord =
+        shape.dim(i) == 1 ? 0 : out_index[out_axis];
+    offset += coord * strides[i];
+  }
+  return t.data()[offset];
+}
+
+/// Random shape pair that broadcasts, with skewed rank/size distribution.
+std::pair<Shape, Shape> random_broadcast_pair(Rng& rng) {
+  const std::size_t rank = 1 + rng.uniform_index(3);
+  std::vector<std::int64_t> out_dims;
+  for (std::size_t i = 0; i < rank; ++i) {
+    out_dims.push_back(1 + static_cast<std::int64_t>(rng.uniform_index(5)));
+  }
+  const auto derive = [&](std::size_t drop_prob_pct) {
+    std::vector<std::int64_t> dims;
+    // Possibly drop leading axes.
+    std::size_t start = 0;
+    while (start + 1 < rank && rng.uniform_index(100) < drop_prob_pct) {
+      ++start;
+    }
+    for (std::size_t i = start; i < rank; ++i) {
+      dims.push_back(rng.uniform_index(100) < 40 ? 1 : out_dims[i]);
+    }
+    return Shape(std::move(dims));
+  };
+  return {derive(30), derive(30)};
+}
+
+using BinaryOp = std::function<Tensor(const Tensor&, const Tensor&)>;
+using ScalarOp = std::function<real(real, real)>;
+
+struct FuzzCase {
+  std::string name;
+  BinaryOp op;
+  ScalarOp reference;
+  bool positive_rhs = false;
+};
+
+class BroadcastFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(BroadcastFuzz, MatchesNaiveReferenceOnRandomShapes) {
+  const FuzzCase& c = GetParam();
+  Rng rng(0xF422 ^ std::hash<std::string>{}(c.name));
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto [shape_a, shape_b] = random_broadcast_pair(rng);
+    const Tensor a = Tensor::uniform(shape_a, rng, -2.0, 2.0);
+    const Tensor b = c.positive_rhs
+                         ? Tensor::uniform(shape_b, rng, 0.5, 2.5)
+                         : Tensor::uniform(shape_b, rng, -2.0, 2.0);
+    const Shape out_shape = Shape::broadcast(shape_a, shape_b);
+    const Tensor out = c.op(a, b);
+    ASSERT_EQ(out.shape(), out_shape)
+        << c.name << ": " << shape_a.to_string() << " x "
+        << shape_b.to_string();
+    for (std::int64_t flat = 0; flat < out_shape.numel(); ++flat) {
+      const auto index = unravel(flat, out_shape);
+      const real expected = c.reference(broadcast_at(a, index, out_shape),
+                                        broadcast_at(b, index, out_shape));
+      ASSERT_DOUBLE_EQ(out.data()[flat], expected)
+          << c.name << " at flat index " << flat << " of "
+          << out_shape.to_string() << " (" << shape_a.to_string() << " x "
+          << shape_b.to_string() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, BroadcastFuzz,
+    ::testing::Values(
+        FuzzCase{"add", [](const Tensor& a, const Tensor& b) { return add(a, b); },
+                 [](real x, real y) { return x + y; }},
+        FuzzCase{"sub", [](const Tensor& a, const Tensor& b) { return sub(a, b); },
+                 [](real x, real y) { return x - y; }},
+        FuzzCase{"mul", [](const Tensor& a, const Tensor& b) { return mul(a, b); },
+                 [](real x, real y) { return x * y; }},
+        FuzzCase{"div", [](const Tensor& a, const Tensor& b) { return div(a, b); },
+                 [](real x, real y) { return x / y; }, true}),
+    [](const ::testing::TestParamInfo<FuzzCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(ReductionFuzz, AxisSumsMatchNaiveReference) {
+  Rng rng(404);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t rank = 1 + rng.uniform_index(3);
+    std::vector<std::int64_t> dims;
+    for (std::size_t i = 0; i < rank; ++i) {
+      dims.push_back(1 + static_cast<std::int64_t>(rng.uniform_index(5)));
+    }
+    const Shape shape(std::move(dims));
+    const Tensor x = Tensor::uniform(shape, rng, -1.0, 1.0);
+    const std::size_t axis = rng.uniform_index(rank);
+    const Tensor reduced = sum(x, axis, /*keepdim=*/false);
+
+    // Naive reference.
+    for (std::int64_t flat = 0; flat < reduced.numel(); ++flat) {
+      std::vector<std::int64_t> out_index =
+          unravel(flat, reduced.shape());
+      real expected = 0;
+      for (std::int64_t k = 0; k < shape.dim(axis); ++k) {
+        std::vector<std::int64_t> full_index;
+        std::size_t out_axis = 0;
+        for (std::size_t i = 0; i < rank; ++i) {
+          if (i == axis) {
+            full_index.push_back(k);
+          } else {
+            full_index.push_back(out_index[out_axis++]);
+          }
+        }
+        std::int64_t offset = 0;
+        const auto strides = shape.strides();
+        for (std::size_t i = 0; i < rank; ++i) {
+          offset += full_index[i] * strides[i];
+        }
+        expected += x.data()[offset];
+      }
+      ASSERT_NEAR(reduced.data()[flat], expected, 1e-12)
+          << "shape " << shape.to_string() << " axis " << axis;
+    }
+  }
+}
+
+TEST(IndexFuzz, GatherScatterRoundTripIsDegreeWeighted) {
+  // scatter_add(index_select(x, idx), idx) multiplies each row of x by its
+  // multiplicity in idx — a sharp joint property of both ops.
+  Rng rng(505);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::int64_t rows = 2 + static_cast<std::int64_t>(rng.uniform_index(8));
+    const std::int64_t cols = 1 + static_cast<std::int64_t>(rng.uniform_index(5));
+    const Tensor x = Tensor::uniform(Shape{rows, cols}, rng, -1, 1);
+    const std::size_t picks = 1 + rng.uniform_index(20);
+    std::vector<std::int64_t> index;
+    std::vector<std::int64_t> multiplicity(static_cast<std::size_t>(rows), 0);
+    for (std::size_t k = 0; k < picks; ++k) {
+      const auto row = static_cast<std::int64_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(rows)));
+      index.push_back(row);
+      ++multiplicity[static_cast<std::size_t>(row)];
+    }
+    const Tensor round =
+        scatter_add_rows(index_select_rows(x, index), index, rows);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t col = 0; col < cols; ++col) {
+        ASSERT_NEAR(round.at(r, col),
+                    x.at(r, col) * static_cast<real>(
+                                       multiplicity[static_cast<std::size_t>(r)]),
+                    1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgnn

@@ -1,0 +1,215 @@
+#include "sgnn/potential/potential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+AtomicStructure random_molecule(std::int64_t atoms, Rng& rng,
+                                bool periodic = false, double box = 8.0) {
+  AtomicStructure s;
+  const int palette[] = {elements::kH, elements::kC, elements::kN,
+                         elements::kO};
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    s.species.push_back(palette[rng.uniform_index(4)]);
+    // Rejection-sample to avoid near-overlapping atoms (unphysical and
+    // numerically harsh for finite differences).
+    for (;;) {
+      const Vec3 p{rng.uniform(0.5, box - 0.5), rng.uniform(0.5, box - 0.5),
+                   rng.uniform(0.5, box - 0.5)};
+      bool ok = true;
+      for (const auto& q : s.positions) {
+        if ((p - q).norm() < 0.8) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        s.positions.push_back(p);
+        break;
+      }
+    }
+  }
+  if (periodic) {
+    s.cell = {box, box, box};
+    s.periodic = true;
+  }
+  return s;
+}
+
+Vec3 rotate_z(const Vec3& v, double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return {c * v.x - s * v.y, s * v.x + c * v.y, v.z};
+}
+
+TEST(PotentialTest, IsolatedAtomsGiveReferenceEnergyOnly) {
+  ReferencePotential pot;
+  AtomicStructure s;
+  s.species = {elements::kC, elements::kO};
+  s.positions = {{0, 0, 0}, {100, 0, 0}};  // far beyond cutoff
+  const PotentialResult r = pot.evaluate(s);
+  const double expected = pot.atomic_reference_energy(elements::kC) +
+                          pot.atomic_reference_energy(elements::kO);
+  EXPECT_NEAR(r.energy, expected, 1e-12);
+  EXPECT_NEAR(r.forces[0].norm(), 0.0, 1e-12);
+  EXPECT_NEAR(r.forces[1].norm(), 0.0, 1e-12);
+}
+
+TEST(PotentialTest, BondedPairIsMoreStableThanIsolated) {
+  ReferencePotential pot;
+  AtomicStructure bonded;
+  bonded.species = {elements::kC, elements::kC};
+  const double r0 = 2 * elements::covalent_radius(elements::kC);
+  bonded.positions = {{0, 0, 0}, {r0, 0, 0}};
+  AtomicStructure isolated = bonded;
+  isolated.positions[1].x = 100.0;
+  EXPECT_LT(pot.evaluate(bonded).energy, pot.evaluate(isolated).energy);
+}
+
+TEST(PotentialTest, CloseApproachIsRepulsive) {
+  ReferencePotential pot;
+  AtomicStructure s;
+  s.species = {elements::kO, elements::kO};
+  s.positions = {{0, 0, 0}, {0.4, 0, 0}};
+  const PotentialResult r = pot.evaluate(s);
+  // Force on atom 1 must push it away (positive x).
+  EXPECT_GT(r.forces[1].x, 0.0);
+  EXPECT_LT(r.forces[0].x, 0.0);
+}
+
+TEST(PotentialTest, EnergyIsTranslationInvariant) {
+  Rng rng(21);
+  ReferencePotential pot;
+  AtomicStructure s = random_molecule(12, rng);
+  const double e0 = pot.evaluate(s).energy;
+  for (auto& p : s.positions) p += Vec3{3.7, -1.2, 0.9};
+  EXPECT_NEAR(pot.evaluate(s).energy, e0, 1e-10);
+}
+
+TEST(PotentialTest, EnergyIsRotationInvariantAndForcesEquivariant) {
+  Rng rng(22);
+  ReferencePotential pot;
+  AtomicStructure s = random_molecule(10, rng);
+  const PotentialResult r0 = pot.evaluate(s);
+  const double angle = 0.83;
+  AtomicStructure rotated = s;
+  for (auto& p : rotated.positions) p = rotate_z(p, angle);
+  const PotentialResult r1 = pot.evaluate(rotated);
+  EXPECT_NEAR(r1.energy, r0.energy, 1e-9);
+  for (std::size_t i = 0; i < s.positions.size(); ++i) {
+    const Vec3 expected = rotate_z(r0.forces[i], angle);
+    EXPECT_NEAR((r1.forces[i] - expected).norm(), 0.0, 1e-9);
+  }
+}
+
+TEST(PotentialTest, PermutingAtomsPermutesForces) {
+  Rng rng(23);
+  ReferencePotential pot;
+  AtomicStructure s = random_molecule(8, rng);
+  const PotentialResult r0 = pot.evaluate(s);
+  AtomicStructure swapped = s;
+  std::swap(swapped.species[2], swapped.species[5]);
+  std::swap(swapped.positions[2], swapped.positions[5]);
+  const PotentialResult r1 = pot.evaluate(swapped);
+  EXPECT_NEAR(r1.energy, r0.energy, 1e-10);
+  EXPECT_NEAR((r1.forces[2] - r0.forces[5]).norm(), 0.0, 1e-10);
+  EXPECT_NEAR((r1.forces[5] - r0.forces[2]).norm(), 0.0, 1e-10);
+}
+
+TEST(PotentialTest, NetForceIsZero) {
+  // Newton's third law: internal forces must sum to zero (open system).
+  Rng rng(24);
+  ReferencePotential pot;
+  const AtomicStructure s = random_molecule(15, rng);
+  const PotentialResult r = pot.evaluate(s);
+  Vec3 net{0, 0, 0};
+  for (const auto& f : r.forces) net += f;
+  EXPECT_NEAR(net.norm(), 0.0, 1e-9);
+}
+
+// Property: analytic forces match -dE/dx by central finite differences,
+// for each term in isolation and combined, open and periodic.
+struct ForceCase {
+  std::string name;
+  double pair_w;
+  double embed_w;
+  double ang_w;
+  bool periodic;
+};
+
+void PrintTo(const ForceCase& c, std::ostream* os) { *os << c.name; }
+
+class PotentialForceCheck : public ::testing::TestWithParam<ForceCase> {};
+
+TEST_P(PotentialForceCheck, AnalyticForcesMatchFiniteDifferences) {
+  const auto& c = GetParam();
+  ReferencePotential::Options opt;
+  opt.pair_weight = c.pair_w;
+  opt.embed_weight = c.embed_w;
+  opt.angular_weight = c.ang_w;
+  opt.cutoff = 3.5;
+  const ReferencePotential pot(opt);
+
+  Rng rng(0xF0CE ^ std::hash<std::string>{}(c.name));
+  AtomicStructure s = random_molecule(10, rng, c.periodic, 8.0);
+
+  const PotentialResult analytic = pot.evaluate(s);
+  const double eps = 1e-6;
+  for (std::size_t a = 0; a < s.positions.size(); ++a) {
+    double* coords[3] = {&s.positions[a].x, &s.positions[a].y,
+                         &s.positions[a].z};
+    const double analytic_f[3] = {analytic.forces[a].x, analytic.forces[a].y,
+                                  analytic.forces[a].z};
+    for (int axis = 0; axis < 3; ++axis) {
+      const double original = *coords[axis];
+      *coords[axis] = original + eps;
+      const double ep = pot.evaluate(s).energy;
+      *coords[axis] = original - eps;
+      const double em = pot.evaluate(s).energy;
+      *coords[axis] = original;
+      const double numeric = -(ep - em) / (2 * eps);
+      EXPECT_NEAR(analytic_f[axis], numeric, 1e-5)
+          << c.name << ": atom " << a << " axis " << axis;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Terms, PotentialForceCheck,
+    ::testing::Values(ForceCase{"pair_open", 1, 0, 0, false},
+                      ForceCase{"pair_periodic", 1, 0, 0, true},
+                      ForceCase{"embed_open", 0, 1, 0, false},
+                      ForceCase{"embed_periodic", 0, 1, 0, true},
+                      ForceCase{"angular_open", 0, 0, 1, false},
+                      ForceCase{"angular_periodic", 0, 0, 1, true},
+                      ForceCase{"combined_open", 1, 0.6, 0.3, false},
+                      ForceCase{"combined_periodic", 1, 0.6, 0.3, true}),
+    [](const ::testing::TestParamInfo<ForceCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(PotentialTest, DeterministicAcrossInstances) {
+  Rng rng(26);
+  const AtomicStructure s = random_molecule(10, rng);
+  const ReferencePotential a;
+  const ReferencePotential b;
+  EXPECT_DOUBLE_EQ(a.evaluate(s).energy, b.evaluate(s).energy);
+}
+
+TEST(PotentialTest, SeedChangesThePhysics) {
+  Rng rng(27);
+  const AtomicStructure s = random_molecule(10, rng);
+  ReferencePotential::Options opt;
+  opt.seed = 0xDEADBEEF;
+  const ReferencePotential a;
+  const ReferencePotential b(opt);
+  EXPECT_NE(a.evaluate(s).energy, b.evaluate(s).energy);
+}
+
+}  // namespace
+}  // namespace sgnn

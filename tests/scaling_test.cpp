@@ -1,0 +1,121 @@
+#include "sgnn/scaling/powerlaw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sgnn/scaling/sweep.hpp"
+#include "sgnn/util/error.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+TEST(PowerLawTest, RecoversExactPureLaw) {
+  // y = 3 x^-0.5
+  std::vector<double> x;
+  std::vector<double> y;
+  for (const double v : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, -0.5));
+  }
+  const PowerLawFit fit = fit_pure_power_law(x, y);
+  EXPECT_NEAR(fit.a, 3.0, 1e-9);
+  EXPECT_NEAR(fit.alpha, 0.5, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(PowerLawTest, RecoversSaturatingLawWithOffset) {
+  // y = 5 x^-0.7 + 0.25
+  std::vector<double> x;
+  std::vector<double> y;
+  for (const double v : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    x.push_back(v);
+    y.push_back(5.0 * std::pow(v, -0.7) + 0.25);
+  }
+  const PowerLawFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.alpha, 0.7, 0.05);
+  EXPECT_NEAR(fit.c, 0.25, 0.02);
+  EXPECT_GT(fit.r_squared, 0.999);
+  EXPECT_NEAR(fit.evaluate(64.0), 5.0 * std::pow(64.0, -0.7) + 0.25, 1e-3);
+}
+
+TEST(PowerLawTest, ToleratesNoise) {
+  Rng rng(9);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 12; ++i) {
+    const double v = std::pow(2.0, i);
+    x.push_back(v);
+    y.push_back((4.0 * std::pow(v, -0.4) + 0.1) *
+                (1.0 + 0.02 * rng.normal()));
+  }
+  const PowerLawFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.alpha, 0.4, 0.1);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(PowerLawTest, RejectsDegenerateInputs) {
+  EXPECT_THROW(fit_power_law({1.0, 2.0}, {1.0, 2.0}), Error);       // < 3 pts
+  EXPECT_THROW(fit_power_law({1, 2, -3}, {1, 1, 1}), Error);        // x <= 0
+  EXPECT_THROW(fit_power_law({1, 2, 3}, {1, -1, 1}), Error);        // y <= 0
+  EXPECT_THROW(fit_power_law({1, 2}, {1, 2, 3}), Error);            // mismatch
+}
+
+TEST(PowerLawTest, LocalSlopesConstantForPureLaw) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (const double v : {1.0, 10.0, 100.0, 1000.0}) {
+    x.push_back(v);
+    y.push_back(2.0 * std::pow(v, -0.3));
+  }
+  const auto slopes = local_loglog_slopes(x, y);
+  ASSERT_EQ(slopes.size(), 3u);
+  for (const auto s : slopes) EXPECT_NEAR(s, -0.3, 1e-9);
+}
+
+TEST(PowerLawTest, LocalSlopesShrinkForSaturatingLaw) {
+  // Diminishing returns: |slope| decreases as x grows when there is an
+  // irreducible floor — the Fig. 3 signature.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 8; ++i) {
+    const double v = std::pow(4.0, i + 1);
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, -0.6) + 0.5);
+  }
+  const auto slopes = local_loglog_slopes(x, y);
+  for (std::size_t i = 0; i + 1 < slopes.size(); ++i) {
+    EXPECT_GT(slopes[i + 1], slopes[i]);  // slopes rise toward zero
+  }
+}
+
+TEST(SweepTest, RunScalingPointProducesSaneMetrics) {
+  static const ReferencePotential potential;
+  DatasetOptions options;
+  options.target_bytes = 400 << 10;
+  options.seed = 55;
+  const auto dataset = AggregatedDataset::generate(options, potential);
+  const auto split = dataset.split(0.25, 3);
+
+  ModelConfig config;
+  config.hidden_dim = 12;
+  config.num_layers = 2;
+  SweepProtocol protocol;
+  protocol.train.epochs = 2;
+  protocol.train.batch_size = 4;
+
+  const SweepPoint point =
+      run_scaling_point(dataset, split.train, split.test, config, protocol);
+  EXPECT_EQ(point.parameters, config.parameter_count());
+  EXPECT_EQ(point.hidden_dim, 12);
+  EXPECT_EQ(point.num_layers, 2);
+  EXPECT_EQ(point.dataset_bytes, dataset.bytes_of(split.train));
+  EXPECT_GT(point.test_loss, 0);
+  EXPECT_GT(point.train_loss, 0);
+  EXPECT_GT(point.feature_spread, 0);
+  EXPECT_GT(point.seconds, 0);
+}
+
+}  // namespace
+}  // namespace sgnn

@@ -1,0 +1,88 @@
+#include "sgnn/tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+namespace {
+
+TEST(ShapeTest, ScalarHasRankZeroAndOneElement) {
+  const Shape s{};
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, NumelMultipliesDimensions) {
+  const Shape s{3, 4, 5};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 60);
+  EXPECT_EQ(s.dim(0), 3);
+  EXPECT_EQ(s.dim(2), 5);
+}
+
+TEST(ShapeTest, ZeroDimensionGivesZeroNumel) {
+  const Shape s{4, 0, 2};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(ShapeTest, NegativeDimensionThrows) {
+  EXPECT_THROW(Shape({-1, 2}), Error);
+}
+
+TEST(ShapeTest, DimOutOfRangeThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), Error);
+}
+
+TEST(ShapeTest, EqualityComparesDimensions) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, RowMajorStrides) {
+  const Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(ShapeTest, BroadcastEqualShapes) {
+  EXPECT_EQ(Shape::broadcast(Shape{2, 3}, Shape{2, 3}), Shape({2, 3}));
+}
+
+TEST(ShapeTest, BroadcastScalarAgainstMatrix) {
+  EXPECT_EQ(Shape::broadcast(Shape{}, Shape{4, 5}), Shape({4, 5}));
+  EXPECT_EQ(Shape::broadcast(Shape{4, 5}, Shape{}), Shape({4, 5}));
+}
+
+TEST(ShapeTest, BroadcastSizeOneDimensions) {
+  EXPECT_EQ(Shape::broadcast(Shape{4, 1}, Shape{4, 3}), Shape({4, 3}));
+  EXPECT_EQ(Shape::broadcast(Shape{1, 3}, Shape{4, 1}), Shape({4, 3}));
+}
+
+TEST(ShapeTest, BroadcastRankExtension) {
+  EXPECT_EQ(Shape::broadcast(Shape{3}, Shape{4, 3}), Shape({4, 3}));
+}
+
+TEST(ShapeTest, BroadcastIncompatibleThrows) {
+  EXPECT_THROW(Shape::broadcast(Shape{2, 3}, Shape{2, 4}), Error);
+}
+
+TEST(ShapeTest, BroadcastableTo) {
+  EXPECT_TRUE(Shape::broadcastable_to(Shape{1, 3}, Shape{5, 3}));
+  EXPECT_TRUE(Shape::broadcastable_to(Shape{}, Shape{5, 3}));
+  EXPECT_FALSE(Shape::broadcastable_to(Shape{5, 3}, Shape{1, 3}));
+  EXPECT_FALSE(Shape::broadcastable_to(Shape{2, 3, 4}, Shape{3, 4}));
+}
+
+TEST(ShapeTest, ToStringFormatsDims) {
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+}  // namespace
+}  // namespace sgnn

@@ -1,0 +1,238 @@
+#include "sgnn/store/bp_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sgnn/store/ddstore.hpp"
+#include "sgnn/store/serialize.hpp"
+#include "sgnn/util/error.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+MolecularGraph sample_graph(std::uint64_t seed, bool periodic = false) {
+  Rng rng(seed);
+  AtomicStructure s;
+  const int palette[] = {elements::kH, elements::kC, elements::kO};
+  const std::int64_t atoms = 5 + static_cast<std::int64_t>(rng.uniform_index(10));
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    s.species.push_back(palette[rng.uniform_index(3)]);
+    s.positions.push_back(
+        {rng.uniform(0, 7), rng.uniform(0, 7), rng.uniform(0, 7)});
+  }
+  if (periodic) {
+    s.cell = {7, 7, 7};
+    s.periodic = true;
+  }
+  MolecularGraph g = MolecularGraph::from_structure(s, 3.0);
+  g.energy = rng.normal(0, 5);
+  for (auto& f : g.forces) {
+    f = {rng.normal(), rng.normal(), rng.normal()};
+  }
+  return g;
+}
+
+void expect_graphs_equal(const MolecularGraph& a, const MolecularGraph& b) {
+  EXPECT_EQ(a.structure.species, b.structure.species);
+  ASSERT_EQ(a.structure.positions.size(), b.structure.positions.size());
+  for (std::size_t i = 0; i < a.structure.positions.size(); ++i) {
+    EXPECT_EQ(a.structure.positions[i], b.structure.positions[i]);
+    EXPECT_EQ(a.forces[i], b.forces[i]);
+  }
+  EXPECT_EQ(a.structure.periodic, b.structure.periodic);
+  EXPECT_EQ(a.structure.cell, b.structure.cell);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.edges.src, b.edges.src);
+  EXPECT_EQ(a.edges.dst, b.edges.dst);
+  for (std::size_t k = 0; k < a.edges.displacement.size(); ++k) {
+    EXPECT_EQ(a.edges.displacement[k], b.edges.displacement[k]);
+  }
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(SerializeTest, RoundTripOpenSystem) {
+  const MolecularGraph g = sample_graph(1);
+  std::stringstream buffer;
+  write_graph_record(buffer, g);
+  expect_graphs_equal(g, read_graph_record(buffer));
+}
+
+TEST(SerializeTest, RoundTripPeriodicSystem) {
+  const MolecularGraph g = sample_graph(2, /*periodic=*/true);
+  std::stringstream buffer;
+  write_graph_record(buffer, g);
+  expect_graphs_equal(g, read_graph_record(buffer));
+}
+
+TEST(SerializeTest, SerializedBytesMatchesActualRecordSize) {
+  for (std::uint64_t seed = 3; seed < 8; ++seed) {
+    const MolecularGraph g = sample_graph(seed, seed % 2 == 0);
+    std::stringstream buffer;
+    write_graph_record(buffer, g);
+    EXPECT_EQ(buffer.str().size(), g.serialized_bytes()) << "seed " << seed;
+  }
+}
+
+TEST(SerializeTest, TruncatedRecordThrows) {
+  const MolecularGraph g = sample_graph(9);
+  std::stringstream buffer;
+  write_graph_record(buffer, g);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_graph_record(truncated), Error);
+}
+
+TEST(SerializeTest, GarbageHeaderThrows) {
+  std::string garbage(64, '\xFF');
+  std::stringstream stream(garbage);
+  EXPECT_THROW(read_graph_record(stream), Error);
+}
+
+TEST(Crc32Test, KnownVectorAndSensitivity) {
+  // Standard test vector: crc32("123456789") = 0xCBF43926.
+  const char data[] = "123456789";
+  EXPECT_EQ(crc32(data, 9), 0xCBF43926u);
+  char mutated[] = "123456780";
+  EXPECT_NE(crc32(mutated, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(data, 0), 0u);
+}
+
+TEST(BpFileTest, WriteReadRoundTrip) {
+  const TempFile file("sgnn_bp_roundtrip.bp");
+  std::vector<MolecularGraph> graphs;
+  {
+    BpWriter writer(file.path());
+    for (std::uint64_t seed = 10; seed < 16; ++seed) {
+      graphs.push_back(sample_graph(seed, seed % 2 == 0));
+      EXPECT_EQ(writer.append(graphs.back()), graphs.size() - 1);
+    }
+    writer.finalize();
+  }
+  const BpReader reader(file.path());
+  ASSERT_EQ(reader.size(), graphs.size());
+  // Random-access order, not sequential.
+  for (const std::size_t i : {3u, 0u, 5u, 2u, 1u, 4u}) {
+    expect_graphs_equal(graphs[i], reader.read(i));
+    EXPECT_EQ(reader.record_bytes(i), graphs[i].serialized_bytes());
+  }
+}
+
+TEST(BpFileTest, UnfinalizedFileIsRejected) {
+  const TempFile file("sgnn_bp_unfinalized.bp");
+  {
+    BpWriter writer(file.path());
+    writer.append(sample_graph(20));
+    // no finalize: simulated crash
+  }
+  EXPECT_THROW(BpReader reader(file.path()), Error);
+}
+
+TEST(BpFileTest, CorruptedFooterIsDetected) {
+  const TempFile file("sgnn_bp_corrupt.bp");
+  {
+    BpWriter writer(file.path());
+    writer.append(sample_graph(21));
+    writer.append(sample_graph(22));
+    writer.finalize();
+  }
+  // Flip a byte inside the footer index region (near the end, before the
+  // 16-byte trailer).
+  {
+    std::fstream f(file.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    f.seekp(size - 20);
+    char byte;
+    f.seekg(size - 20);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x55);
+    f.seekp(size - 20);
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW(BpReader reader(file.path()), Error);
+}
+
+TEST(BpFileTest, NonBpFileIsRejected) {
+  const TempFile file("sgnn_not_bp.bin");
+  {
+    std::ofstream f(file.path(), std::ios::binary);
+    f << "this is not a bp file at all, just some text padding............";
+  }
+  EXPECT_THROW(BpReader reader(file.path()), Error);
+}
+
+TEST(BpFileTest, AppendAfterFinalizeThrows) {
+  const TempFile file("sgnn_bp_after_finalize.bp");
+  BpWriter writer(file.path());
+  writer.append(sample_graph(23));
+  writer.finalize();
+  EXPECT_THROW(writer.append(sample_graph(24)), Error);
+}
+
+TEST(BpFileTest, PayloadBytesTracksRecords) {
+  const TempFile file("sgnn_bp_payload.bp");
+  BpWriter writer(file.path());
+  const MolecularGraph g = sample_graph(25);
+  writer.append(g);
+  writer.append(g);
+  EXPECT_EQ(writer.payload_bytes(), 2 * g.serialized_bytes());
+  writer.finalize();
+}
+
+TEST(DDStoreTest, RoundRobinOwnership) {
+  DDStore store(4);
+  std::vector<MolecularGraph> graphs;
+  for (std::uint64_t seed = 30; seed < 40; ++seed) {
+    graphs.push_back(sample_graph(seed));
+  }
+  store.insert(graphs);
+  EXPECT_EQ(store.size(), 10);
+  EXPECT_EQ(store.owner_rank(0), 0);
+  EXPECT_EQ(store.owner_rank(5), 1);
+  EXPECT_EQ(store.shard_size(0), 3);  // indices 0, 4, 8
+  EXPECT_EQ(store.shard_size(3), 2);  // indices 3, 7
+}
+
+TEST(DDStoreTest, FetchReturnsCorrectGraphAndCountsTraffic) {
+  DDStore store(2);
+  std::vector<MolecularGraph> graphs;
+  for (std::uint64_t seed = 40; seed < 44; ++seed) {
+    graphs.push_back(sample_graph(seed));
+  }
+  store.insert(graphs);
+
+  expect_graphs_equal(graphs[1], store.fetch(1, 1));  // local to rank 1
+  expect_graphs_equal(graphs[1], store.fetch(0, 1));  // remote for rank 0
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.local_hits, 1u);
+  EXPECT_EQ(stats.remote_fetches, 1u);
+  EXPECT_EQ(stats.remote_bytes, graphs[1].serialized_bytes());
+
+  store.reset_stats();
+  EXPECT_EQ(store.stats().remote_fetches, 0u);
+}
+
+TEST(DDStoreTest, OutOfRangeFetchThrows) {
+  DDStore store(2);
+  store.insert({sample_graph(50)});
+  EXPECT_THROW(store.fetch(0, 1), Error);
+  EXPECT_THROW(store.fetch(5, 0), Error);
+}
+
+}  // namespace
+}  // namespace sgnn

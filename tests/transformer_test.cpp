@@ -1,0 +1,215 @@
+#include "sgnn/nn/transformer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "sgnn/nn/egnn.hpp"
+#include "sgnn/potential/potential.hpp"
+#include "sgnn/train/optim.hpp"
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+AtomicStructure random_molecule(std::int64_t atoms, Rng& rng,
+                                double box = 6.0) {
+  AtomicStructure s;
+  const int palette[] = {elements::kH, elements::kC, elements::kN,
+                         elements::kO};
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    s.species.push_back(palette[rng.uniform_index(4)]);
+    for (;;) {
+      const Vec3 p{rng.uniform(0, box), rng.uniform(0, box),
+                   rng.uniform(0, box)};
+      bool ok = true;
+      for (const auto& q : s.positions) {
+        if ((p - q).norm() < 0.9) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        s.positions.push_back(p);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+GraphBatch batch_of(const AtomicStructure& s, double cutoff = 3.0) {
+  MolecularGraph g = MolecularGraph::from_structure(s, cutoff);
+  return GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&g});
+}
+
+TransformerConfig tiny_config() {
+  TransformerConfig config;
+  config.hidden_dim = 16;
+  config.num_layers = 2;
+  config.seed = 7;
+  return config;
+}
+
+TEST(TransformerTest, ParameterCountMatchesClosedForm) {
+  for (const std::int64_t width : {8, 16, 32}) {
+    TransformerConfig config = tiny_config();
+    config.hidden_dim = width;
+    const GraphTransformer model(config);
+    EXPECT_EQ(model.num_parameters(), config.parameter_count()) << width;
+  }
+}
+
+TEST(TransformerTest, ForwardShapes) {
+  Rng rng(1);
+  const GraphBatch batch = batch_of(random_molecule(9, rng));
+  const GraphTransformer model(tiny_config());
+  const auto out = model.forward(batch);
+  EXPECT_EQ(out.energy.shape(), Shape({1, 1}));
+  EXPECT_EQ(out.forces.shape(), Shape({9, 3}));
+}
+
+TEST(TransformerTest, AttentionRowsSumToOne) {
+  Rng rng(2);
+  const GraphBatch batch = batch_of(random_molecule(7, rng));
+  const GraphTransformer model(tiny_config());
+  (void)model.forward(batch);
+  std::map<std::int64_t, double> sums;
+  const auto& attention = model.last_attention();
+  const auto& dst = model.last_pair_dst();
+  ASSERT_EQ(attention.size(), dst.size());
+  for (std::size_t k = 0; k < attention.size(); ++k) {
+    EXPECT_GT(attention[k], 0.0);
+    sums[dst[k]] += attention[k];
+  }
+  ASSERT_EQ(sums.size(), 7u);
+  for (const auto& [node, total] : sums) {
+    EXPECT_NEAR(total, 1.0, 1e-12) << "node " << node;
+  }
+}
+
+TEST(TransformerTest, EnergyInvariantUnderRotationAndTranslation) {
+  Rng rng(3);
+  AtomicStructure s = random_molecule(8, rng);
+  const GraphTransformer model(tiny_config());
+  const double e0 = model.forward(batch_of(s)).energy.item();
+
+  AtomicStructure moved = s;
+  const double angle = 1.1;
+  for (auto& p : moved.positions) {
+    const Vec3 r{std::cos(angle) * p.x - std::sin(angle) * p.y,
+                 std::sin(angle) * p.x + std::cos(angle) * p.y, p.z};
+    p = r + Vec3{4.2, -1.0, 2.5};
+  }
+  EXPECT_NEAR(model.forward(batch_of(moved)).energy.item(), e0, 1e-9);
+}
+
+TEST(TransformerTest, ForcesEquivariantUnderRotation) {
+  Rng rng(4);
+  AtomicStructure s = random_molecule(8, rng);
+  const GraphTransformer model(tiny_config());
+  const auto out0 = model.forward(batch_of(s));
+
+  const double angle = 0.6;
+  AtomicStructure rotated = s;
+  for (auto& p : rotated.positions) {
+    p = {std::cos(angle) * p.x - std::sin(angle) * p.y,
+         std::sin(angle) * p.x + std::cos(angle) * p.y, p.z};
+  }
+  const auto out1 = model.forward(batch_of(rotated));
+  const real* f0 = out0.forces.data();
+  const real* f1 = out1.forces.data();
+  for (std::int64_t i = 0; i < 8; ++i) {
+    const double fx = std::cos(angle) * f0[i * 3] - std::sin(angle) * f0[i * 3 + 1];
+    const double fy = std::sin(angle) * f0[i * 3] + std::cos(angle) * f0[i * 3 + 1];
+    EXPECT_NEAR(f1[i * 3 + 0], fx, 1e-9);
+    EXPECT_NEAR(f1[i * 3 + 1], fy, 1e-9);
+    EXPECT_NEAR(f1[i * 3 + 2], f0[i * 3 + 2], 1e-9);
+  }
+}
+
+TEST(TransformerTest, BatchingDoesNotMixGraphs) {
+  Rng rng(5);
+  MolecularGraph a = MolecularGraph::from_structure(random_molecule(6, rng), 3.0);
+  MolecularGraph b = MolecularGraph::from_structure(random_molecule(9, rng), 3.0);
+  const GraphTransformer model(tiny_config());
+  const auto solo_a = model.forward(
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&a}));
+  const auto joint = model.forward(
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&a, &b}));
+  EXPECT_NEAR(joint.energy.at(0, 0), solo_a.energy.item(), 1e-10);
+}
+
+TEST(TransformerTest, SeesBeyondTheGnnHorizon) {
+  // The conceptual difference the paper conjectures about: an L-layer GNN
+  // on a radius graph cannot react to atoms farther than L x cutoff, while
+  // attention covers every pair. Move an atom from 20 A to 25 A away: the
+  // EGNN's output is bitwise unchanged (no edge ever forms), the
+  // transformer's energy responds.
+  AtomicStructure near_far;
+  near_far.species = {elements::kC, elements::kO, elements::kH};
+  near_far.positions = {{0, 0, 0}, {1.2, 0, 0}, {20.0, 0, 0}};
+  AtomicStructure moved = near_far;
+  moved.positions[2].x = 25.0;
+
+  ModelConfig gnn_config;
+  gnn_config.hidden_dim = 16;
+  gnn_config.num_layers = 2;
+  const EGNNModel gnn(gnn_config);
+  EXPECT_EQ(gnn.forward(batch_of(near_far)).energy.item(),
+            gnn.forward(batch_of(moved)).energy.item());
+
+  const GraphTransformer transformer(tiny_config());
+  EXPECT_NE(transformer.forward(batch_of(near_far)).energy.item(),
+            transformer.forward(batch_of(moved)).energy.item());
+}
+
+TEST(TransformerTest, GradientsFlowToAllLayers) {
+  Rng rng(6);
+  const GraphBatch batch = batch_of(random_molecule(6, rng));
+  const GraphTransformer model(tiny_config());
+  const auto out = model.forward(batch);
+  (sum(square(out.energy)) + sum(square(out.forces))).backward();
+  std::size_t with_grad = 0;
+  for (const auto& p : model.parameters()) {
+    if (p.grad().defined()) ++with_grad;
+  }
+  EXPECT_EQ(with_grad, model.parameters().size());
+}
+
+TEST(TransformerTest, TrainsOnASmallProblem) {
+  // A few steps of Adam must reduce the loss on a fixed batch.
+  Rng rng(8);
+  AtomicStructure s = random_molecule(8, rng);
+  MolecularGraph g = MolecularGraph::from_structure(s, 3.0);
+  const ReferencePotential potential;
+  const PotentialResult labels = potential.evaluate(g.structure, g.edges);
+  g.energy = labels.energy - (-4.0) * static_cast<double>(g.num_nodes());
+  g.forces = labels.forces;
+  const GraphBatch batch =
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&g});
+
+  GraphTransformer model(tiny_config());
+  Adam::Options adam_options;
+  adam_options.learning_rate = 5e-3;
+  Adam adam(model.parameters(), adam_options);
+
+  double first = 0;
+  double last = 0;
+  for (int step = 0; step < 30; ++step) {
+    adam.zero_grad();
+    const auto out = model.forward(batch);
+    Tensor loss = mse_loss(out.energy, batch.energy) +
+                  mse_loss(out.forces, batch.forces) * 10.0;
+    if (step == 0) first = loss.item();
+    last = loss.item();
+    loss.backward();
+    adam.step();
+  }
+  EXPECT_LT(last, 0.5 * first);
+}
+
+}  // namespace
+}  // namespace sgnn

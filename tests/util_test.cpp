@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "sgnn/util/error.hpp"
+#include "sgnn/util/rng.hpp"
+#include "sgnn/util/table.hpp"
+#include "sgnn/util/timer.hpp"
+
+namespace sgnn {
+namespace {
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    SGNN_CHECK(1 == 2, "custom message " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(8);
+  std::vector<int> counts(5, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.uniform_index(5)];
+  }
+  for (const auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 5.0, draws * 0.02);
+  }
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(RngTest, NormalHasUnitMoments) {
+  Rng rng(9);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, SplitProducesIndependentStreams) {
+  Rng parent(42);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  // The two children and the parent should all produce distinct sequences.
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 16; ++i) {
+    values.insert(parent.next_u64());
+    values.insert(child1.next_u64());
+    values.insert(child2.next_u64());
+  }
+  EXPECT_EQ(values.size(), 48u);
+}
+
+TEST(TableTest, AsciiLayoutAlignsColumns) {
+  Table t({"A", "Long header"});
+  t.add_row({"xxxxxxx", "1"});
+  const std::string out = t.to_ascii("Title");
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| A "), std::string::npos);
+  EXPECT_NE(out.find("xxxxxxx"), std::string::npos);
+  // Every rendered line between rules has the same width.
+  std::size_t first_len = std::string::npos;
+  std::istringstream stream(out);
+  std::string line;
+  std::getline(stream, line);  // title
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (first_len == std::string::npos) first_len = line.size();
+    EXPECT_EQ(line.size(), first_len);
+  }
+}
+
+TEST(TableTest, RowArityMismatchThrows) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(TableTest, CsvExport) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TableTest, HumanBytes) {
+  EXPECT_EQ(Table::human_bytes(512), "512 B");
+  EXPECT_EQ(Table::human_bytes(25.0 * 1024 * 1024 * 1024), "25.0 GB");
+  EXPECT_EQ(Table::human_bytes(1.2 * 1024 * 1024 * 1024 * 1024), "1.20 TB");
+}
+
+TEST(TableTest, HumanCount) {
+  EXPECT_EQ(Table::human_count(999), "999");
+  EXPECT_EQ(Table::human_count(2.0e9), "2.00 B");
+  EXPECT_EQ(Table::human_count(1.54e8), "154 M");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.milliseconds(), 15.0);
+  timer.reset();
+  EXPECT_LT(timer.milliseconds(), 15.0);
+}
+
+}  // namespace
+}  // namespace sgnn
