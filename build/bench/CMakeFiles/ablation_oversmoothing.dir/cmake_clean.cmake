@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_oversmoothing.dir/ablation_oversmoothing.cpp.o"
+  "CMakeFiles/ablation_oversmoothing.dir/ablation_oversmoothing.cpp.o.d"
+  "ablation_oversmoothing"
+  "ablation_oversmoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oversmoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

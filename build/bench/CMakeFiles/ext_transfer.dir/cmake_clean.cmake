@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_transfer.dir/ext_transfer.cpp.o"
+  "CMakeFiles/ext_transfer.dir/ext_transfer.cpp.o.d"
+  "ext_transfer"
+  "ext_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_landscape.dir/fig1_landscape.cpp.o"
+  "CMakeFiles/fig1_landscape.dir/fig1_landscape.cpp.o.d"
+  "fig1_landscape"
+  "fig1_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_depth_width.dir/fig5_depth_width.cpp.o"
+  "CMakeFiles/fig5_depth_width.dir/fig5_depth_width.cpp.o.d"
+  "fig5_depth_width"
+  "fig5_depth_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_depth_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

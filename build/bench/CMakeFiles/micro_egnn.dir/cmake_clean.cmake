@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_egnn.dir/micro_egnn.cpp.o"
+  "CMakeFiles/micro_egnn.dir/micro_egnn.cpp.o.d"
+  "micro_egnn"
+  "micro_egnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_egnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

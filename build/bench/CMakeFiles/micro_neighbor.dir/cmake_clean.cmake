@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_neighbor.dir/micro_neighbor.cpp.o"
+  "CMakeFiles/micro_neighbor.dir/micro_neighbor.cpp.o.d"
+  "micro_neighbor"
+  "micro_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/sgnn_bench_common.dir/bench_common.cpp.o.d"
+  "libsgnn_bench_common.a"
+  "libsgnn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

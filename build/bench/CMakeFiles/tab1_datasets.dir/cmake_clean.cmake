@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_datasets.dir/tab1_datasets.cpp.o"
+  "CMakeFiles/tab1_datasets.dir/tab1_datasets.cpp.o.d"
+  "tab1_datasets"
+  "tab1_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_memory_time.dir/tab2_memory_time.cpp.o"
+  "CMakeFiles/tab2_memory_time.dir/tab2_memory_time.cpp.o.d"
+  "tab2_memory_time"
+  "tab2_memory_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_memory_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune.dir/finetune.cpp.o"
+  "CMakeFiles/finetune.dir/finetune.cpp.o.d"
+  "finetune"
+  "finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

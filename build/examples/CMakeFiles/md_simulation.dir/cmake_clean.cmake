@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_simulation.dir/md_simulation.cpp.o"
+  "CMakeFiles/md_simulation.dir/md_simulation.cpp.o.d"
+  "md_simulation"
+  "md_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_potential.dir/train_potential.cpp.o"
+  "CMakeFiles/train_potential.dir/train_potential.cpp.o.d"
+  "train_potential"
+  "train_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/communicator.cpp" "src/CMakeFiles/sgnn.dir/comm/communicator.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/comm/communicator.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/sgnn.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/loader.cpp" "src/CMakeFiles/sgnn.dir/data/loader.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/data/loader.cpp.o.d"
+  "/root/repo/src/data/sources.cpp" "src/CMakeFiles/sgnn.dir/data/sources.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/data/sources.cpp.o.d"
+  "/root/repo/src/data/streaming.cpp" "src/CMakeFiles/sgnn.dir/data/streaming.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/data/streaming.cpp.o.d"
+  "/root/repo/src/graph/batch.cpp" "src/CMakeFiles/sgnn.dir/graph/batch.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/graph/batch.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/sgnn.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/neighbor.cpp" "src/CMakeFiles/sgnn.dir/graph/neighbor.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/graph/neighbor.cpp.o.d"
+  "/root/repo/src/graph/structure.cpp" "src/CMakeFiles/sgnn.dir/graph/structure.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/graph/structure.cpp.o.d"
+  "/root/repo/src/nn/egnn.cpp" "src/CMakeFiles/sgnn.dir/nn/egnn.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/nn/egnn.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/sgnn.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/model_io.cpp" "src/CMakeFiles/sgnn.dir/nn/model_io.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/nn/model_io.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/sgnn.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/CMakeFiles/sgnn.dir/nn/transformer.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/nn/transformer.cpp.o.d"
+  "/root/repo/src/potential/potential.cpp" "src/CMakeFiles/sgnn.dir/potential/potential.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/potential/potential.cpp.o.d"
+  "/root/repo/src/scaling/powerlaw.cpp" "src/CMakeFiles/sgnn.dir/scaling/powerlaw.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/scaling/powerlaw.cpp.o.d"
+  "/root/repo/src/scaling/sweep.cpp" "src/CMakeFiles/sgnn.dir/scaling/sweep.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/scaling/sweep.cpp.o.d"
+  "/root/repo/src/store/bp_file.cpp" "src/CMakeFiles/sgnn.dir/store/bp_file.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/store/bp_file.cpp.o.d"
+  "/root/repo/src/store/ddstore.cpp" "src/CMakeFiles/sgnn.dir/store/ddstore.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/store/ddstore.cpp.o.d"
+  "/root/repo/src/store/serialize.cpp" "src/CMakeFiles/sgnn.dir/store/serialize.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/store/serialize.cpp.o.d"
+  "/root/repo/src/tensor/checkpoint.cpp" "src/CMakeFiles/sgnn.dir/tensor/checkpoint.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/tensor/checkpoint.cpp.o.d"
+  "/root/repo/src/tensor/gradcheck.cpp" "src/CMakeFiles/sgnn.dir/tensor/gradcheck.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/tensor/gradcheck.cpp.o.d"
+  "/root/repo/src/tensor/memory_tracker.cpp" "src/CMakeFiles/sgnn.dir/tensor/memory_tracker.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/tensor/memory_tracker.cpp.o.d"
+  "/root/repo/src/tensor/ops_elementwise.cpp" "src/CMakeFiles/sgnn.dir/tensor/ops_elementwise.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/tensor/ops_elementwise.cpp.o.d"
+  "/root/repo/src/tensor/ops_index.cpp" "src/CMakeFiles/sgnn.dir/tensor/ops_index.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/tensor/ops_index.cpp.o.d"
+  "/root/repo/src/tensor/ops_linalg.cpp" "src/CMakeFiles/sgnn.dir/tensor/ops_linalg.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/tensor/ops_linalg.cpp.o.d"
+  "/root/repo/src/tensor/ops_reduce.cpp" "src/CMakeFiles/sgnn.dir/tensor/ops_reduce.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/tensor/ops_reduce.cpp.o.d"
+  "/root/repo/src/tensor/ops_shape.cpp" "src/CMakeFiles/sgnn.dir/tensor/ops_shape.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/tensor/ops_shape.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/sgnn.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/sgnn.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/train/baseline.cpp" "src/CMakeFiles/sgnn.dir/train/baseline.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/train/baseline.cpp.o.d"
+  "/root/repo/src/train/distributed.cpp" "src/CMakeFiles/sgnn.dir/train/distributed.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/train/distributed.cpp.o.d"
+  "/root/repo/src/train/loss.cpp" "src/CMakeFiles/sgnn.dir/train/loss.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/train/loss.cpp.o.d"
+  "/root/repo/src/train/optim.cpp" "src/CMakeFiles/sgnn.dir/train/optim.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/train/optim.cpp.o.d"
+  "/root/repo/src/train/schedule.cpp" "src/CMakeFiles/sgnn.dir/train/schedule.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/train/schedule.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/CMakeFiles/sgnn.dir/train/trainer.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/train/trainer.cpp.o.d"
+  "/root/repo/src/train/zero.cpp" "src/CMakeFiles/sgnn.dir/train/zero.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/train/zero.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/sgnn.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/sgnn.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

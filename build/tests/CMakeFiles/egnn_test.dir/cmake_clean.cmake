@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egnn_test.dir/egnn_test.cpp.o"
+  "CMakeFiles/egnn_test.dir/egnn_test.cpp.o.d"
+  "egnn_test"
+  "egnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

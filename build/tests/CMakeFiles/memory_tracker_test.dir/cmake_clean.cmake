@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_tracker_test.dir/memory_tracker_test.cpp.o"
+  "CMakeFiles/memory_tracker_test.dir/memory_tracker_test.cpp.o.d"
+  "memory_tracker_test"
+  "memory_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

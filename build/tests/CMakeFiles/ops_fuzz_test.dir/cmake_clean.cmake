@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_fuzz_test.dir/ops_fuzz_test.cpp.o"
+  "CMakeFiles/ops_fuzz_test.dir/ops_fuzz_test.cpp.o.d"
+  "ops_fuzz_test"
+  "ops_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potential_test.dir/potential_test.cpp.o"
+  "CMakeFiles/potential_test.dir/potential_test.cpp.o.d"
+  "potential_test"
+  "potential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
