@@ -45,6 +45,8 @@ int main() {
                    "Peak phase"});
   Table phases({"Setting", "Peak in forward", "Peak in backward",
                 "Peak in weight update"});
+  Table telemetry({"Setting", "Steps", "p50 step", "p95 step", "Atoms/s",
+                   "Peak mem (registry)"});
   std::vector<std::int64_t> peaks;
 
   for (const auto& setting : settings) {
@@ -65,9 +67,23 @@ int main() {
       }
       store.insert(std::move(graphs));
     }
+    // Per-setting telemetry comes from the obs registry, which every
+    // training step feeds; reset isolates this setting's run.
+    obs::MetricsRegistry::instance().reset();
     DistributedTrainer trainer(config, options);
     const DistTrainReport report = trainer.train(store);
     peaks.push_back(report.peak_memory.total());
+
+    const obs::MetricsSnapshot metrics =
+        obs::MetricsRegistry::instance().snapshot();
+    const obs::Histogram::Snapshot step_seconds =
+        metrics.histograms.at("step.seconds");
+    telemetry.add_row(
+        {setting.name, std::to_string(metrics.counters.at("train.steps")),
+         Table::scientific(step_seconds.quantile(0.50), 2) + " s",
+         Table::scientific(step_seconds.quantile(0.95), 2) + " s",
+         Table::human_count(metrics.gauges.at("train.atoms_per_sec")),
+         Table::human_bytes(metrics.gauges.at("mem.peak_bytes"))});
 
     const auto pct = [&](MemCategory c) {
       return Table::fixed(100.0 * report.peak_memory.fraction(c), 1) + "%";
@@ -87,6 +103,9 @@ int main() {
 
   std::cout << phases.to_ascii(
       "Fig. 6(a) — peak memory per training stage");
+  std::cout << "\n";
+  std::cout << telemetry.to_ascii(
+      "Per-step telemetry (from the sgnn::obs metrics registry)");
   std::cout << "\n";
   std::cout << breakdown.to_ascii(
       "Fig. 6 — Peak memory breakdown (4 simulated ranks, width " +

@@ -3,10 +3,18 @@
 // configurations from Sec. V (vanilla DDP, +activation checkpointing,
 // +ZeRO-1), printing memory, traffic, and time accounting for each.
 //
-//   ./build/examples/distributed_training [dataset_MiB]
+//   ./build/examples/distributed_training [dataset_MiB] [trace.json]
+//
+// When a trace path is given (or SGNN_TRACE names one), the whole run is
+// traced and exported as Chrome trace-event JSON — load it in
+// chrome://tracing or https://ui.perfetto.dev to see one timeline per rank
+// with forward/backward/optimizer/collective spans. Per-step telemetry goes
+// to <trace path>.telemetry.jsonl, and the global metrics snapshot
+// (throughput, collective bytes, step-time quantiles) is printed at the end.
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "sgnn/sgnn.hpp"
 
@@ -15,6 +23,19 @@ int main(int argc, char** argv) {
 
   const std::uint64_t dataset_mib =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  std::string trace_path = argc > 2 ? argv[2] : "";
+  if (trace_path.empty()) {
+    if (const char* env = std::getenv("SGNN_TRACE")) trace_path = env;
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::instance().enable();
+    std::cout << "tracing enabled -> " << trace_path << "\n";
+  }
+  std::unique_ptr<obs::JsonlTelemetrySink> telemetry;
+  if (!trace_path.empty()) {
+    telemetry = std::make_unique<obs::JsonlTelemetrySink>(
+        trace_path + ".telemetry.jsonl");
+  }
   const int kRanks = 4;
 
   const ReferencePotential potential;
@@ -61,6 +82,7 @@ int main(int argc, char** argv) {
     options.activation_checkpointing = setting.ckpt;
     options.epochs = 2;
     options.per_rank_batch_size = 4;
+    options.telemetry = telemetry.get();
 
     DistributedTrainer trainer(config, options);
     const DistTrainReport report = trainer.train(store);
@@ -83,5 +105,19 @@ int main(int argc, char** argv) {
   std::cout << "\nComm time is modeled from exact collective payloads at "
                "NVLink-3 rates; data\ntraffic counts DDStore remote "
                "fetches.\n";
+
+  std::cout << "\nMetrics snapshot (sgnn::obs registry):\n"
+            << obs::MetricsRegistry::instance().snapshot().to_text();
+
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::instance().disable();
+    obs::TraceRecorder::instance().write_chrome_json(trace_path);
+    std::cout << "\nwrote " << obs::TraceRecorder::instance().size()
+              << " trace spans to " << trace_path << " ("
+              << telemetry->lines_written() << " telemetry lines in "
+              << trace_path << ".telemetry.jsonl)\n"
+              << "load the trace in chrome://tracing or "
+                 "https://ui.perfetto.dev\n";
+  }
   return 0;
 }

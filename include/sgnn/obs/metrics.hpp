@@ -1,0 +1,128 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sgnn::obs {
+
+/// Monotonic event/byte counter. Updates are relaxed atomics: hot paths
+/// (collectives, batch assembly) pay one fetch_add.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (loss, learning rate, throughput).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with lock-free observation. Bucket i counts values
+/// in (bounds[i-1], bounds[i]]; a final overflow bucket catches the rest.
+/// Quantiles are extracted from the snapshot by linear interpolation within
+/// the owning bucket, clamped by the observed min/max for the edge buckets.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+    /// q in [0, 1]; 0.5 -> median. Returns 0 when empty.
+    double quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+  /// Geometric ladder lo, lo*factor, ... covering [lo, hi] — the right shape
+  /// for durations spanning microseconds to minutes.
+  static std::vector<double> exponential_bounds(double lo, double hi,
+                                                double factor);
+  /// Default ladder for seconds-valued timings: 1 us .. ~1000 s, factor 2.
+  static std::vector<double> default_seconds_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Point-in-time copy of every registered instrument.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+
+  /// Human-readable dump (one instrument per line, histograms with
+  /// count/mean/p50/p95/p99).
+  std::string to_text() const;
+  /// Machine-readable dump for benches and the scaling sweep.
+  std::string to_json() const;
+};
+
+/// Process-global named-instrument registry. Lookup takes a mutex (cache the
+/// reference in hot loops if it matters); the returned references stay valid
+/// for the process lifetime — reset() zeroes values without unregistering.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Bounds are fixed at first registration; later calls with different
+  /// bounds return the existing histogram unchanged. Empty bounds select
+  /// Histogram::default_seconds_bounds().
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every instrument, keeping registrations (and references) alive.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sgnn::obs

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sgnn::obs {
+
+/// Everything the trainers know about one optimization step, in plain
+/// numbers — the per-step record behind the paper's throughput / memory /
+/// communication accounting. Serialized as one JSON object per line (JSONL)
+/// so benches and the scaling sweep can consume a run without linking
+/// against the trainer.
+struct StepTelemetry {
+  std::int64_t step = 0;   ///< global step index (within the run)
+  std::int64_t epoch = 0;  ///< epoch the step belongs to
+  int rank = -1;           ///< emitting rank; -1 for single-process training
+
+  double loss = 0;           ///< total multitask loss of the batch
+  double grad_norm = 0;      ///< joint L2 gradient norm before the update
+  double learning_rate = 0;  ///< LR applied by this step
+
+  std::int64_t batch_graphs = 0;
+  std::int64_t batch_atoms = 0;
+  std::int64_t batch_edges = 0;
+
+  double step_seconds = 0;
+  double atoms_per_sec = 0;
+  double graphs_per_sec = 0;
+
+  /// Collective payload moved during this step (bytes; exact, from
+  /// Communicator::Traffic) and the fabric time the InterconnectModel
+  /// attributes to it. Zero for single-process training.
+  std::uint64_t collective_bytes = 0;
+  double comm_seconds_modeled = 0;
+
+  /// Live and peak tracked allocation totals (MemoryTracker), bytes.
+  std::int64_t live_bytes = 0;
+  std::int64_t peak_bytes = 0;
+
+  std::string to_json() const;
+  /// Parses one to_json() line back; throws sgnn::Error on malformed input.
+  static StepTelemetry from_json(const std::string& line);
+};
+
+/// Receiver of per-step telemetry. Implementations must tolerate concurrent
+/// on_step() calls: the distributed trainer emits from every rank thread.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void on_step(const StepTelemetry& step) = 0;
+};
+
+/// Appends one JSON line per step to a file or stream.
+class JsonlTelemetrySink final : public TelemetrySink {
+ public:
+  explicit JsonlTelemetrySink(const std::string& path);
+  explicit JsonlTelemetrySink(std::ostream& out);
+
+  void on_step(const StepTelemetry& step) override;
+  std::int64_t lines_written() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::ofstream file_;
+  std::ostream* out_;
+  std::int64_t lines_ = 0;
+};
+
+/// Buffers steps in memory — for tests and in-process consumers (sweeps).
+class RecordingTelemetrySink final : public TelemetrySink {
+ public:
+  void on_step(const StepTelemetry& step) override;
+  std::vector<StepTelemetry> steps() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<StepTelemetry> steps_;
+};
+
+/// Mirrors one step into the global MetricsRegistry: counters train.steps /
+/// train.atoms / train.graphs, gauges train.loss / train.lr /
+/// train.grad_norm / train.atoms_per_sec / train.graphs_per_sec /
+/// mem.live_bytes / mem.peak_bytes, histogram step.seconds. The trainers
+/// call this on every step regardless of whether a sink is attached.
+void record_step_metrics(const StepTelemetry& step);
+
+}  // namespace sgnn::obs

@@ -1,0 +1,149 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sgnn::obs {
+
+namespace detail {
+/// Plain constant-initialized global — no magic-static guard — so the
+/// disabled-tracing fast path in TraceSpan is one relaxed load and a branch.
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+inline bool tracing_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// One completed span. Timestamps are microseconds on the recorder's
+/// steady-clock epoch. `rank` is the simulated GPU rank the span ran under
+/// (-1 outside any rank context); it becomes the process lane of the
+/// exported timeline, so a distributed epoch renders as one timeline per
+/// rank in chrome://tracing / Perfetto.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  std::int64_t begin_us = 0;
+  std::int64_t end_us = 0;
+  std::uint32_t tid = 0;
+  int rank = -1;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// In-process span sink, sharded by thread so N rank threads tracing every
+/// forward/backward/collective contend only within their shard. Collection
+/// is lossless (vectors grow); exporting or clearing between runs bounds
+/// memory.
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  void enable();
+  void disable();
+  /// Drops all recorded events (tracing state is unchanged).
+  void clear();
+
+  void record(TraceEvent event);
+  std::size_t size() const;
+  /// All recorded events, sorted by (rank, tid, begin time).
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace-event JSON ("X" complete events; load via chrome://tracing
+  /// or Perfetto). Ranks map to pids, threads to tids.
+  std::string to_chrome_json() const;
+  void write_chrome_json(const std::string& path) const;
+
+  /// Microseconds since recorder construction (steady clock).
+  std::int64_t now_us() const;
+
+  /// Thread-local rank tag applied to spans opened on this thread.
+  static int current_rank();
+  static void set_current_rank(int rank);
+  /// Stable small integer id for the calling thread.
+  static std::uint32_t current_tid();
+
+ private:
+  TraceRecorder();
+
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+  std::array<Shard, kShards> shards_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: records [construction, destruction) into the TraceRecorder.
+/// When tracing is disabled the constructor is a single branch and the
+/// destructor another — cheap enough for per-step and per-collective use.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "span")
+      : active_(tracing_enabled()) {
+    if (!active_) return;
+    event_.name = name;
+    event_.category = category;
+    event_.rank = TraceRecorder::current_rank();
+    event_.tid = TraceRecorder::current_tid();
+    event_.begin_us = TraceRecorder::instance().now_us();
+  }
+
+  ~TraceSpan() {
+    if (!active_) return;
+    TraceRecorder& recorder = TraceRecorder::instance();
+    event_.end_us = recorder.now_us();
+    recorder.record(std::move(event_));
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when this span will be recorded; guard arg() computation with it.
+  bool active() const { return active_; }
+
+  TraceSpan& arg(const char* key, std::string value) {
+    if (active_) event_.args.emplace_back(key, std::move(value));
+    return *this;
+  }
+  TraceSpan& arg(const char* key, std::int64_t value) {
+    if (active_) event_.args.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  TraceSpan& arg(const char* key, std::uint64_t value) {
+    if (active_) event_.args.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  TraceSpan& arg(const char* key, double value) {
+    if (active_) event_.args.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+ private:
+  bool active_;
+  TraceEvent event_;
+};
+
+/// RAII rank tag for the calling thread: spans opened inside the scope carry
+/// this rank (and the logger prefixes messages with it — see
+/// Logger::set_thread_rank). The distributed trainer wraps each rank-worker
+/// body in one of these.
+class ScopedTraceRank {
+ public:
+  explicit ScopedTraceRank(int rank);
+  ~ScopedTraceRank();
+  ScopedTraceRank(const ScopedTraceRank&) = delete;
+  ScopedTraceRank& operator=(const ScopedTraceRank&) = delete;
+
+ private:
+  int previous_rank_;
+  int previous_log_rank_;
+};
+
+}  // namespace sgnn::obs

@@ -12,6 +12,10 @@
 
 namespace sgnn {
 
+namespace obs {
+class TelemetrySink;
+}  // namespace obs
+
 /// How gradients are synchronized and optimizer state is placed.
 enum class DistStrategy {
   kDDP,    ///< all-reduce gradients, replicated Adam state
@@ -30,6 +34,10 @@ struct DistTrainOptions {
   Adam::Options adam;
   LossWeights loss_weights;
   std::uint64_t sampler_seed = 17;
+  /// Per-step telemetry receiver (not owned); every rank thread emits one
+  /// StepTelemetry per step, so the sink must be thread-safe. All steps also
+  /// feed the global obs::MetricsRegistry regardless of this field.
+  obs::TelemetrySink* telemetry = nullptr;
 };
 
 /// Outcome of a distributed run: learning progress plus the cost accounting

@@ -13,6 +13,10 @@
 
 namespace sgnn {
 
+namespace obs {
+class TelemetrySink;
+}  // namespace obs
+
 /// Hyperparameters of one training run. Defaults follow the paper's setup
 /// (Sec. III-B: hyperparameters from the HydraGNN-GFM study, 10 epochs).
 struct TrainOptions {
@@ -62,6 +66,10 @@ class Trainer {
 
   EGNNModel& model() { return model_; }
 
+  /// Attaches a per-step telemetry receiver (not owned; nullptr detaches).
+  /// Every step also feeds the global obs::MetricsRegistry regardless.
+  void set_telemetry(obs::TelemetrySink* sink) { telemetry_ = sink; }
+
  private:
   EGNNModel& model_;
   TrainOptions options_;
@@ -69,6 +77,8 @@ class Trainer {
   EnergyBaseline baseline_;
   bool use_baseline_ = false;
   std::int64_t global_step_ = 0;
+  std::int64_t epoch_index_ = 0;
+  obs::TelemetrySink* telemetry_ = nullptr;
 };
 
 }  // namespace sgnn

@@ -1,5 +1,7 @@
 #include "sgnn/comm/communicator.hpp"
 
+#include "sgnn/obs/metrics.hpp"
+#include "sgnn/obs/trace.hpp"
 #include "sgnn/util/error.hpp"
 
 namespace sgnn {
@@ -35,6 +37,11 @@ std::pair<std::size_t, std::size_t> Communicator::shard_range(std::size_t n,
 
 void Communicator::all_reduce_sum(int rank, std::vector<real>& data) {
   SGNN_CHECK(rank >= 0 && rank < num_ranks_, "invalid rank " << rank);
+  obs::TraceSpan span("all_reduce", "collective");
+  if (span.active()) {
+    span.arg("bytes",
+             static_cast<std::uint64_t>(data.size() * sizeof(real)));
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     posted_[static_cast<std::size_t>(rank)] = &data;
@@ -54,13 +61,23 @@ void Communicator::all_reduce_sum(int rank, std::vector<real>& data) {
   barrier();
   data = std::move(total);
   if (rank == 0) {
-    all_reduce_bytes_.fetch_add(data.size() * sizeof(real));
+    const std::uint64_t bytes = data.size() * sizeof(real);
+    all_reduce_bytes_.fetch_add(bytes);
     collective_calls_.fetch_add(1);
+    obs::MetricsRegistry::instance()
+        .counter("comm.all_reduce_bytes")
+        .add(static_cast<std::int64_t>(bytes));
+    obs::MetricsRegistry::instance().counter("comm.collective_calls").add(1);
   }
 }
 
 void Communicator::broadcast(int rank, std::vector<real>& data, int root) {
   SGNN_CHECK(root >= 0 && root < num_ranks_, "invalid broadcast root");
+  obs::TraceSpan span("broadcast", "collective");
+  if (span.active()) {
+    span.arg("bytes",
+             static_cast<std::uint64_t>(data.size() * sizeof(real)));
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     posted_[static_cast<std::size_t>(rank)] = &data;
@@ -74,13 +91,23 @@ void Communicator::broadcast(int rank, std::vector<real>& data, int root) {
   barrier();
   if (rank != root) data = std::move(copy);
   if (rank == 0) {
-    broadcast_bytes_.fetch_add(data.size() * sizeof(real));
+    const std::uint64_t bytes = data.size() * sizeof(real);
+    broadcast_bytes_.fetch_add(bytes);
     collective_calls_.fetch_add(1);
+    obs::MetricsRegistry::instance()
+        .counter("comm.broadcast_bytes")
+        .add(static_cast<std::int64_t>(bytes));
+    obs::MetricsRegistry::instance().counter("comm.collective_calls").add(1);
   }
 }
 
 std::vector<real> Communicator::reduce_scatter_sum(
     int rank, const std::vector<real>& input) {
+  obs::TraceSpan span("reduce_scatter", "collective");
+  if (span.active()) {
+    span.arg("bytes",
+             static_cast<std::uint64_t>(input.size() * sizeof(real)));
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     posted_[static_cast<std::size_t>(rank)] = &input;
@@ -95,14 +122,24 @@ std::vector<real> Communicator::reduce_scatter_sum(
   }
   barrier();
   if (rank == 0) {
-    reduce_scatter_bytes_.fetch_add(input.size() * sizeof(real));
+    const std::uint64_t bytes = input.size() * sizeof(real);
+    reduce_scatter_bytes_.fetch_add(bytes);
     collective_calls_.fetch_add(1);
+    obs::MetricsRegistry::instance()
+        .counter("comm.reduce_scatter_bytes")
+        .add(static_cast<std::int64_t>(bytes));
+    obs::MetricsRegistry::instance().counter("comm.collective_calls").add(1);
   }
   return shard;
 }
 
 std::vector<real> Communicator::all_gather(int rank,
                                            const std::vector<real>& shard) {
+  obs::TraceSpan span("all_gather", "collective");
+  if (span.active()) {
+    span.arg("bytes",
+             static_cast<std::uint64_t>(shard.size() * sizeof(real)));
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     posted_[static_cast<std::size_t>(rank)] = &shard;
@@ -115,8 +152,13 @@ std::vector<real> Communicator::all_gather(int rank,
   }
   barrier();
   if (rank == 0) {
-    all_gather_bytes_.fetch_add(gathered.size() * sizeof(real));
+    const std::uint64_t bytes = gathered.size() * sizeof(real);
+    all_gather_bytes_.fetch_add(bytes);
     collective_calls_.fetch_add(1);
+    obs::MetricsRegistry::instance()
+        .counter("comm.all_gather_bytes")
+        .add(static_cast<std::int64_t>(bytes));
+    obs::MetricsRegistry::instance().counter("comm.collective_calls").add(1);
   }
   return gathered;
 }

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "sgnn/obs/metrics.hpp"
+#include "sgnn/obs/trace.hpp"
 #include "sgnn/util/error.hpp"
 
 namespace sgnn {
@@ -38,13 +40,21 @@ bool DataLoader::has_next() const { return cursor_ < order_.size(); }
 
 GraphBatch DataLoader::next() {
   SGNN_CHECK(has_next(), "next() called on exhausted epoch");
+  obs::TraceSpan span("next_batch", "data");
   std::vector<const MolecularGraph*> batch;
   batch.reserve(static_cast<std::size_t>(batch_size_));
   while (cursor_ < order_.size() &&
          batch.size() < static_cast<std::size_t>(batch_size_)) {
     batch.push_back(graphs_[order_[cursor_++]]);
   }
-  return GraphBatch::from_graphs(batch);
+  GraphBatch result = GraphBatch::from_graphs(batch);
+  if (span.active()) {
+    span.arg("graphs", result.num_graphs).arg("atoms", result.num_nodes);
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.counter("data.batches").add(1);
+  registry.counter("data.graphs").add(result.num_graphs);
+  return result;
 }
 
 }  // namespace sgnn

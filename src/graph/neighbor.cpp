@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sgnn/obs/metrics.hpp"
+#include "sgnn/obs/trace.hpp"
 #include "sgnn/util/error.hpp"
 
 namespace sgnn {
@@ -173,11 +175,21 @@ EdgeList cell_list_neighbors(const AtomicStructure& structure, double cutoff) {
 }
 
 EdgeList build_neighbors(const AtomicStructure& structure, double cutoff) {
+  obs::TraceSpan span("neighbor_build", "graph");
   // Cell lists win once the bookkeeping amortizes; ~100 atoms in practice.
   constexpr std::int64_t kBruteForceMax = 100;
-  return structure.num_atoms() <= kBruteForceMax
-             ? brute_force_neighbors(structure, cutoff)
-             : cell_list_neighbors(structure, cutoff);
+  EdgeList edges = structure.num_atoms() <= kBruteForceMax
+                       ? brute_force_neighbors(structure, cutoff)
+                       : cell_list_neighbors(structure, cutoff);
+  if (span.active()) {
+    span.arg("atoms", structure.num_atoms())
+        .arg("edges", static_cast<std::int64_t>(edges.src.size()));
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.counter("neighbor.builds").add(1);
+  registry.counter("neighbor.edges")
+      .add(static_cast<std::int64_t>(edges.src.size()));
+  return edges;
 }
 
 }  // namespace sgnn

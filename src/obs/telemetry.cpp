@@ -1,0 +1,127 @@
+#include "sgnn/obs/telemetry.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "sgnn/obs/metrics.hpp"
+#include "sgnn/util/error.hpp"
+
+namespace sgnn::obs {
+
+namespace {
+
+std::string format_double(double value) {
+  std::ostringstream os;
+  os << std::setprecision(17) << value;
+  return os.str();
+}
+
+/// Extracts the numeric value of `"key":<number>` from a flat JSON line.
+double numeric_field(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto at = line.find(needle);
+  SGNN_CHECK(at != std::string::npos,
+             "telemetry line is missing field '" << key << "': " << line);
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  SGNN_CHECK(end != start, "telemetry field '" << key << "' is not numeric");
+  return value;
+}
+
+}  // namespace
+
+std::string StepTelemetry::to_json() const {
+  std::string out = "{";
+  out += "\"step\":" + std::to_string(step);
+  out += ",\"epoch\":" + std::to_string(epoch);
+  out += ",\"rank\":" + std::to_string(rank);
+  out += ",\"loss\":" + format_double(loss);
+  out += ",\"grad_norm\":" + format_double(grad_norm);
+  out += ",\"learning_rate\":" + format_double(learning_rate);
+  out += ",\"batch_graphs\":" + std::to_string(batch_graphs);
+  out += ",\"batch_atoms\":" + std::to_string(batch_atoms);
+  out += ",\"batch_edges\":" + std::to_string(batch_edges);
+  out += ",\"step_seconds\":" + format_double(step_seconds);
+  out += ",\"atoms_per_sec\":" + format_double(atoms_per_sec);
+  out += ",\"graphs_per_sec\":" + format_double(graphs_per_sec);
+  out += ",\"collective_bytes\":" + std::to_string(collective_bytes);
+  out += ",\"comm_seconds_modeled\":" + format_double(comm_seconds_modeled);
+  out += ",\"live_bytes\":" + std::to_string(live_bytes);
+  out += ",\"peak_bytes\":" + std::to_string(peak_bytes);
+  out += "}";
+  return out;
+}
+
+StepTelemetry StepTelemetry::from_json(const std::string& line) {
+  StepTelemetry t;
+  t.step = static_cast<std::int64_t>(numeric_field(line, "step"));
+  t.epoch = static_cast<std::int64_t>(numeric_field(line, "epoch"));
+  t.rank = static_cast<int>(numeric_field(line, "rank"));
+  t.loss = numeric_field(line, "loss");
+  t.grad_norm = numeric_field(line, "grad_norm");
+  t.learning_rate = numeric_field(line, "learning_rate");
+  t.batch_graphs =
+      static_cast<std::int64_t>(numeric_field(line, "batch_graphs"));
+  t.batch_atoms =
+      static_cast<std::int64_t>(numeric_field(line, "batch_atoms"));
+  t.batch_edges =
+      static_cast<std::int64_t>(numeric_field(line, "batch_edges"));
+  t.step_seconds = numeric_field(line, "step_seconds");
+  t.atoms_per_sec = numeric_field(line, "atoms_per_sec");
+  t.graphs_per_sec = numeric_field(line, "graphs_per_sec");
+  t.collective_bytes =
+      static_cast<std::uint64_t>(numeric_field(line, "collective_bytes"));
+  t.comm_seconds_modeled = numeric_field(line, "comm_seconds_modeled");
+  t.live_bytes = static_cast<std::int64_t>(numeric_field(line, "live_bytes"));
+  t.peak_bytes = static_cast<std::int64_t>(numeric_field(line, "peak_bytes"));
+  return t;
+}
+
+JsonlTelemetrySink::JsonlTelemetrySink(const std::string& path)
+    : file_(path, std::ios::trunc), out_(&file_) {
+  SGNN_CHECK(file_.good(), "cannot open telemetry output file " << path);
+}
+
+JsonlTelemetrySink::JsonlTelemetrySink(std::ostream& out) : out_(&out) {}
+
+void JsonlTelemetrySink::on_step(const StepTelemetry& step) {
+  const std::string line = step.to_json();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << line << '\n';
+  ++lines_;
+}
+
+std::int64_t JsonlTelemetrySink::lines_written() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+void RecordingTelemetrySink::on_step(const StepTelemetry& step) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  steps_.push_back(step);
+}
+
+std::vector<StepTelemetry> RecordingTelemetrySink::steps() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return steps_;
+}
+
+void record_step_metrics(const StepTelemetry& step) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  registry.counter("train.steps").add(1);
+  registry.counter("train.atoms").add(step.batch_atoms);
+  registry.counter("train.graphs").add(step.batch_graphs);
+  registry.counter("train.edges").add(step.batch_edges);
+  registry.gauge("train.loss").set(step.loss);
+  registry.gauge("train.lr").set(step.learning_rate);
+  registry.gauge("train.grad_norm").set(step.grad_norm);
+  registry.gauge("train.atoms_per_sec").set(step.atoms_per_sec);
+  registry.gauge("train.graphs_per_sec").set(step.graphs_per_sec);
+  registry.gauge("mem.live_bytes").set(static_cast<double>(step.live_bytes));
+  registry.gauge("mem.peak_bytes").set(static_cast<double>(step.peak_bytes));
+  registry.histogram("step.seconds").observe(step.step_seconds);
+}
+
+}  // namespace sgnn::obs

@@ -1,5 +1,7 @@
 #include "sgnn/scaling/sweep.hpp"
 
+#include "sgnn/obs/metrics.hpp"
+#include "sgnn/obs/trace.hpp"
 #include "sgnn/util/logging.hpp"
 #include "sgnn/util/timer.hpp"
 
@@ -11,6 +13,7 @@ SweepPoint run_scaling_point(const AggregatedDataset& dataset,
                              const ModelConfig& model_config,
                              const SweepProtocol& protocol) {
   const WallTimer timer;
+  obs::TraceSpan span("scaling_point", "scaling");
 
   EGNNModel model(model_config);
   Trainer trainer(model, protocol.train);
@@ -37,6 +40,16 @@ SweepPoint run_scaling_point(const AggregatedDataset& dataset,
   point.force_mae = test.force_mae;
   point.feature_spread = model.last_feature_spread();
   point.seconds = timer.seconds();
+
+  if (span.active()) {
+    span.arg("parameters", point.parameters)
+        .arg("dataset_bytes", point.dataset_bytes)
+        .arg("test_loss", point.test_loss);
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.counter("scaling.points").add(1);
+  registry.histogram("scaling.point_seconds").observe(point.seconds);
+  registry.gauge("scaling.last_test_loss").set(point.test_loss);
 
   SGNN_LOG_DEBUG << "sweep point: " << point.parameters << " params, "
                  << point.dataset_bytes << " bytes -> test loss "

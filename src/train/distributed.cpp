@@ -6,7 +6,10 @@
 #include <thread>
 
 #include "sgnn/graph/batch.hpp"
+#include "sgnn/obs/telemetry.hpp"
+#include "sgnn/obs/trace.hpp"
 #include "sgnn/tensor/ops.hpp"
+#include "sgnn/train/schedule.hpp"
 #include "sgnn/train/zero.hpp"
 #include "sgnn/util/error.hpp"
 #include "sgnn/util/rng.hpp"
@@ -92,6 +95,9 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
 
   const auto worker = [&](int rank) {
     const auto ri = static_cast<std::size_t>(rank);
+    // Tags spans and log lines from this thread with the rank, so the
+    // exported trace renders one timeline per simulated GPU.
+    const obs::ScopedTraceRank trace_rank(rank);
     EGNNModel& model = *replicas_[ri];
     EGNNModel::ForwardOptions forward_options;
     forward_options.activation_checkpointing =
@@ -113,12 +119,16 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
       }
 
       for (std::int64_t step = 0; step < steps_per_epoch; ++step) {
+        const WallTimer step_timer;
         std::vector<const MolecularGraph*> samples;
-        for (std::int64_t b = 0; b < options_.per_rank_batch_size; ++b) {
-          const std::int64_t position =
-              step * global_batch + b * R + rank;
-          samples.push_back(&store.fetch(
-              rank, order[static_cast<std::size_t>(position)]));
+        {
+          const obs::TraceSpan span("fetch_batch", "data");
+          for (std::int64_t b = 0; b < options_.per_rank_batch_size; ++b) {
+            const std::int64_t position =
+                step * global_batch + b * R + rank;
+            samples.push_back(&store.fetch(
+                rank, order[static_cast<std::size_t>(position)]));
+          }
         }
         const GraphBatch batch = GraphBatch::from_graphs(samples);
 
@@ -127,26 +137,84 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
         } else {
           zero[ri]->zero_grad();
         }
+        double step_loss = 0;
         Tensor total;
         {
+          const obs::TraceSpan span("forward", "train");
           const ScopedTrainPhase phase(TrainPhase::kForward);
           const auto out = model.forward(batch, forward_options);
           const LossTerms terms =
               multitask_loss(out, batch, options_.loss_weights);
-          loss_sum += terms.total.item();
+          step_loss = terms.total.item();
+          loss_sum += step_loss;
           total = terms.total;
         }
         {
+          const obs::TraceSpan span("backward", "train");
           const ScopedTrainPhase phase(TrainPhase::kBackward);
           total.backward();
         }
+        double grad_norm = 0;
+        // Collective payload attributed to this step; the counters are
+        // updated once per collective (by rank 0 inside the call), so the
+        // delta is exact on rank 0 and reported as 0 elsewhere.
+        const Communicator::Traffic traffic_before =
+            rank == 0 ? comm.traffic() : Communicator::Traffic{};
         {
+          const obs::TraceSpan span("optimizer", "train");
           const ScopedTrainPhase phase(TrainPhase::kOptimizer);
+          if (options_.telemetry != nullptr) {
+            grad_norm = grad_l2_norm(model.parameters());
+          }
           if (options_.strategy == DistStrategy::kDDP) {
             ddp[ri]->step(rank);
           } else {
             zero[ri]->step(rank);
           }
+        }
+
+        obs::StepTelemetry telemetry;
+        telemetry.step = counted_steps;
+        telemetry.epoch = epoch;
+        telemetry.rank = rank;
+        telemetry.loss = step_loss;
+        telemetry.grad_norm = grad_norm;
+        telemetry.learning_rate = options_.adam.learning_rate;
+        telemetry.batch_graphs = batch.num_graphs;
+        telemetry.batch_atoms = batch.num_nodes;
+        telemetry.batch_edges = batch.num_edges;
+        telemetry.step_seconds = step_timer.seconds();
+        if (telemetry.step_seconds > 0) {
+          telemetry.atoms_per_sec =
+              static_cast<double>(telemetry.batch_atoms) /
+              telemetry.step_seconds;
+          telemetry.graphs_per_sec =
+              static_cast<double>(telemetry.batch_graphs) /
+              telemetry.step_seconds;
+        }
+        if (rank == 0) {
+          const Communicator::Traffic traffic = comm.traffic();
+          telemetry.collective_bytes =
+              traffic.total_bytes() - traffic_before.total_bytes();
+          telemetry.comm_seconds_modeled =
+              interconnect_.all_reduce_seconds(
+                  traffic.all_reduce_bytes - traffic_before.all_reduce_bytes,
+                  R) +
+              interconnect_.reduce_scatter_seconds(
+                  traffic.reduce_scatter_bytes -
+                      traffic_before.reduce_scatter_bytes,
+                  R) +
+              interconnect_.all_gather_seconds(
+                  traffic.all_gather_bytes - traffic_before.all_gather_bytes,
+                  R) +
+              interconnect_.broadcast_seconds(
+                  traffic.broadcast_bytes - traffic_before.broadcast_bytes, R);
+        }
+        telemetry.live_bytes = MemoryTracker::instance().live().total();
+        telemetry.peak_bytes = MemoryTracker::instance().peak_total();
+        obs::record_step_metrics(telemetry);
+        if (options_.telemetry != nullptr) {
+          options_.telemetry->on_step(telemetry);
         }
         ++counted_steps;
       }

@@ -70,9 +70,7 @@ double LrSchedule::at_step(std::int64_t step) const {
   throw Error("unknown schedule kind");
 }
 
-double clip_grad_norm(const std::vector<Tensor>& parameters,
-                      double max_norm) {
-  SGNN_CHECK(max_norm > 0, "max_norm must be positive");
+double grad_l2_norm(const std::vector<Tensor>& parameters) {
   double total_sq = 0;
   for (const auto& p : parameters) {
     const Tensor grad = p.grad();
@@ -82,7 +80,13 @@ double clip_grad_norm(const std::vector<Tensor>& parameters,
       total_sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
     }
   }
-  const double norm = std::sqrt(total_sq);
+  return std::sqrt(total_sq);
+}
+
+double clip_grad_norm(const std::vector<Tensor>& parameters,
+                      double max_norm) {
+  SGNN_CHECK(max_norm > 0, "max_norm must be positive");
+  const double norm = grad_l2_norm(parameters);
   if (norm > max_norm && norm > 0) {
     const auto scale = static_cast<real>(max_norm / norm);
     for (const auto& p : parameters) {

@@ -1,5 +1,7 @@
 #include "sgnn/train/trainer.hpp"
 
+#include "sgnn/obs/telemetry.hpp"
+#include "sgnn/obs/trace.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/error.hpp"
 #include "sgnn/util/timer.hpp"
@@ -22,37 +24,71 @@ Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
   forward_options.activation_checkpointing =
       options_.activation_checkpointing;
 
+  const obs::TraceSpan epoch_span("train_epoch", "train");
+
   while (loader.has_next()) {
+    const WallTimer step_timer;
     GraphBatch batch = loader.next();
     if (use_baseline_) baseline_.subtract_from(batch);
     optimizer_.zero_grad();
 
+    double step_loss = 0;
     Tensor total;
     {
+      const obs::TraceSpan span("forward", "train");
       const ScopedTrainPhase phase(TrainPhase::kForward);
       const auto out = model_.forward(batch, forward_options);
       LossTerms terms = multitask_loss(out, batch, options_.loss_weights);
-      loss_sum += terms.total.item();
+      step_loss = terms.total.item();
+      loss_sum += step_loss;
       total = terms.total;
     }
     {
+      const obs::TraceSpan span("backward", "train");
       const ScopedTrainPhase phase(TrainPhase::kBackward);
       total.backward();
     }
+    double grad_norm = 0;
     {
+      const obs::TraceSpan span("optimizer", "train");
       const ScopedTrainPhase phase(TrainPhase::kOptimizer);
       if (options_.schedule) {
         optimizer_.set_learning_rate(options_.schedule->at_step(global_step_));
       }
       if (options_.max_grad_norm > 0) {
-        clip_grad_norm(model_.parameters(), options_.max_grad_norm);
+        grad_norm = clip_grad_norm(model_.parameters(), options_.max_grad_norm);
+      } else if (telemetry_ != nullptr) {
+        grad_norm = grad_l2_norm(model_.parameters());
       }
       optimizer_.step();
       ++global_step_;
     }
+
+    obs::StepTelemetry step;
+    step.step = global_step_ - 1;
+    step.epoch = epoch_index_;
+    step.loss = step_loss;
+    step.grad_norm = grad_norm;
+    step.learning_rate = optimizer_.learning_rate();
+    step.batch_graphs = batch.num_graphs;
+    step.batch_atoms = batch.num_nodes;
+    step.batch_edges = batch.num_edges;
+    step.step_seconds = step_timer.seconds();
+    if (step.step_seconds > 0) {
+      step.atoms_per_sec =
+          static_cast<double>(step.batch_atoms) / step.step_seconds;
+      step.graphs_per_sec =
+          static_cast<double>(step.batch_graphs) / step.step_seconds;
+    }
+    step.live_bytes = MemoryTracker::instance().live().total();
+    step.peak_bytes = MemoryTracker::instance().peak_total();
+    obs::record_step_metrics(step);
+    if (telemetry_ != nullptr) telemetry_->on_step(step);
+
     ++batches;
   }
 
+  ++epoch_index_;
   EpochResult result;
   result.mean_train_loss =
       batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;

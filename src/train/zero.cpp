@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sgnn/obs/trace.hpp"
 #include "sgnn/util/error.hpp"
 
 namespace sgnn {
@@ -63,6 +64,7 @@ DDPAdam::DDPAdam(Communicator& comm, std::vector<Tensor> parameters,
 }
 
 void DDPAdam::step(int rank) {
+  const obs::TraceSpan span("ddp_adam_step", "optimizer");
   ++timestep_;
   std::vector<real> grad = flatten_gradients(parameters_);
   const ScopedBytes grad_staging(grad.size() * sizeof(real),
@@ -108,6 +110,7 @@ ZeroAdam::ZeroAdam(Communicator& comm, std::vector<Tensor> parameters,
 }
 
 void ZeroAdam::step(int rank) {
+  const obs::TraceSpan span("zero_adam_step", "optimizer");
   ++timestep_;
   const std::vector<real> grad = flatten_gradients(parameters_);
   const ScopedBytes grad_staging(grad.size() * sizeof(real),

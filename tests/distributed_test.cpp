@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <thread>
 
 #include "sgnn/data/dataset.hpp"
+#include "sgnn/obs/trace.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/train/zero.hpp"
 
@@ -321,6 +323,45 @@ TEST(DistributedTrainerTest, DDPAndZeroLearnTheSameModel) {
   for (std::size_t i = 0; i < ddp.size(); ++i) {
     EXPECT_NEAR(ddp[i], zero[i], 1e-10) << "element " << i;
   }
+}
+
+TEST(DistributedTrainerTest, TracingRecordsPerRankCollectiveSpans) {
+  obs::TraceRecorder::instance().disable();
+  obs::TraceRecorder::instance().clear();
+  obs::TraceRecorder::instance().enable();
+
+  ModelConfig config;
+  config.hidden_dim = 10;
+  config.num_layers = 2;
+  DistTrainOptions options;
+  options.num_ranks = 2;
+  options.epochs = 1;
+  options.per_rank_batch_size = 4;
+  options.strategy = DistStrategy::kDDP;
+  DistributedTrainer trainer(config, options);
+  const auto store = make_store(2);
+  trainer.train(*store);
+
+  obs::TraceRecorder::instance().disable();
+  const auto events = obs::TraceRecorder::instance().events();
+  obs::TraceRecorder::instance().clear();
+
+  // Every rank thread must have produced collective spans and the three
+  // training-phase spans, each tagged with its own rank.
+  std::set<int> collective_ranks;
+  std::set<std::string> phase_names;
+  for (const auto& event : events) {
+    if (std::string(event.category) == "collective") {
+      collective_ranks.insert(event.rank);
+      EXPECT_GE(event.end_us, event.begin_us);
+    } else if (std::string(event.category) == "train") {
+      phase_names.insert(event.name);
+    }
+  }
+  EXPECT_EQ(collective_ranks, (std::set<int>{0, 1}));
+  EXPECT_TRUE(phase_names.count("forward"));
+  EXPECT_TRUE(phase_names.count("backward"));
+  EXPECT_TRUE(phase_names.count("optimizer"));
 }
 
 TEST(DistributedTrainerTest, DataTrafficReflectsShardLocality) {

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "sgnn/util/error.hpp"
+#include "sgnn/util/logging.hpp"
 #include "sgnn/util/rng.hpp"
 #include "sgnn/util/table.hpp"
 #include "sgnn/util/timer.hpp"
@@ -89,6 +90,58 @@ TEST(RngTest, SplitProducesIndependentStreams) {
     values.insert(child2.next_u64());
   }
   EXPECT_EQ(values.size(), 48u);
+}
+
+TEST(LoggerTest, ParseLevelAcceptsKnownNamesAndFallsBack) {
+  EXPECT_EQ(Logger::parse_level("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(Logger::parse_level("info", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(Logger::parse_level("warn", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(Logger::parse_level("warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(Logger::parse_level("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(Logger::parse_level("off", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(Logger::parse_level("none", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(Logger::parse_level("bogus", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(Logger::parse_level("", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(LoggerTest, FormatCarriesTimestampLevelAndRank) {
+  Logger& logger = Logger::instance();
+  const std::string plain = logger.format(LogLevel::kInfo, "hello");
+  // ISO-8601 UTC timestamp prefix: "YYYY-MM-DDTHH:MM:SS.mmmZ [info ] hello".
+  ASSERT_GE(plain.size(), 24u);
+  EXPECT_EQ(plain[4], '-');
+  EXPECT_EQ(plain[10], 'T');
+  EXPECT_EQ(plain[23], 'Z');
+  EXPECT_NE(plain.find("[info ]"), std::string::npos);
+  EXPECT_NE(plain.find("hello"), std::string::npos);
+  EXPECT_EQ(plain.find("[rank"), std::string::npos);
+
+  Logger::set_thread_rank(3);
+  const std::string ranked = logger.format(LogLevel::kWarn, "shard");
+  EXPECT_NE(ranked.find("[warn ] [rank 3] shard"), std::string::npos);
+  Logger::set_thread_rank(-1);
+}
+
+TEST(LoggerTest, ThreadRankIsPerThread) {
+  Logger::set_thread_rank(7);
+  int other_thread_rank = -2;
+  std::thread worker([&] { other_thread_rank = Logger::thread_rank(); });
+  worker.join();
+  EXPECT_EQ(other_thread_rank, -1);
+  EXPECT_EQ(Logger::thread_rank(), 7);
+  Logger::set_thread_rank(-1);
+}
+
+TEST(LoggerTest, Iso8601NowIsWellFormed) {
+  const std::string ts = Logger::iso8601_now();
+  ASSERT_EQ(ts.size(), 24u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts[23], 'Z');
 }
 
 TEST(TableTest, AsciiLayoutAlignsColumns) {
