@@ -11,6 +11,7 @@
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/train/loss.hpp"
 #include "sgnn/util/rng.hpp"
+#include "sgnn/util/thread_pool.hpp"
 
 namespace {
 
@@ -67,6 +68,37 @@ BENCHMARK(BM_EGNNTrainStep)
     ->Args({32, 1})
     ->Args({64, 0})
     ->Args({64, 1});
+
+// End-to-end train-step scaling with the shared thread pool: the model-level
+// view of the kernel speedups measured in micro_tensor. Wider hidden dims
+// shift time into matmuls, where the pool bites hardest.
+void BM_EGNNTrainStepThreads(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(1));
+  ThreadPool::instance().resize(threads);
+  ModelConfig config;
+  config.hidden_dim = state.range(0);
+  config.num_layers = 3;
+  EGNNModel model(config);
+  const GraphBatch batch = make_batch();
+  for (auto _ : state) {
+    const auto out = model.forward(batch);
+    LossTerms terms = multitask_loss(out, batch, LossWeights{});
+    terms.total.backward();
+    model.zero_grad();
+  }
+  state.counters["threads"] = threads;
+  state.counters["params"] = static_cast<double>(config.parameter_count());
+  ThreadPool::instance().resize(1);
+}
+BENCHMARK(BM_EGNNTrainStepThreads)
+    ->ArgNames({"hidden", "threads"})
+    ->Args({128, 1})
+    ->Args({128, 4})
+    ->Args({128, 8})
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 #include "sgnn/tensor/checkpoint.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/rng.hpp"
+#include "sgnn/util/thread_pool.hpp"
 
 namespace {
 
@@ -23,6 +24,63 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Thread-pool scaling on the kernel that dominates wide-model training.
+// Compare the threads:1 row against threads:8 at 2048 — the acceptance bar
+// for the pool is >= 3x on an 8-core host. (Run standalone; resizing the
+// pool is a bench/test-only hook.)
+void BM_MatmulThreads(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto threads = static_cast<int>(state.range(1));
+  ThreadPool::instance().resize(threads);
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.counters["threads"] = threads;
+  ThreadPool::instance().resize(1);
+}
+BENCHMARK(BM_MatmulThreads)
+    ->ArgNames({"n", "threads"})
+    ->Args({512, 1})
+    ->Args({512, 4})
+    ->Args({512, 8})
+    ->Args({2048, 1})
+    ->Args({2048, 4})
+    ->Args({2048, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Scatter under thread-count sweep: receiver-range sharding must win on
+// wide feature dims without losing bit-determinism.
+void BM_ScatterAddThreads(benchmark::State& state) {
+  const auto edges = state.range(0);
+  const auto threads = static_cast<int>(state.range(1));
+  ThreadPool::instance().resize(threads);
+  Rng rng(3);
+  const Tensor src = Tensor::randn(Shape{edges, 64}, rng);
+  std::vector<std::int64_t> index;
+  const std::int64_t nodes = edges / 16 + 1;
+  for (std::int64_t i = 0; i < edges; ++i) {
+    index.push_back(static_cast<std::int64_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(nodes))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scatter_add_rows(src, index, nodes).data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges * 64);
+  state.counters["threads"] = threads;
+  ThreadPool::instance().resize(1);
+}
+BENCHMARK(BM_ScatterAddThreads)
+    ->ArgNames({"edges", "threads"})
+    ->Args({65536, 1})
+    ->Args({65536, 4})
+    ->Args({65536, 8})
+    ->UseRealTime();
 
 void BM_MatmulBackward(benchmark::State& state) {
   const auto n = state.range(0);

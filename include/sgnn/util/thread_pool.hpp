@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sgnn {
+
+/// Process-global worker pool backing `parallel_for`. Sized once, lazily, on
+/// first use: `SGNN_NUM_THREADS` when set (>= 1), otherwise
+/// `std::thread::hardware_concurrency()`. Size 1 means no worker threads are
+/// spawned and every `parallel_for` runs inline.
+///
+/// The pool coexists with `sgnn::comm` rank threads: several ranks may issue
+/// `parallel_for` calls concurrently. Each call enqueues one task, the caller
+/// itself claims chunks alongside the workers (so a call never deadlocks even
+/// when every worker is busy with another rank's task), and the call returns
+/// only after all of its own chunks completed. A `parallel_for` issued from
+/// inside a pool worker runs inline rather than re-entering the pool.
+///
+/// Determinism contract: the chunk decomposition of [begin, end) depends only
+/// on `begin`, `end`, and `grain` — never on the pool size or on scheduling.
+/// Chunk i covers [begin + i*grain, min(begin + (i+1)*grain, end)), and the
+/// inline fast path visits the same chunks in index order. Kernels that write
+/// disjoint outputs per chunk are therefore bit-identical across thread
+/// counts; kernels that reduce across chunks must combine per-chunk partials
+/// in chunk order (see `parallel_reduce_sum`) to keep that property.
+class ThreadPool {
+ public:
+  /// The shared pool. First call initializes it (and publishes the size as
+  /// the `threadpool.size` obs gauge).
+  static ThreadPool& instance();
+
+  /// Total lanes (caller + workers); >= 1.
+  int size() const { return size_; }
+
+  /// Splits [begin, end) into grain-sized chunks and invokes
+  /// `fn(chunk_begin, chunk_end)` for each, returning once all chunks ran.
+  /// Runs inline when the range fits one chunk, the pool has a single lane,
+  /// or the caller is itself a pool worker.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Re-sizes the pool, joining and respawning workers. Test/bench hook
+  /// only: must not race with in-flight `parallel_for` calls.
+  void resize(int num_threads);
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+
+  struct Impl;
+  Impl* impl_;  ///< worker/queue state; opaque to keep <thread> out of here
+  int size_ = 1;
+
+  void spawn_workers(int count);
+  void join_workers();
+};
+
+/// Number of chunks `parallel_for` uses for [begin, end) at `grain`.
+inline std::int64_t parallel_chunk_count(std::int64_t begin, std::int64_t end,
+                                         std::int64_t grain) {
+  if (end <= begin) return 0;
+  return (end - begin + grain - 1) / grain;
+}
+
+/// Convenience wrapper over the shared pool.
+inline void parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ThreadPool::instance().parallel_for(begin, end, grain, fn);
+}
+
+/// Minimum per-chunk work (in inner-loop iterations, roughly flops) below
+/// which fan-out costs more than it saves; ranges smaller than one grain run
+/// inline with zero synchronization.
+inline constexpr std::int64_t kParallelMinWork = 1 << 15;
+
+/// Grain (in items) so one chunk carries at least kParallelMinWork inner
+/// iterations, given `work_per_item` iterations per item. Depends only on
+/// the workload shape, so chunking — and thus numerics — is independent of
+/// the pool size.
+inline std::int64_t parallel_grain(std::int64_t work_per_item) {
+  if (work_per_item < 1) work_per_item = 1;
+  const std::int64_t grain = kParallelMinWork / work_per_item;
+  return grain < 1 ? 1 : grain;
+}
+
+/// Order-deterministic parallel sum: `map(chunk_begin, chunk_end)` produces
+/// one partial per chunk and the partials are combined in chunk order, so
+/// the result is bit-identical for every thread count (including the inline
+/// path, which computes the same partials sequentially).
+template <typename MapFn>
+double parallel_reduce_sum(std::int64_t begin, std::int64_t end,
+                           std::int64_t grain, MapFn map) {
+  const std::int64_t nchunks = parallel_chunk_count(begin, end, grain);
+  if (nchunks == 0) return 0.0;
+  if (nchunks == 1) return map(begin, end);
+  std::vector<double> partials(static_cast<std::size_t>(nchunks));
+  parallel_for(begin, end, grain,
+               [&](std::int64_t chunk_begin, std::int64_t chunk_end) {
+                 const auto chunk = (chunk_begin - begin) / grain;
+                 partials[static_cast<std::size_t>(chunk)] =
+                     map(chunk_begin, chunk_end);
+               });
+  double total = 0;
+  for (const double p : partials) total += p;
+  return total;
+}
+
+}  // namespace sgnn

@@ -6,6 +6,7 @@
 #include "sgnn/obs/metrics.hpp"
 #include "sgnn/obs/trace.hpp"
 #include "sgnn/util/error.hpp"
+#include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn {
 
@@ -116,60 +117,88 @@ EdgeList cell_list_neighbors(const AtomicStructure& structure, double cutoff) {
   }
 
   const double cutoff_sq = cutoff * cutoff;
-  EdgeList edges;
 
   // Visit each bin and its 27-neighborhood; periodic wrap when needed. When
-  // an axis has fewer than 3 bins the neighborhood offsets alias, so we
-  // deduplicate wrapped bins per axis via the `seen` trick below.
-  for (std::int64_t ix = 0; ix < bx; ++ix) {
-    for (std::int64_t iy = 0; iy < by; ++iy) {
-      for (std::int64_t iz = 0; iz < bz; ++iz) {
-        const auto& home =
-            bins[static_cast<std::size_t>((ix * by + iy) * bz + iz)];
-        if (home.empty()) continue;
-        std::vector<std::int64_t> neighbor_bins;
-        for (std::int64_t ox = -1; ox <= 1; ++ox) {
-          for (std::int64_t oy = -1; oy <= 1; ++oy) {
-            for (std::int64_t oz = -1; oz <= 1; ++oz) {
-              std::int64_t jx = ix + ox;
-              std::int64_t jy = iy + oy;
-              std::int64_t jz = iz + oz;
-              if (structure.periodic) {
-                jx = (jx + bx) % bx;
-                jy = (jy + by) % by;
-                jz = (jz + bz) % bz;
-              } else if (jx < 0 || jx >= bx || jy < 0 || jy >= by || jz < 0 ||
-                         jz >= bz) {
-                continue;
-              }
-              neighbor_bins.push_back((jx * by + jy) * bz + jz);
-            }
+  // an axis has fewer than 3 bins the wrapped neighborhood offsets alias
+  // (e.g. +1 and -1 reach the same bin), so the wrapped bin ids are
+  // deduplicated with sort+unique before the pair scan.
+  //
+  // The bin loop is sharded across the pool over the flattened bin index;
+  // each chunk appends to its own EdgeList and the chunks are concatenated
+  // in index order afterwards, reproducing the serial edge order exactly.
+  const auto scan_bin = [&](std::int64_t flat, EdgeList& edges) {
+    const std::int64_t ix = flat / (by * bz);
+    const std::int64_t iy = (flat / bz) % by;
+    const std::int64_t iz = flat % bz;
+    const auto& home = bins[static_cast<std::size_t>(flat)];
+    if (home.empty()) return;
+    std::vector<std::int64_t> neighbor_bins;
+    for (std::int64_t ox = -1; ox <= 1; ++ox) {
+      for (std::int64_t oy = -1; oy <= 1; ++oy) {
+        for (std::int64_t oz = -1; oz <= 1; ++oz) {
+          std::int64_t jx = ix + ox;
+          std::int64_t jy = iy + oy;
+          std::int64_t jz = iz + oz;
+          if (structure.periodic) {
+            jx = (jx + bx) % bx;
+            jy = (jy + by) % by;
+            jz = (jz + bz) % bz;
+          } else if (jx < 0 || jx >= bx || jy < 0 || jy >= by || jz < 0 ||
+                     jz >= bz) {
+            continue;
           }
+          neighbor_bins.push_back((jx * by + jy) * bz + jz);
         }
-        std::sort(neighbor_bins.begin(), neighbor_bins.end());
-        neighbor_bins.erase(
-            std::unique(neighbor_bins.begin(), neighbor_bins.end()),
-            neighbor_bins.end());
+      }
+    }
+    std::sort(neighbor_bins.begin(), neighbor_bins.end());
+    neighbor_bins.erase(
+        std::unique(neighbor_bins.begin(), neighbor_bins.end()),
+        neighbor_bins.end());
 
-        for (const auto nb : neighbor_bins) {
-          const auto& other = bins[static_cast<std::size_t>(nb)];
-          for (const auto a : home) {
-            for (const auto b : other) {
-              if (b <= a) continue;  // undirected pair visited once
-              const Vec3 d = structure.displacement(a, b);
-              if (d.norm_squared() <= cutoff_sq) {
-                edges.src.push_back(a);
-                edges.dst.push_back(b);
-                edges.displacement.push_back(d);
-                edges.src.push_back(b);
-                edges.dst.push_back(a);
-                edges.displacement.push_back(-d);
-              }
-            }
+    for (const auto nb : neighbor_bins) {
+      const auto& other = bins[static_cast<std::size_t>(nb)];
+      for (const auto a : home) {
+        for (const auto b : other) {
+          if (b <= a) continue;  // undirected pair visited once
+          const Vec3 d = structure.displacement(a, b);
+          if (d.norm_squared() <= cutoff_sq) {
+            edges.src.push_back(a);
+            edges.dst.push_back(b);
+            edges.displacement.push_back(d);
+            edges.src.push_back(b);
+            edges.dst.push_back(a);
+            edges.displacement.push_back(-d);
           }
         }
       }
     }
+  };
+
+  const std::int64_t grain = num_bins / 64 + 1;
+  const std::int64_t nchunks = parallel_chunk_count(0, num_bins, grain);
+  std::vector<EdgeList> chunk_edges(static_cast<std::size_t>(nchunks));
+  parallel_for(0, num_bins, grain,
+               [&](std::int64_t bin_begin, std::int64_t bin_end) {
+                 EdgeList& local =
+                     chunk_edges[static_cast<std::size_t>(bin_begin / grain)];
+                 for (std::int64_t flat = bin_begin; flat < bin_end; ++flat) {
+                   scan_bin(flat, local);
+                 }
+               });
+
+  EdgeList edges;
+  std::size_t total = 0;
+  for (const auto& local : chunk_edges) total += local.src.size();
+  edges.src.reserve(total);
+  edges.dst.reserve(total);
+  edges.displacement.reserve(total);
+  for (const auto& local : chunk_edges) {
+    edges.src.insert(edges.src.end(), local.src.begin(), local.src.end());
+    edges.dst.insert(edges.dst.end(), local.dst.begin(), local.dst.end());
+    edges.displacement.insert(edges.displacement.end(),
+                              local.displacement.begin(),
+                              local.displacement.end());
   }
   return edges;
 }

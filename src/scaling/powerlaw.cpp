@@ -13,16 +13,19 @@ double PowerLawFit::evaluate(double x) const {
 
 namespace {
 
-/// Least squares of log(y - c) = log(a) - alpha * log(x); returns R^2.
-double fit_with_offset(const std::vector<double>& x,
-                       const std::vector<double>& y, double c,
-                       PowerLawFit& out) {
+/// Least squares of log(y - c) = log(a) - alpha * log(x). Returns false
+/// (leaving `out` untouched) when the system is degenerate: collapsed
+/// log-x spread (duplicate x after logging) admits no slope. A constant-y
+/// series (zero total variance) fits with r_squared = 0 rather than the
+/// vacuous 1.0 — a flat loss curve is not a perfect power law.
+bool fit_with_offset(const std::vector<double>& x,
+                     const std::vector<double>& y, double c,
+                     PowerLawFit& out) {
   const std::size_t n = x.size();
   double sx = 0;
   double sy = 0;
   double sxx = 0;
   double sxy = 0;
-  double syy = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const double lx = std::log(x[i]);
     const double ly = std::log(y[i] - c);
@@ -30,11 +33,10 @@ double fit_with_offset(const std::vector<double>& x,
     sy += ly;
     sxx += lx * lx;
     sxy += lx * ly;
-    syy += ly * ly;
   }
   const double dn = static_cast<double>(n);
   const double denom = dn * sxx - sx * sx;
-  if (std::abs(denom) < 1e-12) return -1;
+  if (std::abs(denom) < 1e-12) return false;
   const double slope = (dn * sxy - sx * sy) / denom;
   const double intercept = (sy - slope * sx) / dn;
 
@@ -42,15 +44,20 @@ double fit_with_offset(const std::vector<double>& x,
   out.a = std::exp(intercept);
   out.c = c;
 
-  const double ss_tot = syy - sy * sy / dn;
+  // Centered forms for both sums: the textbook syy - sy^2/n expression
+  // cancels catastrophically on near-constant series and can report a
+  // spurious nonzero variance.
+  const double mean_ly = sy / dn;
+  double ss_tot = 0;
   double ss_res = 0;
   for (std::size_t i = 0; i < n; ++i) {
+    const double ly = std::log(y[i] - c);
     const double predicted = intercept + slope * std::log(x[i]);
-    const double residual = std::log(y[i] - c) - predicted;
-    ss_res += residual * residual;
+    ss_tot += (ly - mean_ly) * (ly - mean_ly);
+    ss_res += (ly - predicted) * (ly - predicted);
   }
-  out.r_squared = ss_tot > 1e-15 ? 1.0 - ss_res / ss_tot : 1.0;
-  return out.r_squared;
+  out.r_squared = ss_tot > 1e-15 ? 1.0 - ss_res / ss_tot : 0.0;
+  return true;
 }
 
 void validate_series(const std::vector<double>& x,
@@ -72,20 +79,21 @@ PowerLawFit fit_power_law(const std::vector<double>& x,
   }
 
   PowerLawFit best;
-  double best_r2 = -2;
+  bool have_best = false;
   // Profile the offset on a fine grid in [0, y_min); the grid endpoint is
-  // excluded because log(y_min - c) must stay finite.
+  // excluded because log(y_min - c) must stay finite. Degenerate offsets
+  // (fit_with_offset returning false) simply drop out of the profile.
   constexpr int kGrid = 200;
   for (int g = 0; g < kGrid; ++g) {
     const double c = y_min * static_cast<double>(g) / kGrid * 0.999;
     PowerLawFit candidate;
-    const double r2 = fit_with_offset(x, y, c, candidate);
-    if (r2 > best_r2) {
-      best_r2 = r2;
+    if (!fit_with_offset(x, y, c, candidate)) continue;
+    if (!have_best || candidate.r_squared > best.r_squared) {
       best = candidate;
+      have_best = true;
     }
   }
-  SGNN_CHECK(best_r2 > -2, "power-law fit failed (degenerate inputs)");
+  SGNN_CHECK(have_best, "power-law fit failed (degenerate inputs)");
   return best;
 }
 
@@ -94,7 +102,8 @@ PowerLawFit fit_pure_power_law(const std::vector<double>& x,
   validate_series(x, y, 2);
   for (const auto v : y) SGNN_CHECK(v > 0, "y values must be positive");
   PowerLawFit fit;
-  fit_with_offset(x, y, 0.0, fit);
+  SGNN_CHECK(fit_with_offset(x, y, 0.0, fit),
+             "pure power-law fit is degenerate (no spread in log x)");
   return fit;
 }
 

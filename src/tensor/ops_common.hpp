@@ -7,8 +7,12 @@
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/tensor/tensor.hpp"
 #include "sgnn/util/error.hpp"
+#include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn::ops_detail {
+
+/// Grain for plain elementwise loops (one cheap op per item).
+inline constexpr std::int64_t kElementwiseGrain = 1 << 15;
 
 /// Strides (in elements) for reading `in` as if broadcast to `out`:
 /// broadcast dimensions get stride 0. `in` is right-aligned against `out`.
@@ -24,6 +28,8 @@ inline std::vector<std::int64_t> broadcast_strides(const Shape& in,
 }
 
 /// Applies `f(a_val, b_val)` over the broadcast of a and b into `out`.
+/// Each output element is written by exactly one chunk, so the result is
+/// independent of how the pool partitions the range.
 template <typename F>
 void binary_broadcast(const Tensor& a, const Tensor& b, Tensor& out, F f) {
   const real* pa = a.data();
@@ -32,17 +38,32 @@ void binary_broadcast(const Tensor& a, const Tensor& b, Tensor& out, F f) {
   const std::int64_t n = out.numel();
 
   if (a.shape() == b.shape()) {
-    for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    parallel_for(0, n, kElementwiseGrain,
+                 [=](std::int64_t begin, std::int64_t end) {
+                   for (std::int64_t i = begin; i < end; ++i) {
+                     po[i] = f(pa[i], pb[i]);
+                   }
+                 });
     return;
   }
   if (a.numel() == 1) {
     const real av = pa[0];
-    for (std::int64_t i = 0; i < n; ++i) po[i] = f(av, pb[i]);
+    parallel_for(0, n, kElementwiseGrain,
+                 [=](std::int64_t begin, std::int64_t end) {
+                   for (std::int64_t i = begin; i < end; ++i) {
+                     po[i] = f(av, pb[i]);
+                   }
+                 });
     return;
   }
   if (b.numel() == 1) {
     const real bv = pb[0];
-    for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], bv);
+    parallel_for(0, n, kElementwiseGrain,
+                 [=](std::int64_t begin, std::int64_t end) {
+                   for (std::int64_t i = begin; i < end; ++i) {
+                     po[i] = f(pa[i], bv);
+                   }
+                 });
     return;
   }
 
@@ -50,18 +71,21 @@ void binary_broadcast(const Tensor& a, const Tensor& b, Tensor& out, F f) {
   const auto sb = broadcast_strides(b.shape(), out.shape());
   const auto so = out.shape().strides();
   const std::size_t rank = out.rank();
-  for (std::int64_t i = 0; i < n; ++i) {
-    std::int64_t rem = i;
-    std::int64_t oa = 0;
-    std::int64_t ob = 0;
-    for (std::size_t axis = 0; axis < rank; ++axis) {
-      const std::int64_t coord = rem / so[axis];
-      rem -= coord * so[axis];
-      oa += coord * sa[axis];
-      ob += coord * sb[axis];
+  parallel_for(0, n, kElementwiseGrain, [&, pa, pb, po](std::int64_t begin,
+                                                        std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      std::int64_t rem = i;
+      std::int64_t oa = 0;
+      std::int64_t ob = 0;
+      for (std::size_t axis = 0; axis < rank; ++axis) {
+        const std::int64_t coord = rem / so[axis];
+        rem -= coord * so[axis];
+        oa += coord * sa[axis];
+        ob += coord * sb[axis];
+      }
+      po[i] = f(pa[oa], pb[ob]);
     }
-    po[i] = f(pa[oa], pb[ob]);
-  }
+  });
 }
 
 /// Sum-reduces `grad` (shaped like the broadcast output) back to `target`,

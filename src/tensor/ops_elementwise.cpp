@@ -2,10 +2,12 @@
 
 #include "ops_common.hpp"
 #include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn {
 
 using ops_detail::binary_broadcast;
+using ops_detail::kElementwiseGrain;
 using ops_detail::reduce_to;
 
 namespace {
@@ -39,19 +41,24 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name,
           real* pga = ga.data();
           real* pgb = gb.data();
           const std::int64_t n = grad.numel();
-          for (std::int64_t i = 0; i < n; ++i) {
-            std::int64_t rem = i;
-            std::int64_t oa = 0;
-            std::int64_t ob = 0;
-            for (std::size_t axis = 0; axis < rank; ++axis) {
-              const std::int64_t coord = rem / so[axis];
-              rem -= coord * so[axis];
-              oa += coord * sa[axis];
-              ob += coord * sb[axis];
-            }
-            pga[i] = bwd_a(pa[oa], pb[ob]) * pg[i];
-            pgb[i] = bwd_b(pa[oa], pb[ob]) * pg[i];
-          }
+          parallel_for(
+              0, n, kElementwiseGrain,
+              [&, pa, pb, pg, pga, pgb](std::int64_t begin,
+                                        std::int64_t end) {
+                for (std::int64_t i = begin; i < end; ++i) {
+                  std::int64_t rem = i;
+                  std::int64_t oa = 0;
+                  std::int64_t ob = 0;
+                  for (std::size_t axis = 0; axis < rank; ++axis) {
+                    const std::int64_t coord = rem / so[axis];
+                    rem -= coord * so[axis];
+                    oa += coord * sa[axis];
+                    ob += coord * sb[axis];
+                  }
+                  pga[i] = bwd_a(pa[oa], pb[ob]) * pg[i];
+                  pgb[i] = bwd_b(pa[oa], pb[ob]) * pg[i];
+                }
+              });
         }
         return {reduce_to(ga, a_shape), reduce_to(gb, b_shape)};
       },
@@ -73,16 +80,22 @@ Tensor unary_op(const Tensor& x, const char* name, Forward fwd,
         const real* pg = grad.data();
         real* pgx = gx.data();
         const std::int64_t n = grad.numel();
-        for (std::int64_t i = 0; i < n; ++i) {
-          pgx[i] = dfdx(px[i]) * pg[i];
-        }
+        parallel_for(0, n, kElementwiseGrain,
+                     [&, px, pg, pgx](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i) {
+                         pgx[i] = dfdx(px[i]) * pg[i];
+                       }
+                     });
         return {gx};
       },
       name);
   const real* px = xd.data();
   real* po = out.data();
   const std::int64_t n = out.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = fwd(px[i]);
+  parallel_for(0, n, kElementwiseGrain,
+               [&, px, po](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t i = begin; i < end; ++i) po[i] = fwd(px[i]);
+               });
   return out;
 }
 
@@ -114,7 +127,12 @@ Tensor sub(const Tensor& a, const Tensor& b) {
         const real* pg = grad.data();
         real* pn = gneg.data();
         const std::int64_t n = grad.numel();
-        for (std::int64_t i = 0; i < n; ++i) pn[i] = -pg[i];
+        parallel_for(0, n, kElementwiseGrain,
+                     [=](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i) {
+                         pn[i] = -pg[i];
+                       }
+                     });
         return {reduce_to(grad, a_shape), reduce_to(gneg, b_shape)};
       },
       "sub");

@@ -2,8 +2,38 @@
 
 #include "ops_common.hpp"
 #include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn {
+
+namespace {
+
+/// Adds `src` rows into `out` rows chosen by `index`, sharded by receiver
+/// range: each chunk owns a contiguous band of output rows and scans the
+/// whole index array, accumulating only the rows that land in its band.
+/// Every output row therefore receives its contributions in input order —
+/// the same order as the serial loop — so results are bit-identical for any
+/// pool size, duplicate indices included.
+void scatter_rows_into(const real* src, const std::vector<std::int64_t>& index,
+                       real* out, std::int64_t num_rows, std::int64_t cols) {
+  const auto in_rows = static_cast<std::int64_t>(index.size());
+  // Scanning the index array costs O(in_rows) per chunk, so keep bands
+  // coarse: at least enough rows that the adds dominate the scan.
+  const std::int64_t grain =
+      std::max<std::int64_t>(parallel_grain(cols), num_rows / 64 + 1);
+  parallel_for(0, num_rows, grain, [&, src, out](std::int64_t row_begin,
+                                                 std::int64_t row_end) {
+    for (std::int64_t r = 0; r < in_rows; ++r) {
+      const std::int64_t target = index[static_cast<std::size_t>(r)];
+      if (target < row_begin || target >= row_end) continue;
+      real* dst = out + target * cols;
+      const real* srow = src + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) dst[c] += srow[c];
+    }
+  });
+}
+
+}  // namespace
 
 Tensor index_select_rows(const Tensor& x,
                          const std::vector<std::int64_t>& index) {
@@ -21,24 +51,22 @@ Tensor index_select_rows(const Tensor& x,
   Tensor out = Tensor::make_result(
       Shape{out_rows, cols}, {x},
       [=](const Tensor& grad) -> std::vector<Tensor> {
-        // Rows gathered multiple times accumulate their gradients.
+        // Rows gathered multiple times accumulate their gradients; the
+        // scatter is receiver-sharded to keep that accumulation ordered.
         Tensor gx = Tensor::zeros(Shape{rows, cols});
-        real* pgx = gx.data();
-        const real* pg = grad.data();
-        for (std::int64_t r = 0; r < out_rows; ++r) {
-          real* dst = pgx + index[static_cast<std::size_t>(r)] * cols;
-          const real* src = pg + r * cols;
-          for (std::int64_t c = 0; c < cols; ++c) dst[c] += src[c];
-        }
+        scatter_rows_into(grad.data(), index, gx.data(), rows, cols);
         return {gx};
       },
       "index_select_rows");
   const real* px = xd.data();
   real* po = out.data();
-  for (std::int64_t r = 0; r < out_rows; ++r) {
-    std::copy_n(px + index[static_cast<std::size_t>(r)] * cols,
-                static_cast<std::size_t>(cols), po + r * cols);
-  }
+  parallel_for(0, out_rows, parallel_grain(cols),
+               [&, px, po](std::int64_t row_begin, std::int64_t row_end) {
+                 for (std::int64_t r = row_begin; r < row_end; ++r) {
+                   std::copy_n(px + index[static_cast<std::size_t>(r)] * cols,
+                               static_cast<std::size_t>(cols), po + r * cols);
+                 }
+               });
   return out;
 }
 
@@ -65,20 +93,19 @@ Tensor scatter_add_rows(const Tensor& src,
         Tensor gs = Tensor::zeros(Shape{in_rows, cols});
         real* pgs = gs.data();
         const real* pg = grad.data();
-        for (std::int64_t r = 0; r < in_rows; ++r) {
-          std::copy_n(pg + index[static_cast<std::size_t>(r)] * cols,
-                      static_cast<std::size_t>(cols), pgs + r * cols);
-        }
+        parallel_for(0, in_rows, parallel_grain(cols),
+                     [&, pg, pgs](std::int64_t row_begin,
+                                  std::int64_t row_end) {
+                       for (std::int64_t r = row_begin; r < row_end; ++r) {
+                         std::copy_n(
+                             pg + index[static_cast<std::size_t>(r)] * cols,
+                             static_cast<std::size_t>(cols), pgs + r * cols);
+                       }
+                     });
         return {gs};
       },
       "scatter_add_rows");
-  const real* ps = sd.data();
-  real* po = out.data();
-  for (std::int64_t r = 0; r < in_rows; ++r) {
-    real* dst = po + index[static_cast<std::size_t>(r)] * cols;
-    const real* srow = ps + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) dst[c] += srow[c];
-  }
+  scatter_rows_into(sd.data(), index, out.data(), num_rows, cols);
   return out;
 }
 

@@ -1,55 +1,70 @@
 #include "ops_common.hpp"
 #include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn {
 
 namespace {
 
 /// C = A(m,k) @ B(k,n) into pre-allocated C. ikj loop order keeps the inner
-/// loop contiguous in both B and C.
+/// loop contiguous in both B and C. Row-partitioned across the pool: each
+/// chunk owns a disjoint band of C, and each C element accumulates over p in
+/// ascending order regardless of thread count.
 void matmul_into(const real* a, const real* b, real* c, std::int64_t m,
                  std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    real* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) crow[j] = 0;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const real av = a[i * k + p];
-      if (av == 0) continue;
-      const real* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  parallel_for(0, m, parallel_grain(k * n), [=](std::int64_t row_begin,
+                                                std::int64_t row_end) {
+    for (std::int64_t i = row_begin; i < row_end; ++i) {
+      real* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const real av = a[i * k + p];
+        if (av == 0) continue;
+        const real* brow = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 /// C = Aᵀ(k,m) @ B(m,n): accumulates without materializing the transpose.
+/// Sharded over the k output rows; within a shard the p loop stays outermost
+/// so B rows stream contiguously and the accumulation order over p matches
+/// the serial kernel exactly.
 void matmul_at_b(const real* a, const real* b, real* c, std::int64_t m,
                  std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < k * n; ++i) c[i] = 0;
-  for (std::int64_t p = 0; p < m; ++p) {
-    const real* arow = a + p * k;
-    const real* brow = b + p * n;
-    for (std::int64_t i = 0; i < k; ++i) {
-      const real av = arow[i];
-      if (av == 0) continue;
-      real* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  parallel_for(0, k, parallel_grain(m * n), [=](std::int64_t row_begin,
+                                                std::int64_t row_end) {
+    for (std::int64_t i = row_begin * n; i < row_end * n; ++i) c[i] = 0;
+    for (std::int64_t p = 0; p < m; ++p) {
+      const real* arow = a + p * k;
+      const real* brow = b + p * n;
+      for (std::int64_t i = row_begin; i < row_end; ++i) {
+        const real av = arow[i];
+        if (av == 0) continue;
+        real* crow = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
-/// C = A(m,n) @ Bᵀ(n,k): B given as (k,n).
+/// C = A(m,n) @ Bᵀ(n,k): B given as (k,n). Row-partitioned over m.
 void matmul_a_bt(const real* a, const real* b, real* c, std::int64_t m,
                  std::int64_t n, std::int64_t k) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const real* arow = a + i * n;
-    real* crow = c + i * k;
-    for (std::int64_t j = 0; j < k; ++j) {
-      const real* brow = b + j * n;
-      real acc = 0;
-      for (std::int64_t p = 0; p < n; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
+  parallel_for(0, m, parallel_grain(n * k), [=](std::int64_t row_begin,
+                                                std::int64_t row_end) {
+    for (std::int64_t i = row_begin; i < row_end; ++i) {
+      const real* arow = a + i * n;
+      real* crow = c + i * k;
+      for (std::int64_t j = 0; j < k; ++j) {
+        const real* brow = b + j * n;
+        real acc = 0;
+        for (std::int64_t p = 0; p < n; ++p) acc += arow[p] * brow[p];
+        crow[j] = acc;
+      }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -93,21 +108,27 @@ Tensor transpose(const Tensor& x) {
         Tensor gx = Tensor::zeros(Shape{rows, cols});
         const real* pg = grad.data();
         real* pgx = gx.data();
-        for (std::int64_t i = 0; i < cols; ++i) {
-          for (std::int64_t j = 0; j < rows; ++j) {
-            pgx[j * cols + i] = pg[i * rows + j];
-          }
-        }
+        parallel_for(0, cols, parallel_grain(rows),
+                     [=](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i) {
+                         for (std::int64_t j = 0; j < rows; ++j) {
+                           pgx[j * cols + i] = pg[i * rows + j];
+                         }
+                       }
+                     });
         return {gx};
       },
       "transpose");
   const real* px = xd.data();
   real* po = out.data();
-  for (std::int64_t i = 0; i < rows; ++i) {
-    for (std::int64_t j = 0; j < cols; ++j) {
-      po[j * rows + i] = px[i * cols + j];
-    }
-  }
+  parallel_for(0, rows, parallel_grain(cols),
+               [=](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t i = begin; i < end; ++i) {
+                   for (std::int64_t j = 0; j < cols; ++j) {
+                     po[j * rows + i] = px[i * cols + j];
+                   }
+                 }
+               });
   return out;
 }
 

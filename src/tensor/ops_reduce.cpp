@@ -1,7 +1,10 @@
 #include "ops_common.hpp"
 #include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn {
+
+using ops_detail::kElementwiseGrain;
 
 Tensor sum(const Tensor& x) {
   const Shape x_shape = x.shape();
@@ -14,10 +17,17 @@ Tensor sum(const Tensor& x) {
       },
       "sum");
   const real* px = x.data();
-  real acc = 0;
   const std::int64_t n = x.numel();
-  for (std::int64_t i = 0; i < n; ++i) acc += px[i];
-  out.data()[0] = acc;
+  // Order-deterministic chunked reduction: per-chunk partials combined in
+  // chunk order, so the value is identical for every pool size.
+  out.data()[0] = static_cast<real>(parallel_reduce_sum(
+      0, n, kElementwiseGrain, [px](std::int64_t begin, std::int64_t end) {
+        double acc = 0;
+        for (std::int64_t i = begin; i < end; ++i) {
+          acc += static_cast<double>(px[i]);
+        }
+        return acc;
+      }));
   return out;
 }
 
@@ -71,28 +81,56 @@ Tensor sum(const Tensor& x, std::size_t axis, bool keepdim) {
         Tensor gx = Tensor::zeros(x_shape);
         const real* pg = grad.data();
         real* pgx = gx.data();
-        for (std::int64_t o = 0; o < s.outer; ++o) {
-          for (std::int64_t a = 0; a < s.axis_len; ++a) {
-            for (std::int64_t in = 0; in < s.inner; ++in) {
-              pgx[(o * s.axis_len + a) * s.inner + in] =
-                  pg[o * s.inner + in];
-            }
-          }
-        }
+        parallel_for(
+            0, s.outer, parallel_grain(s.axis_len * s.inner),
+            [=](std::int64_t outer_begin, std::int64_t outer_end) {
+              for (std::int64_t o = outer_begin; o < outer_end; ++o) {
+                for (std::int64_t a = 0; a < s.axis_len; ++a) {
+                  for (std::int64_t in = 0; in < s.inner; ++in) {
+                    pgx[(o * s.axis_len + a) * s.inner + in] =
+                        pg[o * s.inner + in];
+                  }
+                }
+              }
+            });
         return {gx};
       },
       "sum_axis");
   const real* px = x.data();
   real* po = out.data();
-  for (std::int64_t o = 0; o < s.outer; ++o) {
-    for (std::int64_t in = 0; in < s.inner; ++in) {
-      po[o * s.inner + in] = 0;
-    }
-    for (std::int64_t a = 0; a < s.axis_len; ++a) {
-      const real* src = px + (o * s.axis_len + a) * s.inner;
-      real* dst = po + o * s.inner;
-      for (std::int64_t in = 0; in < s.inner; ++in) dst[in] += src[in];
-    }
+  // Each output slice accumulates over the reduced axis in ascending order,
+  // whichever partition runs it, so numerics are pool-size-independent. When
+  // the outer extent carries no parallelism (e.g. axis-0 reductions) shard
+  // the inner axis instead; both strategies visit `a` in the same order.
+  if (s.outer > 1 || s.inner == 1) {
+    parallel_for(
+        0, s.outer, parallel_grain(s.axis_len * s.inner),
+        [=](std::int64_t outer_begin, std::int64_t outer_end) {
+          for (std::int64_t o = outer_begin; o < outer_end; ++o) {
+            for (std::int64_t in = 0; in < s.inner; ++in) {
+              po[o * s.inner + in] = 0;
+            }
+            for (std::int64_t a = 0; a < s.axis_len; ++a) {
+              const real* src = px + (o * s.axis_len + a) * s.inner;
+              real* dst = po + o * s.inner;
+              for (std::int64_t in = 0; in < s.inner; ++in) dst[in] += src[in];
+            }
+          }
+        });
+  } else {
+    parallel_for(
+        0, s.inner, parallel_grain(s.axis_len),
+        [=](std::int64_t inner_begin, std::int64_t inner_end) {
+          for (std::int64_t in = inner_begin; in < inner_end; ++in) {
+            po[in] = 0;
+          }
+          for (std::int64_t a = 0; a < s.axis_len; ++a) {
+            const real* src = px + a * s.inner;
+            for (std::int64_t in = inner_begin; in < inner_end; ++in) {
+              po[in] += src[in];
+            }
+          }
+        });
   }
   return out;
 }

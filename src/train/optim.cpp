@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sgnn/util/error.hpp"
+#include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn {
 
@@ -40,14 +41,22 @@ void SGD::step() {
     const std::int64_t n = params[i].numel();
     const auto lr = static_cast<real>(learning_rate_);
     if (momentum_ == 0.0) {
-      for (std::int64_t k = 0; k < n; ++k) p[k] -= lr * g[k];
+      parallel_for(0, n, kParallelMinWork,
+                   [=](std::int64_t begin, std::int64_t end) {
+                     for (std::int64_t k = begin; k < end; ++k) {
+                       p[k] -= lr * g[k];
+                     }
+                   });
     } else {
       real* vel = velocity_[i].data();
       const auto mu = static_cast<real>(momentum_);
-      for (std::int64_t k = 0; k < n; ++k) {
-        vel[k] = mu * vel[k] + g[k];
-        p[k] -= lr * vel[k];
-      }
+      parallel_for(0, n, kParallelMinWork,
+                   [=](std::int64_t begin, std::int64_t end) {
+                     for (std::int64_t k = begin; k < end; ++k) {
+                       vel[k] = mu * vel[k] + g[k];
+                       p[k] -= lr * vel[k];
+                     }
+                   });
     }
   }
 }
@@ -73,13 +82,16 @@ void Adam::update_flat(real* param, const real* grad, real* m, real* v,
       real{1} - std::pow(beta1, static_cast<real>(timestep));
   const real bias2 =
       real{1} - std::pow(beta2, static_cast<real>(timestep));
-  for (std::size_t k = 0; k < count; ++k) {
-    m[k] = beta1 * m[k] + (real{1} - beta1) * grad[k];
-    v[k] = beta2 * v[k] + (real{1} - beta2) * grad[k] * grad[k];
-    const real m_hat = m[k] / bias1;
-    const real v_hat = v[k] / bias2;
-    param[k] -= lr * m_hat / (std::sqrt(v_hat) + eps);
-  }
+  parallel_for(0, static_cast<std::int64_t>(count), kParallelMinWork,
+               [=](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t k = begin; k < end; ++k) {
+                   m[k] = beta1 * m[k] + (real{1} - beta1) * grad[k];
+                   v[k] = beta2 * v[k] + (real{1} - beta2) * grad[k] * grad[k];
+                   const real m_hat = m[k] / bias1;
+                   const real v_hat = v[k] / bias2;
+                   param[k] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+                 }
+               });
 }
 
 void Adam::step() {

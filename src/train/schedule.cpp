@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sgnn/util/error.hpp"
+#include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn {
 
@@ -76,9 +77,17 @@ double grad_l2_norm(const std::vector<Tensor>& parameters) {
     const Tensor grad = p.grad();
     if (!grad.defined()) continue;
     const real* g = grad.data();
-    for (std::int64_t i = 0; i < grad.numel(); ++i) {
-      total_sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
-    }
+    // Chunked deterministic reduction: partials combined in chunk order so
+    // the norm is bit-identical across pool sizes.
+    total_sq += parallel_reduce_sum(
+        0, grad.numel(), kParallelMinWork,
+        [g](std::int64_t begin, std::int64_t end) {
+          double acc = 0;
+          for (std::int64_t i = begin; i < end; ++i) {
+            acc += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+          }
+          return acc;
+        });
   }
   return std::sqrt(total_sq);
 }
@@ -93,7 +102,12 @@ double clip_grad_norm(const std::vector<Tensor>& parameters,
       Tensor grad = p.grad();
       if (!grad.defined()) continue;
       real* g = grad.data();
-      for (std::int64_t i = 0; i < grad.numel(); ++i) g[i] *= scale;
+      parallel_for(0, grad.numel(), kParallelMinWork,
+                   [=](std::int64_t begin, std::int64_t end) {
+                     for (std::int64_t i = begin; i < end; ++i) {
+                       g[i] *= scale;
+                     }
+                   });
     }
   }
   return norm;

@@ -1,0 +1,194 @@
+#include "sgnn/util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sgnn/obs/metrics.hpp"
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+namespace {
+
+/// True inside a pool worker; nested parallel_for calls run inline instead
+/// of re-entering the queue (a worker blocking on its own pool deadlocks).
+thread_local bool t_in_pool_worker = false;
+
+int configured_size() {
+  if (const char* env = std::getenv("SGNN_NUM_THREADS")) {
+    char* tail = nullptr;
+    const long parsed = std::strtol(env, &tail, 10);
+    SGNN_CHECK(tail != env && *tail == '\0' && parsed >= 1 && parsed <= 1024,
+               "SGNN_NUM_THREADS must be an integer in [1, 1024], got \""
+                   << env << "\"");
+    return static_cast<int>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// One parallel_for invocation. Chunks are claimed lock-free via `next`;
+/// completion is tracked under `mutex` so finished-output writes
+/// happen-before the caller's return (mutex release/acquire pairing).
+struct Task {
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  std::int64_t nchunks = 0;
+  std::atomic<std::int64_t> next{0};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::int64_t done = 0;
+
+  /// Claims and runs one chunk. Returns false once all chunks are claimed.
+  bool run_one_chunk() {
+    const std::int64_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= nchunks) return false;
+    const std::int64_t chunk_begin = begin + chunk * grain;
+    const std::int64_t chunk_end =
+        chunk_begin + grain < end ? chunk_begin + grain : end;
+    (*fn)(chunk_begin, chunk_end);
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      ++done;
+      if (done == nchunks) done_cv.notify_all();
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::deque<std::shared_ptr<Task>> tasks;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  void worker_loop() {
+    t_in_pool_worker = true;
+    for (;;) {
+      std::shared_ptr<Task> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return stop || !tasks.empty(); });
+        if (stop) return;
+        task = tasks.front();
+      }
+      if (!task->run_one_chunk()) {
+        // Task exhausted: drop it from the queue if still there, then look
+        // for the next one.
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!tasks.empty() && tasks.front() == task) tasks.pop_front();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  const int size = configured_size();
+  size_ = size < 1 ? 1 : size;
+  spawn_workers(size_ - 1);
+  obs::MetricsRegistry::instance().gauge("threadpool.size").set(size_);
+}
+
+ThreadPool::~ThreadPool() {
+  join_workers();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::spawn_workers(int count) {
+  impl_->stop = false;
+  impl_->workers.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+void ThreadPool::join_workers() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  impl_->workers.clear();
+}
+
+void ThreadPool::resize(int num_threads) {
+  SGNN_CHECK(num_threads >= 1, "thread pool size must be >= 1, got "
+                                   << num_threads);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    SGNN_CHECK(impl_->tasks.empty(),
+               "ThreadPool::resize with tasks in flight");
+  }
+  join_workers();
+  size_ = num_threads;
+  spawn_workers(size_ - 1);
+  obs::MetricsRegistry::instance().gauge("threadpool.size").set(size_);
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  SGNN_CHECK(grain >= 1, "parallel_for grain must be >= 1, got " << grain);
+  const std::int64_t nchunks = parallel_chunk_count(begin, end, grain);
+  if (nchunks == 0) return;
+
+  // Inline fast path: single chunk, single lane, or nested call from a
+  // worker. Visits the identical chunk decomposition in index order, so the
+  // numerics match the pooled path bit-for-bit.
+  if (nchunks == 1 || size_ == 1 || t_in_pool_worker) {
+    for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+      const std::int64_t chunk_begin = begin + chunk * grain;
+      const std::int64_t chunk_end =
+          chunk_begin + grain < end ? chunk_begin + grain : end;
+      fn(chunk_begin, chunk_end);
+    }
+    return;
+  }
+
+  auto task = std::make_shared<Task>();
+  task->fn = &fn;
+  task->begin = begin;
+  task->end = end;
+  task->grain = grain;
+  task->nchunks = nchunks;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->tasks.push_back(task);
+  }
+  impl_->work_cv.notify_all();
+
+  // The caller is a lane too: claim chunks until the task is drained, then
+  // wait for chunks still running on workers.
+  while (task->run_one_chunk()) {
+  }
+  {
+    std::unique_lock<std::mutex> lock(task->mutex);
+    task->done_cv.wait(lock, [&] { return task->done == task->nchunks; });
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (!impl_->tasks.empty() && impl_->tasks.front() == task) {
+      impl_->tasks.pop_front();
+    }
+  }
+}
+
+}  // namespace sgnn

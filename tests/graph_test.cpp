@@ -144,6 +144,41 @@ INSTANTIATE_TEST_SUITE_P(
                       NeighborCase{64, 9.5, 4.7, true, 9},
                       NeighborCase{50, 40.0, 3.0, false, 10}));
 
+TEST(NeighborTest, CellListMatchesBruteForceOnWrapAliasedCells) {
+  // Periodic cells small enough that an axis has only 2 bins: the ±1
+  // neighborhood offsets wrap onto the same bin, exercising the sort+unique
+  // deduplication of aliased bins. (cutoff <= cell/2 caps bins at >= 2, so
+  // 2 bins is the tightest aliasing case reachable.)
+  const struct {
+    Vec3 cell;
+    double cutoff;
+    std::uint64_t seed;
+  } cases[] = {
+      {{5.0, 5.0, 5.0}, 2.45, 21},    // 2x2x2 bins: aliasing on every axis
+      {{5.0, 12.0, 5.1}, 2.45, 22},   // 2x4x2: aliased and clean axes mixed
+      {{4.9, 4.9, 16.0}, 2.40, 23},   // 2x2x6
+      {{6.0, 6.0, 6.0}, 2.95, 24},    // 2x2x2 with near-half-cell cutoff
+  };
+  for (const auto& c : cases) {
+    Rng rng(c.seed);
+    AtomicStructure s;
+    for (int i = 0; i < 40; ++i) {
+      s.species.push_back(elements::kSi);
+      s.positions.push_back({rng.uniform(0, c.cell.x),
+                             rng.uniform(0, c.cell.y),
+                             rng.uniform(0, c.cell.z)});
+    }
+    s.cell = c.cell;
+    s.periodic = true;
+    const EdgeList brute = brute_force_neighbors(s, c.cutoff);
+    const EdgeList cell = cell_list_neighbors(s, c.cutoff);
+    EXPECT_EQ(to_set(brute), to_set(cell))
+        << "cell " << c.cell.x << "x" << c.cell.y << "x" << c.cell.z
+        << " cutoff " << c.cutoff;
+    EXPECT_EQ(brute.size(), cell.size());
+  }
+}
+
 TEST(NeighborTest, DisplacementsMatchPositions) {
   Rng rng(11);
   const AtomicStructure s = random_cluster(25, 7.0, rng);

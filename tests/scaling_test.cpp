@@ -62,6 +62,27 @@ TEST(PowerLawTest, RejectsDegenerateInputs) {
   EXPECT_THROW(fit_power_law({1, 2}, {1, 2, 3}), Error);            // mismatch
 }
 
+TEST(PowerLawTest, ConstantSeriesIsNotAPerfectFit) {
+  // Regression: a flat loss curve has zero total variance, and the R^2
+  // guard used to report the vacuous fit as perfect (r_squared = 1.0).
+  const std::vector<double> x = {1.0, 10.0, 100.0, 1000.0};
+  const std::vector<double> y = {0.5, 0.5, 0.5, 0.5};
+  const PowerLawFit fit = fit_power_law(x, y);
+  EXPECT_EQ(fit.r_squared, 0.0);
+  EXPECT_NEAR(fit.alpha, 0.0, 1e-9);  // flat curve: no scaling exponent
+
+  const PowerLawFit pure = fit_pure_power_law(x, y);
+  EXPECT_EQ(pure.r_squared, 0.0);
+  EXPECT_NEAR(pure.alpha, 0.0, 1e-9);
+}
+
+TEST(PowerLawTest, PurePowerLawFailsLoudlyOnDegenerateInput) {
+  // Regression: identical x values collapse the log-x spread; the fit used
+  // to silently return a default-constructed (all-zero) PowerLawFit.
+  EXPECT_THROW(fit_pure_power_law({2.0, 2.0}, {1.0, 2.0}), Error);
+  EXPECT_THROW(fit_pure_power_law({3.0, 3.0, 3.0}, {1.0, 2.0, 3.0}), Error);
+}
+
 TEST(PowerLawTest, LocalSlopesConstantForPureLaw) {
   std::vector<double> x;
   std::vector<double> y;
