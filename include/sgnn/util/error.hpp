@@ -39,8 +39,13 @@ namespace detail {
   } while (false)
 
 #ifdef NDEBUG
-#define SGNN_DCHECK(cond, msg) \
-  do {                         \
+// The dead `if (false)` branch keeps `cond` and `msg` odr-used (and their
+// names spell-checked by the compiler) even when the check compiles out.
+#define SGNN_DCHECK(cond, msg)     \
+  do {                             \
+    if (false) {                   \
+      SGNN_CHECK(cond, msg);       \
+    }                              \
   } while (false)
 #else
 #define SGNN_DCHECK(cond, msg) SGNN_CHECK(cond, msg)

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace sgnn {
@@ -53,7 +54,9 @@ class ThreadPool {
   ThreadPool();
 
   struct Impl;
-  Impl* impl_;  ///< worker/queue state; opaque to keep <thread> out of here
+  /// Worker/queue state; opaque to keep <thread> out of this header. The
+  /// destructor lives in the .cpp, where Impl is complete.
+  std::unique_ptr<Impl> impl_;
   int size_ = 1;
 
   void spawn_workers(int count);

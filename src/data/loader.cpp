@@ -17,6 +17,10 @@ DataLoader::DataLoader(std::vector<const MolecularGraph*> graphs,
       shuffle_(shuffle) {
   SGNN_CHECK(!graphs_.empty(), "DataLoader needs at least one graph");
   SGNN_CHECK(batch_size_ > 0, "batch size must be positive");
+  // num_batches() rounds up with `n + batch_size_ - 1`; bound the batch
+  // size so that sum can never wrap int64.
+  SGNN_CHECK(batch_size_ <= (std::int64_t{1} << 30),
+             "batch size " << batch_size_ << " is implausibly large");
   order_.resize(graphs_.size());
   std::iota(order_.begin(), order_.end(), 0);
   begin_epoch();

@@ -75,12 +75,24 @@ EdgeList cell_list_neighbors(const AtomicStructure& structure, double cutoff) {
   }
 
   const auto bins_along = [cutoff](double length) {
-    return std::max<std::int64_t>(
-        1, static_cast<std::int64_t>(std::floor(length / cutoff)));
+    const double ratio = std::floor(length / cutoff);
+    // The per-axis count feeds an int64 flat index; bound it well below the
+    // cast's value range so the float->int conversion is always defined.
+    SGNN_CHECK(ratio < static_cast<double>(std::int64_t{1} << 20),
+               "cell grid has " << ratio << " bins along one axis (extent "
+                                << length << ", cutoff " << cutoff
+                                << "); implausible input");
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(ratio));
   };
   const std::int64_t bx = bins_along(extent.x);
   const std::int64_t by = bins_along(extent.y);
   const std::int64_t bz = bins_along(extent.z);
+  // Guard the product in floating point before the int64 multiply can wrap.
+  SGNN_CHECK(static_cast<double>(bx) * static_cast<double>(by) *
+                     static_cast<double>(bz) <=
+                 1e9,
+             "cell grid of " << bx << "x" << by << "x" << bz
+                             << " bins is implausibly large");
   const std::int64_t num_bins = bx * by * bz;
 
   const auto bin_coord = [&](const Vec3& p, std::int64_t& ix, std::int64_t& iy,
@@ -91,15 +103,19 @@ EdgeList cell_list_neighbors(const AtomicStructure& structure, double cutoff) {
       q.y -= extent.y * std::floor(q.y / extent.y);
       q.z -= extent.z * std::floor(q.z / extent.z);
     }
-    ix = std::min<std::int64_t>(bx - 1,
-                                static_cast<std::int64_t>(q.x / extent.x *
-                                                          static_cast<double>(bx)));
-    iy = std::min<std::int64_t>(by - 1,
-                                static_cast<std::int64_t>(q.y / extent.y *
-                                                          static_cast<double>(by)));
-    iz = std::min<std::int64_t>(bz - 1,
-                                static_cast<std::int64_t>(q.z / extent.z *
-                                                          static_cast<double>(bz)));
+    // Explicit floor before the cast: for in-range coordinates it matches
+    // the old truncation, and a coordinate pushed just below zero by
+    // rounding floors to -1 and is clamped below instead of relying on
+    // truncation-toward-zero.
+    ix = std::min<std::int64_t>(
+        bx - 1, static_cast<std::int64_t>(
+                    std::floor(q.x / extent.x * static_cast<double>(bx))));
+    iy = std::min<std::int64_t>(
+        by - 1, static_cast<std::int64_t>(
+                    std::floor(q.y / extent.y * static_cast<double>(by))));
+    iz = std::min<std::int64_t>(
+        bz - 1, static_cast<std::int64_t>(
+                    std::floor(q.z / extent.z * static_cast<double>(bz))));
     ix = std::max<std::int64_t>(0, ix);
     iy = std::max<std::int64_t>(0, iy);
     iz = std::max<std::int64_t>(0, iz);

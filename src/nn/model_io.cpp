@@ -1,7 +1,9 @@
 #include "sgnn/nn/model_io.hpp"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
 #include "sgnn/store/serialize.hpp"
 #include "sgnn/util/error.hpp"
@@ -13,16 +15,25 @@ namespace {
 constexpr char kMagic[4] = {'S', 'G', 'M', 'D'};
 constexpr std::uint32_t kVersion = 3;
 
+// memcpy through a char buffer instead of reinterpret_cast on &value: the
+// byte layout (and thus the on-disk format) is identical, but no pointer of
+// the wrong type is ever formed.
 template <typename T>
 void write_raw(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.write(bytes, sizeof(T));
 }
 
 template <typename T>
 T read_raw(std::istream& in) {
-  T value;
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  in.read(bytes, sizeof(T));
   SGNN_CHECK(in.good(), "truncated model file");
+  T value;
+  std::memcpy(&value, bytes, sizeof(T));
   return value;
 }
 
@@ -76,6 +87,9 @@ std::string serialize_payload(const EGNNModel& model) {
       write_raw(out, p.dim(axis));
     }
     const real* data = p.data();
+    // sgnn-lint: allow(aliasing): byte view of a trivially-copyable tensor
+    // buffer for bulk stream IO; a per-element memcpy loop would be slower
+    // and char-pointer access is always defined.
     out.write(reinterpret_cast<const char*>(data),
               static_cast<std::streamsize>(
                   static_cast<std::size_t>(p.numel()) * sizeof(real)));
@@ -98,6 +112,8 @@ void restore_parameters(std::istream& in, EGNNModel& model) {
                                          << axis << ": file has " << dim
                                          << ", model has " << p.dim(axis));
     }
+    // sgnn-lint: allow(aliasing): byte view of a trivially-copyable tensor
+    // buffer for bulk stream IO, mirroring serialize_payload's writer.
     in.read(reinterpret_cast<char*>(p.data()),
             static_cast<std::streamsize>(
                 static_cast<std::size_t>(p.numel()) * sizeof(real)));

@@ -8,6 +8,7 @@
 namespace sgnn {
 
 double PowerLawFit::evaluate(double x) const {
+  SGNN_CHECK(x > 0, "power law evaluated at non-positive x = " << x);
   return a * std::pow(x, -alpha) + c;
 }
 

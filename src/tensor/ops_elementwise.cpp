@@ -104,6 +104,7 @@ real sigmoid_val(real v) { return real{1} / (real{1} + std::exp(-v)); }
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
+  SGNN_CHECK(a.defined() && b.defined(), "add requires defined inputs");
   const Shape a_shape = a.shape();
   const Shape b_shape = b.shape();
   Tensor out = Tensor::make_result(
@@ -118,6 +119,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
+  SGNN_CHECK(a.defined() && b.defined(), "sub requires defined inputs");
   const Shape a_shape = a.shape();
   const Shape b_shape = b.shape();
   Tensor out = Tensor::make_result(
@@ -142,12 +144,14 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
+  SGNN_CHECK(a.defined() && b.defined(), "mul requires defined inputs");
   return binary_op(
       a, b, "mul", [](real x, real y) { return x * y; },
       [](real, real y) { return y; }, [](real x, real) { return x; });
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
+  SGNN_CHECK(a.defined() && b.defined(), "div requires defined inputs");
   return binary_op(
       a, b, "div", [](real x, real y) { return x / y; },
       [](real, real y) { return real{1} / y; },
@@ -155,23 +159,27 @@ Tensor div(const Tensor& a, const Tensor& b) {
 }
 
 Tensor neg(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "neg requires a defined input");
   return unary_op(
       x, "neg", [](real v) { return -v; }, [](real) { return real{-1}; });
 }
 
 Tensor scale(const Tensor& x, real factor) {
+  SGNN_CHECK(x.defined(), "scale requires a defined input");
   return unary_op(
       x, "scale", [factor](real v) { return factor * v; },
       [factor](real) { return factor; });
 }
 
 Tensor add_scalar(const Tensor& x, real value) {
+  SGNN_CHECK(x.defined(), "add_scalar requires a defined input");
   return unary_op(
       x, "add_scalar", [value](real v) { return v + value; },
       [](real) { return real{1}; });
 }
 
 Tensor pow_scalar(const Tensor& x, real exponent) {
+  SGNN_CHECK(x.defined(), "pow_scalar requires a defined input");
   return unary_op(
       x, "pow_scalar",
       [exponent](real v) { return std::pow(v, exponent); },
@@ -179,48 +187,56 @@ Tensor pow_scalar(const Tensor& x, real exponent) {
 }
 
 Tensor square(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "square requires a defined input");
   return unary_op(
       x, "square", [](real v) { return v * v; },
       [](real v) { return 2 * v; });
 }
 
 Tensor sqrt_op(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "sqrt_op requires a defined input");
   return unary_op(
       x, "sqrt", [](real v) { return std::sqrt(v); },
       [](real v) { return real{0.5} / std::sqrt(v); });
 }
 
 Tensor exp_op(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "exp_op requires a defined input");
   return unary_op(
       x, "exp", [](real v) { return std::exp(v); },
       [](real v) { return std::exp(v); });
 }
 
 Tensor log_op(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "log_op requires a defined input");
   return unary_op(
       x, "log", [](real v) { return std::log(v); },
       [](real v) { return real{1} / v; });
 }
 
 Tensor abs_op(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "abs_op requires a defined input");
   return unary_op(
       x, "abs", [](real v) { return std::abs(v); },
       [](real v) { return v > 0 ? real{1} : (v < 0 ? real{-1} : real{0}); });
 }
 
 Tensor clamp_min(const Tensor& x, real bound) {
+  SGNN_CHECK(x.defined(), "clamp_min requires a defined input");
   return unary_op(
       x, "clamp_min", [bound](real v) { return v > bound ? v : bound; },
       [bound](real v) { return v > bound ? real{1} : real{0}; });
 }
 
 Tensor relu(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "relu requires a defined input");
   return unary_op(
       x, "relu", [](real v) { return v > 0 ? v : real{0}; },
       [](real v) { return v > 0 ? real{1} : real{0}; });
 }
 
 Tensor sigmoid(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "sigmoid requires a defined input");
   return unary_op(
       x, "sigmoid", [](real v) { return sigmoid_val(v); },
       [](real v) {
@@ -230,6 +246,7 @@ Tensor sigmoid(const Tensor& x) {
 }
 
 Tensor tanh_op(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "tanh_op requires a defined input");
   return unary_op(
       x, "tanh", [](real v) { return std::tanh(v); },
       [](real v) {
@@ -239,6 +256,7 @@ Tensor tanh_op(const Tensor& x) {
 }
 
 Tensor silu(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "silu requires a defined input");
   return unary_op(
       x, "silu", [](real v) { return v * sigmoid_val(v); },
       [](real v) {
@@ -248,6 +266,7 @@ Tensor silu(const Tensor& x) {
 }
 
 Tensor softplus(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "softplus requires a defined input");
   return unary_op(
       x, "softplus",
       [](real v) {

@@ -7,6 +7,7 @@ namespace sgnn {
 using ops_detail::kElementwiseGrain;
 
 Tensor sum(const Tensor& x) {
+  SGNN_CHECK(x.defined(), "sum requires a defined input");
   const Shape x_shape = x.shape();
   Tensor out = Tensor::make_result(
       Shape{}, {x},
@@ -71,6 +72,7 @@ Shape reduced_shape(const Shape& shape, std::size_t axis, bool keepdim) {
 }  // namespace
 
 Tensor sum(const Tensor& x, std::size_t axis, bool keepdim) {
+  SGNN_CHECK(x.defined(), "sum requires a defined input");
   const Shape x_shape = x.shape();
   const AxisSplit s = split_axis(x_shape, axis);
   const Shape out_shape = reduced_shape(x_shape, axis, keepdim);

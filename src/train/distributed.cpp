@@ -223,6 +223,9 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
     rank_seconds[ri] = timer.seconds();
   };
 
+  // sgnn-lint: allow(thread): the multi-rank driver runs one OS thread per
+  // simulated rank by design; worker parallelism inside each rank still
+  // goes through the shared ThreadPool.
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(R));
   for (int r = 0; r < R; ++r) {

@@ -94,17 +94,14 @@ struct ThreadPool::Impl {
   }
 };
 
-ThreadPool::ThreadPool() : impl_(new Impl) {
+ThreadPool::ThreadPool() : impl_(std::make_unique<Impl>()) {
   const int size = configured_size();
   size_ = size < 1 ? 1 : size;
   spawn_workers(size_ - 1);
   obs::MetricsRegistry::instance().gauge("threadpool.size").set(size_);
 }
 
-ThreadPool::~ThreadPool() {
-  join_workers();
-  delete impl_;
-}
+ThreadPool::~ThreadPool() { join_workers(); }
 
 ThreadPool& ThreadPool::instance() {
   static ThreadPool pool;

@@ -1,0 +1,5 @@
+#include <cstdint>
+
+double punned(std::uint64_t bits) {
+  return *reinterpret_cast<double*>(&bits);
+}

@@ -1,0 +1,16 @@
+#include <cstdint>
+#include <cstring>
+#include <ostream>
+
+double punned(std::uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void write_bulk(std::ostream& out, const double* data, std::size_t count) {
+  out.write(
+      // sgnn-lint: allow(aliasing): byte view of a trivially-copyable buffer
+      reinterpret_cast<const char*>(data),
+      static_cast<std::streamsize>(count * sizeof(double)));
+}

@@ -1,0 +1,16 @@
+// This file mentions banned constructs only in comments and strings;
+// the lint tool must not fire on any of them.
+//
+//   new Widget; delete w; std::thread t; rand(); reinterpret_cast<int*>(p);
+//   std::chrono::system_clock::now();
+
+/* block comment: new delete std::thread rand() */
+
+const char* kDoc =
+    "call new, delete, rand(), spawn std::thread, reinterpret_cast away";
+
+const char* kRaw = R"(new delete rand() std::thread reinterpret_cast)";
+
+char kNewline = '\n';
+
+int answer() { return 42; }

@@ -1,0 +1,7 @@
+#pragma once
+
+#include <vector>
+
+#include "sgnn/util/error.hpp"
+
+inline int answer() { return 42; }

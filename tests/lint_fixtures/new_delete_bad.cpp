@@ -1,0 +1,11 @@
+struct Widget {
+  int value = 0;
+};
+
+Widget* make() {
+  return new Widget;  // naked allocation
+}
+
+void destroy(Widget* w) {
+  delete w;
+}

@@ -1,0 +1,12 @@
+#include <memory>
+
+struct Widget {
+  int value = 0;
+  Widget(const Widget&) = delete;
+  Widget& operator=(const Widget&) = delete;
+};
+
+std::unique_ptr<Widget> make() { return std::make_unique<Widget>(); }
+
+// sgnn-lint: allow(new-delete): exercising the suppression syntax
+Widget* make_raw() { return new Widget; }

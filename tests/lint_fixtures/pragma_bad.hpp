@@ -1,0 +1,6 @@
+#ifndef SGNN_LINT_FIXTURE_PRAGMA_BAD_HPP
+#define SGNN_LINT_FIXTURE_PRAGMA_BAD_HPP
+
+inline int answer() { return 42; }
+
+#endif

@@ -1,0 +1,3 @@
+#pragma once
+
+inline int answer() { return 42; }

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace sgnn {
+
+class Tensor;
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor relu(const Tensor& x);
+Tensor missing_everywhere(const Tensor& x);
+
+}  // namespace sgnn

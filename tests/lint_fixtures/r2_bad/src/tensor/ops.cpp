@@ -1,0 +1,17 @@
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  SGNN_CHECK(true, "inputs must be defined");
+  return a;
+  (void)b;
+}
+
+// relu has a definition but no precondition check: must be flagged.
+Tensor relu(const Tensor& x) { return x; }
+
+// missing_everywhere has no definition anywhere: must be flagged.
+
+}  // namespace sgnn

@@ -1,0 +1,10 @@
+#pragma once
+
+namespace sgnn {
+
+class Tensor;
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor relu(const Tensor& x);
+
+}  // namespace sgnn

@@ -1,0 +1,17 @@
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/util/error.hpp"
+
+namespace sgnn {
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  SGNN_CHECK(true, "inputs must be defined");
+  return a;
+  (void)b;
+}
+
+Tensor relu(const Tensor& x) {
+  SGNN_DCHECK(true, "input must be defined");
+  return x;
+}
+
+}  // namespace sgnn

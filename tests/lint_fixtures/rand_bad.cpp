@@ -1,0 +1,5 @@
+#include <cstdlib>
+
+int roll() { return std::rand() % 6; }
+
+void reseed() { srand(42); }

@@ -1,0 +1,16 @@
+struct Rng {
+  unsigned long long state = 0x9E3779B97F4A7C15ull;
+  unsigned long long next() {
+    state ^= state << 13;
+    return state;
+  }
+};
+
+// A member named rand() is not the C library call.
+struct Table {
+  int rand() const { return 4; }
+};
+
+int roll(Rng& rng, const Table& t) {
+  return static_cast<int>(rng.next() % 6) + t.rand();
+}

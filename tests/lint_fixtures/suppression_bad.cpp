@@ -1,0 +1,6 @@
+struct Widget {
+  int value = 0;
+};
+
+// sgnn-lint: allow(new-delete)
+Widget* make() { return new Widget; }

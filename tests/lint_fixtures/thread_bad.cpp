@@ -1,0 +1,6 @@
+#include <thread>
+
+void run() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,5 @@
+#include "sgnn/obs/trace.hpp"
+
+void step() {
+  sgnn::obs::TraceSpan("forward");
+}

@@ -1,0 +1,14 @@
+#include "sgnn/obs/trace.hpp"
+
+void train_step() {
+  {
+    const obs::TraceSpan span("forward", "train");
+    (void)span;
+  }
+  {
+    const obs::TraceSpan span("backward", "train");
+    const ScopedTrainPhase phase(TrainPhase::kBackward);
+    (void)span;
+    (void)phase;
+  }
+}

@@ -1,0 +1,16 @@
+#include "sgnn/obs/trace.hpp"
+
+void train_step() {
+  {
+    const obs::TraceSpan span("forward", "train");
+    const ScopedTrainPhase phase(TrainPhase::kForward);
+    (void)span;
+    (void)phase;
+  }
+  {
+    const obs::TraceSpan span("backward", "train");
+    const ScopedTrainPhase phase(TrainPhase::kBackward);
+    (void)span;
+    (void)phase;
+  }
+}

@@ -1,0 +1,6 @@
+#include "sgnn/obs/trace.hpp"
+
+void step() {
+  sgnn::obs::TraceSpan span("forward");
+  (void)span;
+}

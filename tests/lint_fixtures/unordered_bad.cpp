@@ -1,0 +1,8 @@
+#include <cstdio>
+#include <unordered_map>
+
+void dump(const std::unordered_map<int, double>& scores) {
+  for (const auto& kv : scores) {
+    std::printf("%d %f\n", kv.first, kv.second);
+  }
+}

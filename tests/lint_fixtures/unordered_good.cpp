@@ -1,0 +1,14 @@
+#include <map>
+#include <unordered_map>
+
+double lookup(const std::unordered_map<int, double>& scores, int key) {
+  const auto it = scores.find(key);
+  return it == scores.end() ? 0.0 : it->second;
+}
+
+double first(const std::map<int, double>& ordered) {
+  // Ordered containers iterate deterministically.
+  double total = 0;
+  for (const auto& kv : ordered) total += kv.second;
+  return total;
+}

@@ -1,0 +1,5 @@
+#include <chrono>
+
+long long elapsed(std::chrono::steady_clock::time_point since) {
+  return (std::chrono::steady_clock::now() - since).count();
+}

@@ -1,0 +1,273 @@
+// Tests for tools/sgnn_lint: every rule must fire on its bad fixture,
+// stay quiet on its good fixture, and honor the suppression syntax.
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace {
+
+using sgnn::lint::Finding;
+using sgnn::lint::lint_file;
+using sgnn::lint::parse_source;
+
+std::string fixture_dir() { return SGNN_LINT_FIXTURE_DIR; }
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_dir() + "/" + name, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Lints a fixture file under a pretend tree path (rules are path-scoped).
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const std::string& pretend_path) {
+  return lint_file(parse_source(pretend_path, read_fixture(name)));
+}
+
+std::set<std::string> rules_fired(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const auto& f : findings) rules.insert(f.rule);
+  return rules;
+}
+
+bool fired(const std::vector<Finding>& findings, const std::string& rule) {
+  return rules_fired(findings).count(rule) > 0;
+}
+
+std::string describe(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const auto& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  }
+  return os.str();
+}
+
+// -- R1: banned constructs --------------------------------------------------
+
+TEST(LintR1, NakedNewDeleteFires) {
+  const auto findings = lint_fixture("new_delete_bad.cpp", "src/x/y.cpp");
+  EXPECT_TRUE(fired(findings, "new-delete")) << describe(findings);
+  // Both the `new` and the `delete` are reported.
+  EXPECT_GE(findings.size(), 2u) << describe(findings);
+}
+
+TEST(LintR1, SmartPointersAndSuppressionPass) {
+  const auto findings = lint_fixture("new_delete_good.cpp", "src/x/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintR1, ThreadOutsideCommFires) {
+  const auto findings = lint_fixture("thread_bad.cpp", "src/train/y.cpp");
+  EXPECT_TRUE(fired(findings, "thread")) << describe(findings);
+}
+
+TEST(LintR1, ThreadInsideCommPasses) {
+  const auto findings = lint_fixture("thread_bad.cpp", "src/comm/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintR1, ThreadInThreadPoolPasses) {
+  const auto findings =
+      lint_fixture("thread_bad.cpp", "src/util/thread_pool.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintR1, ThreadInTestsPasses) {
+  const auto findings = lint_fixture("thread_bad.cpp", "tests/y_test.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintR1, RandFires) {
+  const auto findings = lint_fixture("rand_bad.cpp", "src/x/y.cpp");
+  EXPECT_TRUE(fired(findings, "rand")) << describe(findings);
+  EXPECT_GE(findings.size(), 2u) << describe(findings);  // rand + srand
+}
+
+TEST(LintR1, MemberNamedRandPasses) {
+  const auto findings = lint_fixture("rand_good.cpp", "src/x/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintR1, UnorderedIterationFires) {
+  const auto findings = lint_fixture("unordered_bad.cpp", "src/x/y.cpp");
+  EXPECT_TRUE(fired(findings, "unordered-iteration")) << describe(findings);
+}
+
+TEST(LintR1, UnorderedLookupAndOrderedIterationPass) {
+  const auto findings = lint_fixture("unordered_good.cpp", "src/x/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintR1, WallClockInKernelFires) {
+  const auto findings =
+      lint_fixture("wallclock_bad.cpp", "src/tensor/y.cpp");
+  EXPECT_TRUE(fired(findings, "wall-clock")) << describe(findings);
+}
+
+TEST(LintR1, WallClockOutsideKernelPasses) {
+  const auto findings = lint_fixture("wallclock_bad.cpp", "src/obs/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintR1, SteadyClockInKernelPasses) {
+  const auto findings =
+      lint_fixture("wallclock_good.cpp", "src/tensor/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// -- R2: precondition coverage ----------------------------------------------
+
+TEST(LintR2, MissingPreconditionFires) {
+  const auto findings = sgnn::lint::check_preconditions(
+      fixture_dir() + "/r2_bad", "include/sgnn/tensor/ops.hpp");
+  ASSERT_TRUE(fired(findings, "precondition")) << describe(findings);
+  // relu's unchecked definition and missing_everywhere's absent definition
+  // are both reported; add's checked definition is not.
+  const auto text = describe(findings);
+  EXPECT_NE(text.find("relu"), std::string::npos) << text;
+  EXPECT_NE(text.find("missing_everywhere"), std::string::npos) << text;
+  EXPECT_EQ(text.find("add"), std::string::npos) << text;
+}
+
+TEST(LintR2, CheckedDefinitionsPass) {
+  const auto findings = sgnn::lint::check_preconditions(
+      fixture_dir() + "/r2_good", "include/sgnn/tensor/ops.hpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintR2, RealHeadersAreConfigured) {
+  const auto& headers = sgnn::lint::precondition_headers();
+  EXPECT_NE(std::find(headers.begin(), headers.end(),
+                      "include/sgnn/tensor/ops.hpp"),
+            headers.end());
+  EXPECT_NE(std::find(headers.begin(), headers.end(),
+                      "include/sgnn/scaling/powerlaw.hpp"),
+            headers.end());
+}
+
+// -- R3: reinterpret_cast ---------------------------------------------------
+
+TEST(LintR3, ReinterpretCastFires) {
+  const auto findings = lint_fixture("aliasing_bad.cpp", "src/x/y.cpp");
+  EXPECT_TRUE(fired(findings, "aliasing")) << describe(findings);
+}
+
+TEST(LintR3, MemcpyAndTaggedCastPass) {
+  const auto findings = lint_fixture("aliasing_good.cpp", "src/x/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// -- R4: include hygiene ----------------------------------------------------
+
+TEST(LintR4, MissingPragmaOnceFires) {
+  const auto findings =
+      lint_fixture("pragma_bad.hpp", "include/sgnn/x/y.hpp");
+  EXPECT_TRUE(fired(findings, "pragma-once")) << describe(findings);
+}
+
+TEST(LintR4, PragmaOncePasses) {
+  const auto findings =
+      lint_fixture("pragma_good.hpp", "include/sgnn/x/y.hpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintR4, BadIncludePathsFire) {
+  const auto findings =
+      lint_fixture("include_bad.hpp", "include/sgnn/x/y.hpp");
+  EXPECT_TRUE(fired(findings, "include-path")) << describe(findings);
+  EXPECT_GE(findings.size(), 2u) << describe(findings);  // src/ and ../
+}
+
+TEST(LintR4, ProjectIncludePathsPass) {
+  const auto findings =
+      lint_fixture("include_good.hpp", "include/sgnn/x/y.hpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// -- R5: TraceSpan discipline -----------------------------------------------
+
+TEST(LintR5, DiscardedTraceSpanTemporaryFires) {
+  // src/nn/, not src/train/: keeps the trainer balance rule out of the way.
+  const auto findings = lint_fixture("trace_bad.cpp", "src/nn/y.cpp");
+  EXPECT_TRUE(fired(findings, "trace-span")) << describe(findings);
+}
+
+TEST(LintR5, NamedTraceSpanPasses) {
+  const auto findings = lint_fixture("trace_good.cpp", "src/nn/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintR5, UnbalancedPhaseInstrumentationFires) {
+  const auto findings =
+      lint_fixture("trace_balance_bad.cpp", "src/train/y.cpp");
+  EXPECT_TRUE(fired(findings, "trace-balance")) << describe(findings);
+}
+
+TEST(LintR5, BalancedPhaseInstrumentationPasses) {
+  const auto findings =
+      lint_fixture("trace_balance_good.cpp", "src/train/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintR5, BalanceRuleOnlyAppliesToTrainers) {
+  const auto findings =
+      lint_fixture("trace_balance_bad.cpp", "src/obs/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// -- suppression hygiene and comment/string immunity ------------------------
+
+TEST(LintSuppression, ReasonlessTagIsItsOwnFinding) {
+  const auto findings =
+      lint_fixture("suppression_bad.cpp", "src/x/y.cpp");
+  EXPECT_TRUE(fired(findings, "suppression")) << describe(findings);
+  // The tag still silences the new-delete finding it covers.
+  EXPECT_FALSE(fired(findings, "new-delete")) << describe(findings);
+}
+
+TEST(LintStripper, CommentsAndStringsAreInvisible) {
+  const auto findings =
+      lint_fixture("comments_good.cpp", "src/tensor/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintStripper, LineNumbersSurviveStripping) {
+  const auto file = parse_source("src/x/y.cpp", read_fixture("rand_bad.cpp"));
+  const auto findings = lint_file(file);
+  ASSERT_FALSE(findings.empty());
+  // std::rand() sits on line 3 of the fixture.
+  EXPECT_EQ(findings.front().line, 3) << describe(findings);
+}
+
+// -- whole-tree walk --------------------------------------------------------
+
+TEST(LintTree, WalksFixtureTreeAndSortsFindings) {
+  const auto findings =
+      sgnn::lint::lint_tree(fixture_dir() + "/r2_bad");
+  ASSERT_TRUE(fired(findings, "precondition")) << describe(findings);
+  EXPECT_TRUE(std::is_sorted(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return std::tie(a.file, a.line, a.rule) <
+                                      std::tie(b.file, b.line, b.rule);
+                             }))
+      << describe(findings);
+}
+
+TEST(LintTree, RealTreeIsClean) {
+  const auto findings = sgnn::lint::lint_tree(SGNN_LINT_SOURCE_ROOT);
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 
 #include "sgnn/data/dataset.hpp"
 #include "sgnn/data/loader.hpp"
@@ -18,7 +19,7 @@ class StreamingTest : public ::testing::Test {
     DatasetOptions options;
     options.target_bytes = 400 << 10;
     options.seed = 61;
-    dataset_ = new AggregatedDataset(
+    dataset_ = std::make_unique<AggregatedDataset>(
         AggregatedDataset::generate(options, potential));
     path_ = (std::filesystem::temp_directory_path() / "sgnn_streaming.bp")
                 .string();
@@ -29,15 +30,14 @@ class StreamingTest : public ::testing::Test {
 
   static void TearDownTestSuite() {
     std::remove(path_.c_str());
-    delete dataset_;
-    dataset_ = nullptr;
+    dataset_.reset();
   }
 
-  static AggregatedDataset* dataset_;
+  static std::unique_ptr<AggregatedDataset> dataset_;
   static std::string path_;
 };
 
-AggregatedDataset* StreamingTest::dataset_ = nullptr;
+std::unique_ptr<AggregatedDataset> StreamingTest::dataset_;
 std::string StreamingTest::path_;
 
 TEST_F(StreamingTest, MatchesInMemoryLoaderBatchForBatch) {

@@ -1,0 +1,878 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace sgnn::lint {
+
+namespace {
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// Parses an `sgnn-lint: allow(<rule>)[: reason]` tag out of a comment.
+/// Returns true when a tag was found.
+bool parse_tag(const std::string& comment, Suppression& out) {
+  const std::string key = "sgnn-lint:";
+  const auto at = comment.find(key);
+  if (at == std::string::npos) return false;
+  std::size_t p = at + key.size();
+  while (p < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[p]))) {
+    ++p;
+  }
+  const std::string allow = "allow(";
+  if (comment.compare(p, allow.size(), allow) != 0) return false;
+  p += allow.size();
+  const auto close = comment.find(')', p);
+  if (close == std::string::npos) return false;
+  out.rule = trim(comment.substr(p, close - p));
+  // Anything after "): " counts as the explanation.
+  std::size_t r = close + 1;
+  while (r < comment.size() &&
+         (std::isspace(static_cast<unsigned char>(comment[r])) ||
+          comment[r] == ':')) {
+    ++r;
+  }
+  out.has_reason = !trim(comment.substr(r)).empty();
+  return !out.rule.empty();
+}
+
+/// Matches `pattern` as a whole word at `pos` in `text`.
+bool word_at(const std::string& text, std::size_t pos,
+             const std::string& pattern) {
+  if (text.compare(pos, pattern.size(), pattern) != 0) return false;
+  if (pos > 0 && is_word(text[pos - 1])) return false;
+  const std::size_t end = pos + pattern.size();
+  if (end < text.size() && is_word(text[end])) return false;
+  return true;
+}
+
+/// All whole-word occurrences of `pattern` in `text` (column positions).
+std::vector<std::size_t> find_words(const std::string& text,
+                                    const std::string& pattern) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = text.find(pattern, pos)) != std::string::npos) {
+    if (word_at(text, pos, pattern)) hits.push_back(pos);
+    pos += 1;
+  }
+  return hits;
+}
+
+/// Index of the first non-space character before `pos`, or npos.
+std::size_t prev_significant_index(const std::string& text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(text[pos]))) {
+      return pos;
+    }
+  }
+  return std::string::npos;
+}
+
+/// First non-space character before `pos`, or '\0'.
+char prev_significant(const std::string& text, std::size_t pos) {
+  const auto at = prev_significant_index(text, pos);
+  return at == std::string::npos ? '\0' : text[at];
+}
+
+/// Skips whitespace forward from `pos`; returns text.size() at the end.
+std::size_t skip_space(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+int line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() +
+                                             static_cast<std::ptrdiff_t>(pos),
+                                         '\n'));
+}
+
+struct PathInfo {
+  bool in_src = false;
+  bool in_include = false;
+  bool in_tests = false;
+  bool header = false;
+};
+
+PathInfo classify(const std::string& path) {
+  PathInfo info;
+  info.in_src = starts_with(path, "src/");
+  info.in_include = starts_with(path, "include/");
+  info.in_tests = starts_with(path, "tests/");
+  info.header = ends_with(path, ".hpp") || ends_with(path, ".h");
+  return info;
+}
+
+bool in_kernel_dir(const std::string& path) {
+  return starts_with(path, "src/tensor/") || starts_with(path, "src/graph/") ||
+         starts_with(path, "src/nn/") || starts_with(path, "src/potential/");
+}
+
+bool thread_allowed(const std::string& path) {
+  return starts_with(path, "src/comm/") ||
+         starts_with(path, "include/sgnn/comm/") ||
+         path == "src/util/thread_pool.cpp" ||
+         path == "include/sgnn/util/thread_pool.hpp";
+}
+
+void report(std::vector<Finding>& findings, const SourceFile& file, int line,
+            const std::string& rule, std::string message) {
+  if (file.allows(line, rule)) return;
+  findings.push_back({file.path, line, rule, std::move(message)});
+}
+
+// -- R1: banned constructs --------------------------------------------------
+
+void rule_new_delete(const SourceFile& file, std::vector<Finding>& findings) {
+  for (const auto pos : find_words(file.code, "new")) {
+    report(findings, file, line_of(file.code, pos), "new-delete",
+           "naked `new`; use std::make_unique / a container");
+  }
+  for (const auto pos : find_words(file.code, "delete")) {
+    // `= delete;` (deleted special member) is not a deallocation.
+    if (prev_significant(file.code, pos) == '=') continue;
+    report(findings, file, line_of(file.code, pos), "new-delete",
+           "naked `delete`; owning raw pointers are banned — use RAII");
+  }
+}
+
+void rule_thread(const SourceFile& file, std::vector<Finding>& findings) {
+  const PathInfo info = classify(file.path);
+  // Tests may spawn threads to exercise concurrency; the ban covers
+  // library code only.
+  if (!info.in_src && !info.in_include) return;
+  if (thread_allowed(file.path)) return;
+  for (const auto* token : {"std::thread", "std::jthread"}) {
+    std::size_t pos = 0;
+    while ((pos = file.code.find(token, pos)) != std::string::npos) {
+      const std::size_t end = pos + std::string(token).size();
+      if (end >= file.code.size() || !is_word(file.code[end])) {
+        report(findings, file, line_of(file.code, pos), "thread",
+               std::string(token) +
+                   " outside src/comm/ and the thread pool; route work "
+                   "through sgnn::parallel_for or sgnn::comm");
+      }
+      pos = end;
+    }
+  }
+}
+
+void rule_rand(const SourceFile& file, std::vector<Finding>& findings) {
+  for (const auto* token : {"rand", "srand", "random_shuffle"}) {
+    for (const auto pos : find_words(file.code, token)) {
+      // Only calls: `rand()` / `std::rand()`, not identifiers like `rando`.
+      const std::size_t after = skip_space(file.code, pos +
+                                           std::string(token).size());
+      if (after >= file.code.size() || file.code[after] != '(') continue;
+      const char before = prev_significant(file.code, pos);
+      if (before == '.' || before == '>') continue;  // member call
+      // A preceding identifier is a return type — `int rand() const` declares
+      // a member named rand — unless it is a statement keyword like `return`.
+      if (is_word(before)) {
+        const auto word_end = prev_significant_index(file.code, pos) + 1;
+        std::size_t word_begin = word_end;
+        while (word_begin > 0 && is_word(file.code[word_begin - 1])) {
+          --word_begin;
+        }
+        const std::string prev_word =
+            file.code.substr(word_begin, word_end - word_begin);
+        if (prev_word != "return" && prev_word != "case" &&
+            prev_word != "else" && prev_word != "do") {
+          continue;
+        }
+      }
+      report(findings, file, line_of(file.code, pos), "rand",
+             std::string("`") + token +
+                 "` is seed-less and non-reproducible; use sgnn::Rng");
+    }
+  }
+}
+
+/// Names of variables/members declared with a std::unordered_* type.
+std::vector<std::string> unordered_names(const std::string& code) {
+  std::vector<std::string> names;
+  const std::string marker = "std::unordered_";
+  std::size_t pos = 0;
+  while ((pos = code.find(marker, pos)) != std::string::npos) {
+    std::size_t p = pos + marker.size();
+    while (p < code.size() && is_word(code[p])) ++p;  // map/set/…
+    p = skip_space(code, p);
+    if (p < code.size() && code[p] == '<') {
+      int depth = 0;
+      while (p < code.size()) {
+        if (code[p] == '<') ++depth;
+        if (code[p] == '>') {
+          --depth;
+          if (depth == 0) {
+            ++p;
+            break;
+          }
+        }
+        ++p;
+      }
+    }
+    p = skip_space(code, p);
+    // Reference/pointer declarators sit between the type and the name.
+    while (p < code.size() && (code[p] == '&' || code[p] == '*')) {
+      p = skip_space(code, p + 1);
+    }
+    std::string name;
+    while (p < code.size() && is_word(code[p])) name.push_back(code[p++]);
+    if (!name.empty() && name != "const") names.push_back(name);
+    pos += marker.size();
+  }
+  return names;
+}
+
+void rule_unordered_iteration(const SourceFile& file,
+                              std::vector<Finding>& findings) {
+  for (const auto& name : unordered_names(file.code)) {
+    // Range-for over the container: `for (… : name)`.
+    for (const auto pos : find_words(file.code, name)) {
+      const std::size_t after = skip_space(file.code, pos + name.size());
+      const char before = prev_significant(file.code, pos);
+      const bool range_for = before == ':' && after < file.code.size() &&
+                             file.code[after] == ')';
+      bool begin_call = false;
+      if (after + 1 < file.code.size() && file.code[after] == '.') {
+        const std::size_t m = skip_space(file.code, after + 1);
+        for (const auto* it : {"begin", "cbegin", "rbegin"}) {
+          if (word_at(file.code, m, it)) begin_call = true;
+        }
+      }
+      if (range_for || begin_call) {
+        report(findings, file, line_of(file.code, pos), "unordered-iteration",
+               "iteration order of std::unordered_* is unspecified; "
+               "iterating `" + name +
+                   "` feeds non-deterministic order into results — use an "
+                   "ordered container or sort first");
+      }
+    }
+  }
+}
+
+void rule_wall_clock(const SourceFile& file, std::vector<Finding>& findings) {
+  if (!in_kernel_dir(file.path)) return;
+  for (const auto* token : {"system_clock", "gettimeofday", "time", "clock"}) {
+    for (const auto pos : find_words(file.code, token)) {
+      const std::string t(token);
+      if (t == "time" || t == "clock") {
+        // Only the C library calls, not identifiers containing the word.
+        const std::size_t after = skip_space(file.code, pos + t.size());
+        if (after >= file.code.size() || file.code[after] != '(') continue;
+        const char before = prev_significant(file.code, pos);
+        if (before == '.' || before == '>') continue;  // member calls
+      }
+      report(findings, file, line_of(file.code, pos), "wall-clock",
+             "wall-clock read inside a kernel; kernels must be "
+             "deterministic — time at the trainer/bench layer instead");
+    }
+  }
+}
+
+// -- R3: aliasing -----------------------------------------------------------
+
+void rule_aliasing(const SourceFile& file, std::vector<Finding>& findings) {
+  for (const auto pos : find_words(file.code, "reinterpret_cast")) {
+    report(findings, file, line_of(file.code, pos), "aliasing",
+           "reinterpret_cast invites strict-aliasing UB; round-trip through "
+           "std::memcpy, or tag `// sgnn-lint: allow(aliasing): <reason>` "
+           "for byte-pointer stream IO");
+  }
+}
+
+// -- R4: include hygiene ----------------------------------------------------
+
+void rule_pragma_once(const SourceFile& file, std::vector<Finding>& findings) {
+  if (!classify(file.path).header) return;
+  for (const auto& line : file.raw_lines) {
+    if (trim(line) == "#pragma once") return;
+  }
+  report(findings, file, 1, "pragma-once", "header lacks `#pragma once`");
+}
+
+void rule_include_path(const SourceFile& file,
+                       std::vector<Finding>& findings) {
+  const PathInfo info = classify(file.path);
+  for (std::size_t i = 0; i < file.raw_lines.size(); ++i) {
+    const std::string line = trim(file.raw_lines[i]);
+    if (!starts_with(line, "#include") && !starts_with(line, "# include")) {
+      continue;
+    }
+    const auto open = line.find('"');
+    if (open == std::string::npos) continue;
+    const auto close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    const std::string target = line.substr(open + 1, close - open - 1);
+    const int lineno = static_cast<int>(i) + 1;
+    if (starts_with(target, "src/") || target.find("../") !=
+                                           std::string::npos) {
+      report(findings, file, lineno, "include-path",
+             "include of \"" + target +
+                 "\" reaches into the source tree; depend on installed "
+                 "sgnn/ headers instead");
+    } else if (info.in_include && !starts_with(target, "sgnn/")) {
+      report(findings, file, lineno, "include-path",
+             "public header includes \"" + target +
+                 "\"; headers under include/ may only include "
+                 "\"sgnn/...\" project headers");
+    }
+  }
+}
+
+// -- R5: TraceSpan discipline ----------------------------------------------
+
+void rule_trace_span(const SourceFile& file, std::vector<Finding>& findings) {
+  if (!classify(file.path).in_src) return;
+  for (const auto pos : find_words(file.code, "TraceSpan")) {
+    const std::size_t after = skip_space(file.code, pos + 9);
+    if (after < file.code.size() && file.code[after] == '(') {
+      report(findings, file, line_of(file.code, pos), "trace-span",
+             "TraceSpan temporary is destroyed at the end of the full "
+             "expression and records nothing useful; bind it to a named "
+             "local");
+    }
+  }
+}
+
+/// Counts matches of `head` followed by an identifier, `(`, and `arg` —
+/// e.g. TraceSpan span("forward" / ScopedTrainPhase p(TrainPhase::kForward.
+std::size_t count_declarations(const std::string& text,
+                               const std::string& head,
+                               const std::string& arg) {
+  std::size_t count = 0;
+  for (const auto pos : find_words(text, head)) {
+    std::size_t p = skip_space(text, pos + head.size());
+    std::string name;
+    while (p < text.size() && is_word(text[p])) name.push_back(text[p++]);
+    if (name.empty()) continue;
+    p = skip_space(text, p);
+    if (p >= text.size() || text[p] != '(') continue;
+    p = skip_space(text, p + 1);
+    if (text.compare(p, arg.size(), arg) == 0) ++count;
+  }
+  return count;
+}
+
+void rule_trace_balance(const SourceFile& file,
+                        std::vector<Finding>& findings) {
+  if (!starts_with(file.path, "src/train/")) return;
+  if (file.allows_anywhere("trace-balance")) return;
+  const struct {
+    const char* span;
+    const char* phase;
+  } pairs[] = {{"\"forward\"", "TrainPhase::kForward"},
+               {"\"backward\"", "TrainPhase::kBackward"},
+               {"\"optimizer\"", "TrainPhase::kOptimizer"}};
+  for (const auto& pair : pairs) {
+    // Span names live in string literals, so match on the raw text.
+    const std::size_t spans =
+        count_declarations(file.raw, "TraceSpan", pair.span);
+    const std::size_t phases =
+        count_declarations(file.raw, "ScopedTrainPhase", pair.phase);
+    if (spans != phases) {
+      std::ostringstream os;
+      os << "unbalanced trainer instrumentation: " << spans << " TraceSpan("
+         << pair.span << ") vs " << phases << " ScopedTrainPhase("
+         << pair.phase << "); every phase span needs its memory-phase twin";
+      findings.push_back({file.path, 1, "trace-balance", os.str()});
+    }
+  }
+}
+
+// -- suppression hygiene ----------------------------------------------------
+
+void rule_suppressions(const SourceFile& file,
+                       std::vector<Finding>& findings) {
+  for (const auto& [line, tags] : file.suppressions) {
+    for (const auto& tag : tags) {
+      // Cascaded copies keep their origin line; report each tag once, where
+      // it was written.
+      if (!tag.has_reason && tag.origin == line) {
+        findings.push_back(
+            {file.path, line, "suppression",
+             "suppression `allow(" + tag.rule +
+                 ")` has no reason; write `allow(" + tag.rule +
+                 "): <why this is safe>`"});
+      }
+    }
+  }
+}
+
+// -- R2: precondition coverage ----------------------------------------------
+
+/// Function names declared (terminated by `;`, not defined inline) at any
+/// scope of a header's code view. Operators and macro-style ALL_CAPS names
+/// are skipped.
+std::vector<std::pair<std::string, int>> declared_functions(
+    const std::string& code) {
+  static const char* kKeywords[] = {"if",     "for",    "while", "switch",
+                                    "return", "sizeof", "catch", "alignof",
+                                    "decltype"};
+  std::vector<std::pair<std::string, int>> names;
+  for (std::size_t pos = 0; pos < code.size(); ++pos) {
+    if (code[pos] != '(') continue;
+    // Identifier immediately before the paren.
+    std::size_t e = pos;
+    while (e > 0 &&
+           std::isspace(static_cast<unsigned char>(code[e - 1]))) {
+      --e;
+    }
+    std::size_t b = e;
+    while (b > 0 && is_word(code[b - 1])) --b;
+    if (b == e) continue;
+    const std::string name = code.substr(b, e - b);
+    if (std::any_of(std::begin(kKeywords), std::end(kKeywords),
+                    [&](const char* k) { return name == k; })) {
+      continue;
+    }
+    const bool all_caps = std::all_of(name.begin(), name.end(), [](char c) {
+      return std::isupper(static_cast<unsigned char>(c)) != 0 ||
+             std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '_';
+    });
+    if (all_caps) continue;
+    // `operator+(...)` and friends delegate to the named ops.
+    std::size_t q = b;
+    while (q > 0 && std::isspace(static_cast<unsigned char>(code[q - 1]))) {
+      --q;
+    }
+    if (q >= 8 && code.compare(q - 8, 8, "operator") == 0) continue;
+    const char before = q > 0 ? code[q - 1] : '\0';
+    // Member calls, destructors, and qualified names (std::pow inside an
+    // inline convenience body) are uses, not declarations of header API.
+    if (before == '.' || before == '~' || before == ':') continue;
+    // Must be a declaration: balanced parens then `;` (allowing trailing
+    // qualifiers like const/noexcept), with no `{` in between.
+    int depth = 0;
+    std::size_t p = pos;
+    for (; p < code.size(); ++p) {
+      if (code[p] == '(') ++depth;
+      if (code[p] == ')') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (depth != 0) continue;
+    ++p;
+    bool is_declaration = false;
+    for (; p < code.size(); ++p) {
+      const char c = code[p];
+      if (c == ';') {
+        is_declaration = true;
+        break;
+      }
+      if (c == '{' || c == '(' || c == '=') break;
+    }
+    if (is_declaration) names.emplace_back(name, line_of(code, b));
+  }
+  return names;
+}
+
+/// Positions (offset of the opening `{`) of out-of-line definitions of
+/// `name` in `code` — `name(...)` or `Qualifier::name(...)` followed by an
+/// optional const/noexcept and a brace.
+std::vector<std::pair<std::size_t, std::size_t>> find_definitions(
+    const std::string& code, const std::string& name) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;  // (name, brace)
+  for (const auto pos : find_words(code, name)) {
+    const auto before_at = prev_significant_index(code, pos);
+    const char before = before_at == std::string::npos ? '\0' : code[before_at];
+    if (before == '.' || before == '&' || before == '!') {
+      continue;  // member call / address-of / negated call
+    }
+    // `->name(` is a member call, but a lone `>` closes a template return
+    // type (`std::vector<double> name(...)`) and introduces a definition.
+    if (before == '>' && before_at > 0 && code[before_at - 1] == '-') {
+      continue;
+    }
+    std::size_t p = skip_space(code, pos + name.size());
+    if (p >= code.size() || code[p] != '(') continue;
+    int depth = 0;
+    for (; p < code.size(); ++p) {
+      if (code[p] == '(') ++depth;
+      if (code[p] == ')') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (depth != 0) continue;
+    p = skip_space(code, p + 1);
+    // Trailing qualifiers before the body.
+    for (const auto* word : {"const", "noexcept", "override", "final"}) {
+      if (word_at(code, p, word)) {
+        p = skip_space(code, p + std::string(word).size());
+      }
+    }
+    if (p < code.size() && code[p] == '{') spans.emplace_back(pos, p);
+  }
+  return spans;
+}
+
+/// Extent of the brace-balanced block opening at `brace`.
+std::size_t block_end(const std::string& code, std::size_t brace) {
+  int depth = 0;
+  for (std::size_t p = brace; p < code.size(); ++p) {
+    if (code[p] == '{') ++depth;
+    if (code[p] == '}') {
+      --depth;
+      if (depth == 0) return p;
+    }
+  }
+  return code.size();
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string display_path(const std::filesystem::path& root,
+                         const std::filesystem::path& path) {
+  return std::filesystem::relative(path, root).generic_string();
+}
+
+std::vector<std::filesystem::path> sources_under(
+    const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> files;
+  if (!std::filesystem::exists(dir)) return files;
+  for (auto it = std::filesystem::recursive_directory_iterator(dir);
+       it != std::filesystem::recursive_directory_iterator(); ++it) {
+    if (it->is_directory()) {
+      const auto name = it->path().filename().string();
+      // Fixture trees deliberately violate every rule; build output and VCS
+      // metadata are not ours to lint.
+      if (name == "lint_fixtures" || name == ".git" ||
+          starts_with(name, "build")) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    const auto ext = it->path().extension().string();
+    if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h") {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+bool SourceFile::allows(int line, const std::string& rule) const {
+  const auto it = suppressions.find(line);
+  if (it == suppressions.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](const Suppression& s) { return s.rule == rule; });
+}
+
+bool SourceFile::allows_anywhere(const std::string& rule) const {
+  for (const auto& [line, tags] : suppressions) {
+    (void)line;
+    for (const auto& tag : tags) {
+      if (tag.rule == rule) return true;
+    }
+  }
+  return false;
+}
+
+SourceFile parse_source(std::string path, std::string content) {
+  SourceFile file;
+  file.path = std::move(path);
+  file.raw = std::move(content);
+  file.code.reserve(file.raw.size());
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string comment;          // text of the comment being scanned
+  std::string line_code;        // code emitted on the current line
+  int line = 1;
+  int comment_start_line = 1;
+
+  const auto note_tag = [&](int tag_line) {
+    Suppression tag;
+    if (!parse_tag(comment, tag)) return;
+    tag.origin = tag_line;
+    file.suppressions[tag_line].push_back(tag);
+  };
+
+  for (std::size_t i = 0; i < file.raw.size(); ++i) {
+    const char c = file.raw[i];
+    const char next = i + 1 < file.raw.size() ? file.raw[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment.clear();
+          comment_start_line = line;
+          file.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment.clear();
+          comment_start_line = line;
+          file.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw strings: R"delim( … )delim".
+          if (i > 0 && file.raw[i - 1] == 'R' &&
+              (i < 2 || !is_word(file.raw[i - 2]))) {
+            std::size_t d = i + 1;
+            while (d < file.raw.size() && file.raw[d] != '(') ++d;
+            const std::string delim =
+                ")" + file.raw.substr(i + 1, d - i - 1) + "\"";
+            const auto end = file.raw.find(delim, d);
+            const std::size_t stop =
+                end == std::string::npos ? file.raw.size()
+                                         : end + delim.size();
+            file.code += '"';
+            for (std::size_t j = i + 1; j < stop; ++j) {
+              file.code += file.raw[j] == '\n' ? '\n' : ' ';
+              if (file.raw[j] == '\n') ++line;
+            }
+            i = stop - 1;
+            file.code += '"';
+          } else {
+            state = State::kString;
+            file.code += '"';
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          file.code += '\'';
+        } else {
+          file.code += c;
+          if (c != '\n') line_code += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          note_tag(comment_start_line);
+          state = State::kCode;
+          file.code += '\n';
+        } else {
+          comment += c;
+          file.code += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          file.code += "  ";
+          ++i;
+        } else {
+          comment += c;
+          file.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          file.code += "  ";
+          ++i;
+          if (next == '\n') {
+            file.code.back() = '\n';
+            ++line;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          file.code += '"';
+        } else {
+          file.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          file.code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          file.code += '\'';
+        } else {
+          file.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+    if (c == '\n') {
+      ++line;
+      line_code.clear();
+    }
+  }
+  if (state == State::kLineComment) note_tag(comment_start_line);
+
+  file.raw_lines = split_lines(file.raw);
+  file.code_lines = split_lines(file.code);
+
+  // A tag on a line with no code cascades through the following run of
+  // code-empty lines and onto the first code-bearing line, so a tag atop a
+  // multi-line comment still reaches the statement under it.
+  const auto code_empty = [&](int l) {
+    return l >= 1 && l <= static_cast<int>(file.code_lines.size()) &&
+           trim(file.code_lines[static_cast<std::size_t>(l - 1)]).empty();
+  };
+  std::vector<std::pair<int, Suppression>> cascaded;
+  for (const auto& [tag_line, tags] : file.suppressions) {
+    if (!code_empty(tag_line)) continue;
+    for (const auto& tag : tags) {
+      int l = tag_line + 1;
+      while (code_empty(l)) cascaded.emplace_back(l++, tag);
+      if (l <= static_cast<int>(file.code_lines.size())) {
+        cascaded.emplace_back(l, tag);
+      }
+    }
+  }
+  for (auto& [l, tag] : cascaded) {
+    file.suppressions[l].push_back(std::move(tag));
+  }
+  return file;
+}
+
+std::vector<Finding> lint_file(const SourceFile& file) {
+  std::vector<Finding> findings;
+  rule_new_delete(file, findings);
+  rule_thread(file, findings);
+  rule_rand(file, findings);
+  rule_unordered_iteration(file, findings);
+  rule_wall_clock(file, findings);
+  rule_aliasing(file, findings);
+  rule_pragma_once(file, findings);
+  rule_include_path(file, findings);
+  rule_trace_span(file, findings);
+  rule_trace_balance(file, findings);
+  rule_suppressions(file, findings);
+  return findings;
+}
+
+const std::vector<std::string>& precondition_headers() {
+  static const std::vector<std::string> headers = {
+      "include/sgnn/tensor/ops.hpp",
+      "include/sgnn/scaling/powerlaw.hpp",
+  };
+  return headers;
+}
+
+std::vector<Finding> check_preconditions(const std::filesystem::path& root,
+                                         const std::string& header_rel) {
+  std::vector<Finding> findings;
+  const auto header_path = root / header_rel;
+  if (!std::filesystem::exists(header_path)) return findings;
+  const SourceFile header =
+      parse_source(header_rel, read_file(header_path));
+  const auto declared = declared_functions(header.code);
+
+  // include/sgnn/<module>/x.hpp -> src/<module>/.
+  std::string src_rel = header_rel;
+  const std::string prefix = "include/sgnn/";
+  if (starts_with(src_rel, prefix)) {
+    src_rel = "src/" + src_rel.substr(prefix.size());
+  }
+  const auto slash = src_rel.find_last_of('/');
+  const auto src_dir = root / src_rel.substr(0, slash);
+
+  std::vector<SourceFile> sources;
+  for (const auto& path : sources_under(src_dir)) {
+    if (path.extension() != ".cpp" && path.extension() != ".cc") continue;
+    sources.push_back(
+        parse_source(display_path(root, path), read_file(path)));
+  }
+
+  std::vector<std::string> seen;
+  for (const auto& [name, decl_line] : declared) {
+    if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
+    seen.push_back(name);
+    bool defined = false;
+    for (const auto& source : sources) {
+      for (const auto& [name_pos, brace] :
+           find_definitions(source.code, name)) {
+        defined = true;
+        const std::size_t end = block_end(source.code, brace);
+        const std::string body = source.code.substr(brace, end - brace);
+        if (body.find("SGNN_CHECK") != std::string::npos ||
+            body.find("SGNN_DCHECK") != std::string::npos) {
+          continue;
+        }
+        const int line = line_of(source.code, name_pos);
+        if (source.allows(line, "precondition")) continue;
+        findings.push_back(
+            {source.path, line, "precondition",
+             "`" + name + "` is public API (declared in " + header_rel +
+                 ") but its definition carries no SGNN_CHECK "
+                 "precondition"});
+      }
+    }
+    if (!defined) {
+      findings.push_back(
+          {header_rel, decl_line, "precondition",
+           "`" + name + "` is declared here but no definition was found "
+           "under " + src_dir.generic_string() +
+               " — rename drift breaks the precondition audit"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root) {
+  std::vector<Finding> findings;
+  for (const auto* top : {"src", "include", "tests"}) {
+    for (const auto& path : sources_under(root / top)) {
+      const SourceFile file =
+          parse_source(display_path(root, path), read_file(path));
+      auto file_findings = lint_file(file);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+  for (const auto& header : precondition_headers()) {
+    auto header_findings = check_preconditions(root, header);
+    findings.insert(findings.end(), header_findings.begin(),
+                    header_findings.end());
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace sgnn::lint

@@ -1,0 +1,86 @@
+#pragma once
+
+// sgnn_lint — project-specific static analysis for the sgnn tree.
+//
+// The linter is token-based (comment- and string-literal-aware, but not a
+// full C++ parser) and enforces the repo invariants that previously lived
+// only in review comments:
+//
+//   R1  banned constructs: naked new/delete, std::thread outside the
+//       comm/thread-pool layer, rand(), iteration over std::unordered_*
+//       containers (order feeds output), wall-clock reads inside kernels
+//   R2  every public function declared in the configured headers must
+//       carry an SGNN_CHECK / SGNN_DCHECK precondition in its definition
+//   R3  reinterpret_cast is banned unless tagged
+//       `// sgnn-lint: allow(aliasing): <reason>`
+//   R4  include hygiene: `#pragma once` in every header; headers under
+//       include/ may only include "sgnn/..." project headers
+//   R5  TraceSpan discipline: no discarded TraceSpan temporaries, and
+//       forward/backward/optimizer spans in trainers stay paired with
+//       their ScopedTrainPhase
+//
+// Findings on a line are silenced by `// sgnn-lint: allow(<rule>): reason`
+// on the same line or on an otherwise-empty preceding line. A suppression
+// without a reason is itself a finding (rule `suppression`), so the tree
+// can never accumulate unexplained escapes.
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sgnn::lint {
+
+struct Finding {
+  std::string file;     ///< display path (tree-relative, forward slashes)
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< rule id, e.g. "aliasing"
+  std::string message;
+};
+
+/// One `// sgnn-lint: allow(<rule>)` tag.
+struct Suppression {
+  std::string rule;
+  bool has_reason = false;
+  int origin = 0;  ///< line the tag was written on (copies keep the origin)
+};
+
+/// A source file prepared for linting: the raw text plus a "code view" in
+/// which comments and string/char-literal contents are blanked (structure
+/// and line numbers preserved), and the per-line suppression tags.
+struct SourceFile {
+  std::string path;  ///< tree-relative path with forward slashes
+  std::string raw;
+  std::string code;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+  /// line (1-based) -> tags active on that line. A tag on a line whose code
+  /// is empty also registers on the following line.
+  std::map<int, std::vector<Suppression>> suppressions;
+
+  bool allows(int line, const std::string& rule) const;
+  /// True when any line of the file carries the tag (file-scope rules).
+  bool allows_anywhere(const std::string& rule) const;
+};
+
+/// Builds the code view and suppression table for `content`.
+SourceFile parse_source(std::string path, std::string content);
+
+/// Per-file rules (R1, R3, R4, R5 and suppression hygiene). Which rules
+/// apply depends on `file.path` — see docs/static-analysis.md.
+std::vector<Finding> lint_file(const SourceFile& file);
+
+/// R2: every function declared in `header_rel` (a path like
+/// "include/sgnn/tensor/ops.hpp") has an SGNN_CHECK/SGNN_DCHECK in each of
+/// its definitions under the mirrored source directory ("src/tensor/").
+std::vector<Finding> check_preconditions(const std::filesystem::path& root,
+                                         const std::string& header_rel);
+
+/// Headers subject to R2.
+const std::vector<std::string>& precondition_headers();
+
+/// Walks src/, include/ and tests/ under `root` (skipping lint_fixtures
+/// directories), applies every rule, and returns the sorted findings.
+std::vector<Finding> lint_tree(const std::filesystem::path& root);
+
+}  // namespace sgnn::lint

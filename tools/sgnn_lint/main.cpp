@@ -1,0 +1,41 @@
+// sgnn_lint CLI: `sgnn_lint [--root <dir>]`.
+//
+// Walks src/, include/ and tests/ under the root, prints one line per
+// finding (`path:line: [rule] message`), and exits non-zero when the tree
+// is not clean. Run by the `lint_tree` ctest and the CI lint job.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: sgnn_lint [--root <dir>]\n"
+                   "Project-specific static analysis; rules are documented "
+                   "in docs/static-analysis.md.\n";
+      return 0;
+    } else {
+      std::cerr << "sgnn_lint: unknown argument '" << argv[i] << "'\n";
+      return 2;
+    }
+  }
+
+  const auto findings = sgnn::lint::lint_tree(root);
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "sgnn_lint: clean\n";
+    return 0;
+  }
+  std::cout << "sgnn_lint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+  return 1;
+}
