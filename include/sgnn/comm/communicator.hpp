@@ -46,20 +46,28 @@ class Communicator {
   /// rank order.
   std::vector<real> all_gather(int rank, const std::vector<real>& shard);
 
-  /// Payload bytes moved through each collective so far (counted once per
+  /// Payload bytes and call counts per collective so far (counted once per
   /// call, not per rank). InterconnectModel turns payloads into ring-
-  /// algorithm wall-clock time.
+  /// algorithm bandwidth time and call counts into launch-latency time.
   struct Traffic {
     std::uint64_t all_reduce_bytes = 0;
     std::uint64_t reduce_scatter_bytes = 0;
     std::uint64_t all_gather_bytes = 0;
     std::uint64_t broadcast_bytes = 0;
-    std::uint64_t collective_calls = 0;
+    std::uint64_t all_reduce_calls = 0;
+    std::uint64_t reduce_scatter_calls = 0;
+    std::uint64_t all_gather_calls = 0;
+    std::uint64_t broadcast_calls = 0;
+    std::uint64_t collective_calls = 0;  ///< total across all four kinds
 
     std::uint64_t total_bytes() const {
       return all_reduce_bytes + reduce_scatter_bytes + all_gather_bytes +
              broadcast_bytes;
     }
+
+    /// Elementwise difference (this minus `earlier`); the per-step traffic
+    /// attribution the trainers feed to InterconnectModel::seconds.
+    Traffic since(const Traffic& earlier) const;
   };
   Traffic traffic() const;
   void reset_traffic();
@@ -86,6 +94,10 @@ class Communicator {
   std::atomic<std::uint64_t> reduce_scatter_bytes_{0};
   std::atomic<std::uint64_t> all_gather_bytes_{0};
   std::atomic<std::uint64_t> broadcast_bytes_{0};
+  std::atomic<std::uint64_t> all_reduce_calls_{0};
+  std::atomic<std::uint64_t> reduce_scatter_calls_{0};
+  std::atomic<std::uint64_t> all_gather_calls_{0};
+  std::atomic<std::uint64_t> broadcast_calls_{0};
   std::atomic<std::uint64_t> collective_calls_{0};
 };
 
@@ -93,16 +105,36 @@ class Communicator {
 /// the paper's nodes pair four A100s over NVLink-3). Used to attribute a
 /// wall-clock cost to collective traffic, since in-process exchange is
 /// otherwise free.
+///
+/// The bandwidth term of each collective is PURE (a linear function of the
+/// payload bytes, no latency folded in), and the launch latency is charged
+/// separately per call via the *_latency_seconds accessors. That split
+/// keeps the model additive: the time of an aggregate Traffic equals the
+/// sum over any partition of it into per-step deltas — see seconds().
 struct InterconnectModel {
   double link_bandwidth_bytes_per_s = 100.0e9;  ///< per direction, per pair
   double latency_seconds = 3.0e-6;              ///< per collective step
 
   /// Ring all-reduce: 2(R-1) steps, each moving n/R bytes per rank.
+  /// Bandwidth term only; additive over payload bytes.
   double all_reduce_seconds(std::uint64_t bytes, int ranks) const;
   /// Ring reduce-scatter / all-gather: (R-1) steps of n/R bytes.
   double reduce_scatter_seconds(std::uint64_t bytes, int ranks) const;
   double all_gather_seconds(std::uint64_t bytes, int ranks) const;
   double broadcast_seconds(std::uint64_t bytes, int ranks) const;
+
+  /// Launch latency of ONE call of each collective (steps x per-step
+  /// latency). Multiply by the call count for the latency of many calls.
+  double all_reduce_latency_seconds(int ranks) const;
+  double reduce_scatter_latency_seconds(int ranks) const;
+  double all_gather_latency_seconds(int ranks) const;
+  double broadcast_latency_seconds(int ranks) const;
+
+  /// Total modeled fabric time for a traffic record (aggregate or delta):
+  /// per-kind bandwidth terms plus per-call latency from the call counts.
+  /// Both trainers use this for per-step and aggregate accounting, so the
+  /// two views stay consistent by construction.
+  double seconds(const Communicator::Traffic& traffic, int ranks) const;
 };
 
 }  // namespace sgnn

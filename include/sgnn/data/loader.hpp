@@ -30,6 +30,19 @@ class DataLoader {
   /// Builds and returns the next batch.
   GraphBatch next();
 
+  /// Mid-epoch iteration state, for training-state checkpoints: the RNG,
+  /// the current epoch's shuffled order, and the position within it.
+  /// Restoring it resumes batch delivery bit-identically.
+  struct State {
+    Rng::State rng;
+    std::vector<std::uint64_t> order;
+    std::uint64_t cursor = 0;
+  };
+  State state() const;
+  /// Restores a captured state; the loader must wrap the same number of
+  /// graphs the state was captured over.
+  void restore_state(const State& state);
+
  private:
   std::vector<const MolecularGraph*> graphs_;
   std::vector<std::size_t> order_;

@@ -10,8 +10,9 @@ namespace sgnn {
 /// Model checkpointing: persists a ModelConfig plus every parameter tensor
 /// to a single CRC-guarded binary file ("SGMD" container, a sibling of the
 /// bp graph format), and restores it. Training-state checkpointing of the
-/// optimizer is deliberately separate (TrainerCheckpoint below) so a saved
-/// model can be shipped for inference without its Adam moments.
+/// optimizer is deliberately separate (the sgnn::ckpt snapshots, which embed
+/// this payload as their "model" section) so a saved model can be shipped
+/// for inference without its Adam moments.
 ///
 /// File layout:
 ///   "SGMD" | u32 version | config fields | u64 param_count |
@@ -28,5 +29,13 @@ ModelConfig peek_model_config(const std::string& path);
 
 /// Restores weights into an existing model whose config must match.
 void load_parameters_into(EGNNModel& model, const std::string& path);
+
+/// Raw SGMD payload bytes (config + parameters, no container framing).
+/// Embedded by sgnn::ckpt training snapshots as their "model" section.
+std::string model_payload_bytes(const EGNNModel& model);
+
+/// Restores parameters from payload bytes produced by model_payload_bytes;
+/// throws Error on architecture mismatch or truncation.
+void load_model_payload(EGNNModel& model, const std::string& payload);
 
 }  // namespace sgnn

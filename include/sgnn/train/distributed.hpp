@@ -1,14 +1,17 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "sgnn/ckpt/checkpoint.hpp"
 #include "sgnn/comm/communicator.hpp"
 #include "sgnn/nn/egnn.hpp"
 #include "sgnn/store/ddstore.hpp"
 #include "sgnn/train/loss.hpp"
 #include "sgnn/train/optim.hpp"
+#include "sgnn/train/schedule.hpp"
 
 namespace sgnn {
 
@@ -34,6 +37,16 @@ struct DistTrainOptions {
   Adam::Options adam;
   LossWeights loss_weights;
   std::uint64_t sampler_seed = 17;
+  /// Step-based LR schedule; overrides adam.learning_rate when set (parity
+  /// with TrainOptions::schedule — both trainers honor the same schedules).
+  std::optional<LrSchedule> schedule;
+  /// Joint L2 clip applied to the rank-AVERAGED gradient; 0 disables.
+  /// Clipping after averaging keeps replicas bit-identical (per-replica
+  /// clipping before the all-reduce would break the sync invariant).
+  double max_grad_norm = 0.0;
+  /// Crash-safe training-state snapshots, written by rank 0 between two
+  /// barriers (see docs/fault-tolerance.md).
+  ckpt::CheckpointOptions checkpoint;
   /// Per-step telemetry receiver (not owned); every rank thread emits one
   /// StepTelemetry per step, so the sink must be thread-safe. All steps also
   /// feed the global obs::MetricsRegistry regardless of this field.
@@ -75,6 +88,10 @@ class DistributedTrainer {
                      const DistTrainOptions& options);
 
   /// Trains on the graphs in `store`; returns the cost/learning report.
+  /// When options.checkpoint.resume_from names a readable snapshot,
+  /// training resumes from it bit-identically (same parameters as an
+  /// uninterrupted run). A configured crash_after_step makes every rank
+  /// throw ckpt::SimulatedCrash once that step completes.
   DistTrainReport train(const DDStore& store);
 
   /// Read-only access to replica 0 (e.g. for evaluation after training).

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sgnn/tensor/tensor.hpp"
+#include "sgnn/util/error.hpp"
 
 namespace sgnn {
 
@@ -66,6 +67,18 @@ class Adam : public Optimizer {
   static void update_flat(real* param, const real* grad, real* m, real* v,
                           std::size_t count, std::int64_t timestep,
                           const Options& options);
+
+  /// Optimizer-state access for training checkpoints (sgnn::ckpt): the
+  /// bias-correction step count and the two moment vectors, shaped like the
+  /// parameters. Restoring all three (plus the learning rate) resumes the
+  /// update sequence bit-identically.
+  std::int64_t timestep() const { return timestep_; }
+  void set_timestep(std::int64_t timestep) {
+    SGNN_CHECK(timestep >= 0, "Adam timestep must be non-negative");
+    timestep_ = timestep;
+  }
+  std::vector<Tensor>& moment1() { return m_; }
+  std::vector<Tensor>& moment2() { return v_; }
 
  private:
   Options options_;

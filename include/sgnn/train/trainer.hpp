@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "sgnn/ckpt/checkpoint.hpp"
 #include "sgnn/data/loader.hpp"
 #include "sgnn/nn/egnn.hpp"
 #include "sgnn/train/baseline.hpp"
@@ -32,6 +33,8 @@ struct TrainOptions {
   std::optional<LrSchedule> schedule;
   /// Joint L2 gradient-norm clip; 0 disables clipping.
   double max_grad_norm = 0.0;
+  /// Crash-safe training-state snapshots (see docs/fault-tolerance.md).
+  ckpt::CheckpointOptions checkpoint;
 };
 
 /// Single-process trainer: the building block the scaling sweeps call, and
@@ -49,7 +52,10 @@ class Trainer {
   /// (forward/backward/optimizer) for the memory profiler.
   EpochResult train_epoch(DataLoader& loader);
 
-  /// Full run: `epochs` passes with LR decay.
+  /// Full run: `epochs` passes with LR decay. When
+  /// options.checkpoint.resume_from names a readable snapshot, training
+  /// resumes from it BIT-IDENTICALLY: the parameters after `fit` are
+  /// byte-for-byte equal to an uninterrupted run of the same options.
   std::vector<EpochResult> fit(DataLoader& loader);
 
   /// Test-set metrics at the current parameters.
@@ -71,6 +77,15 @@ class Trainer {
   void set_telemetry(obs::TelemetrySink* sink) { telemetry_ = sink; }
 
  private:
+  /// Assembles the full training-state snapshot payload (model, Adam
+  /// moments + timestep + LR, loader position, step/epoch counters).
+  std::string build_snapshot(const DataLoader& loader);
+  /// Writes a snapshot when the every_steps cadence is due.
+  void maybe_checkpoint(const DataLoader& loader);
+  /// Restores from options.checkpoint.resume_from when set; returns true
+  /// when a snapshot was applied (the mid-epoch loader state included).
+  bool try_resume(DataLoader& loader);
+
   EGNNModel& model_;
   TrainOptions options_;
   Adam optimizer_;
@@ -79,6 +94,10 @@ class Trainer {
   std::int64_t global_step_ = 0;
   std::int64_t epoch_index_ = 0;
   obs::TelemetrySink* telemetry_ = nullptr;
+  std::optional<ckpt::CheckpointManager> ckpt_manager_;
+  /// Set by try_resume: the first train_epoch continues the restored
+  /// mid-epoch loader state instead of reshuffling.
+  bool skip_begin_epoch_ = false;
 };
 
 }  // namespace sgnn

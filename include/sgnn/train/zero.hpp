@@ -28,11 +28,24 @@ class DDPAdam {
   void step(int rank);
   void zero_grad();
   void set_learning_rate(double lr) { options_.learning_rate = lr; }
+  double learning_rate() const { return options_.learning_rate; }
+
+  /// Joint L2 clip applied to the rank-AVERAGED gradient (0 disables).
+  /// Clipping after averaging keeps every replica's update bit-identical —
+  /// the invariant per-replica clipping would break.
+  void set_max_grad_norm(double max_norm) { max_grad_norm_ = max_norm; }
+
+  /// Optimizer-state access for training checkpoints (sgnn::ckpt).
+  std::int64_t timestep() const { return timestep_; }
+  void set_timestep(std::int64_t timestep) { timestep_ = timestep; }
+  Tensor& moment1() { return m_; }
+  Tensor& moment2() { return v_; }
 
  private:
   Communicator& comm_;
   std::vector<Tensor> parameters_;
   Adam::Options options_;
+  double max_grad_norm_ = 0.0;
   std::int64_t timestep_ = 0;
   Tensor m_;  ///< (N) full first moment, kOptimizerState
   Tensor v_;  ///< (N) full second moment, kOptimizerState
@@ -60,16 +73,31 @@ class ZeroAdam {
   void step(int rank);
   void zero_grad();
   void set_learning_rate(double lr) { options_.learning_rate = lr; }
+  double learning_rate() const { return options_.learning_rate; }
+
+  /// Joint L2 clip applied to the rank-AVERAGED gradient (0 disables).
+  /// The global norm is assembled from per-shard partial sums via a scalar
+  /// all-reduce, so every rank scales by the identical factor and replicas
+  /// stay bit-identical. Costs one extra (tiny) collective per step.
+  void set_max_grad_norm(double max_norm) { max_grad_norm_ = max_norm; }
 
   std::size_t shard_elements() const {
     return static_cast<std::size_t>(m_.numel());
   }
   int stage() const { return stage_; }
 
+  /// Optimizer-state access for training checkpoints (sgnn::ckpt); each
+  /// rank saves/restores only its own moment shard.
+  std::int64_t timestep() const { return timestep_; }
+  void set_timestep(std::int64_t timestep) { timestep_ = timestep; }
+  Tensor& moment1() { return m_; }
+  Tensor& moment2() { return v_; }
+
  private:
   Communicator& comm_;
   std::vector<Tensor> parameters_;
   Adam::Options options_;
+  double max_grad_norm_ = 0.0;
   int stage_ = 1;
   std::int64_t timestep_ = 0;
   std::size_t total_elements_ = 0;

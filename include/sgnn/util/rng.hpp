@@ -31,6 +31,29 @@ class Rng {
   /// or layer its own generator without coupling their sequences.
   Rng split() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ULL); }
 
+  /// Complete generator state, for training-state checkpoints: restoring a
+  /// saved State resumes the exact sequence (including the cached Box-Muller
+  /// value). Trivially copyable so snapshots can store it byte-for-byte.
+  struct State {
+    std::uint64_t s[4] = {};
+    double cached = 0.0;
+    std::uint8_t has_cached = 0;
+  };
+
+  State state() const {
+    State snapshot;
+    for (int i = 0; i < 4; ++i) snapshot.s[i] = state_[i];
+    snapshot.cached = cached_;
+    snapshot.has_cached = has_cached_ ? 1 : 0;
+    return snapshot;
+  }
+
+  void set_state(const State& snapshot) {
+    for (int i = 0; i < 4; ++i) state_[i] = snapshot.s[i];
+    cached_ = snapshot.cached;
+    has_cached_ = snapshot.has_cached != 0;
+  }
+
   std::uint64_t next_u64() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;

@@ -63,6 +63,7 @@ void Communicator::all_reduce_sum(int rank, std::vector<real>& data) {
   if (rank == 0) {
     const std::uint64_t bytes = data.size() * sizeof(real);
     all_reduce_bytes_.fetch_add(bytes);
+    all_reduce_calls_.fetch_add(1);
     collective_calls_.fetch_add(1);
     obs::MetricsRegistry::instance()
         .counter("comm.all_reduce_bytes")
@@ -72,6 +73,7 @@ void Communicator::all_reduce_sum(int rank, std::vector<real>& data) {
 }
 
 void Communicator::broadcast(int rank, std::vector<real>& data, int root) {
+  SGNN_CHECK(rank >= 0 && rank < num_ranks_, "invalid rank " << rank);
   SGNN_CHECK(root >= 0 && root < num_ranks_, "invalid broadcast root");
   obs::TraceSpan span("broadcast", "collective");
   if (span.active()) {
@@ -93,6 +95,7 @@ void Communicator::broadcast(int rank, std::vector<real>& data, int root) {
   if (rank == 0) {
     const std::uint64_t bytes = data.size() * sizeof(real);
     broadcast_bytes_.fetch_add(bytes);
+    broadcast_calls_.fetch_add(1);
     collective_calls_.fetch_add(1);
     obs::MetricsRegistry::instance()
         .counter("comm.broadcast_bytes")
@@ -103,6 +106,7 @@ void Communicator::broadcast(int rank, std::vector<real>& data, int root) {
 
 std::vector<real> Communicator::reduce_scatter_sum(
     int rank, const std::vector<real>& input) {
+  SGNN_CHECK(rank >= 0 && rank < num_ranks_, "invalid rank " << rank);
   obs::TraceSpan span("reduce_scatter", "collective");
   if (span.active()) {
     span.arg("bytes",
@@ -124,6 +128,7 @@ std::vector<real> Communicator::reduce_scatter_sum(
   if (rank == 0) {
     const std::uint64_t bytes = input.size() * sizeof(real);
     reduce_scatter_bytes_.fetch_add(bytes);
+    reduce_scatter_calls_.fetch_add(1);
     collective_calls_.fetch_add(1);
     obs::MetricsRegistry::instance()
         .counter("comm.reduce_scatter_bytes")
@@ -135,6 +140,7 @@ std::vector<real> Communicator::reduce_scatter_sum(
 
 std::vector<real> Communicator::all_gather(int rank,
                                            const std::vector<real>& shard) {
+  SGNN_CHECK(rank >= 0 && rank < num_ranks_, "invalid rank " << rank);
   obs::TraceSpan span("all_gather", "collective");
   if (span.active()) {
     span.arg("bytes",
@@ -154,6 +160,7 @@ std::vector<real> Communicator::all_gather(int rank,
   if (rank == 0) {
     const std::uint64_t bytes = gathered.size() * sizeof(real);
     all_gather_bytes_.fetch_add(bytes);
+    all_gather_calls_.fetch_add(1);
     collective_calls_.fetch_add(1);
     obs::MetricsRegistry::instance()
         .counter("comm.all_gather_bytes")
@@ -169,6 +176,10 @@ Communicator::Traffic Communicator::traffic() const {
   t.reduce_scatter_bytes = reduce_scatter_bytes_.load();
   t.all_gather_bytes = all_gather_bytes_.load();
   t.broadcast_bytes = broadcast_bytes_.load();
+  t.all_reduce_calls = all_reduce_calls_.load();
+  t.reduce_scatter_calls = reduce_scatter_calls_.load();
+  t.all_gather_calls = all_gather_calls_.load();
+  t.broadcast_calls = broadcast_calls_.load();
   t.collective_calls = collective_calls_.load();
   return t;
 }
@@ -178,7 +189,28 @@ void Communicator::reset_traffic() {
   reduce_scatter_bytes_ = 0;
   all_gather_bytes_ = 0;
   broadcast_bytes_ = 0;
+  all_reduce_calls_ = 0;
+  reduce_scatter_calls_ = 0;
+  all_gather_calls_ = 0;
+  broadcast_calls_ = 0;
   collective_calls_ = 0;
+}
+
+Communicator::Traffic Communicator::Traffic::since(
+    const Traffic& earlier) const {
+  Traffic delta;
+  delta.all_reduce_bytes = all_reduce_bytes - earlier.all_reduce_bytes;
+  delta.reduce_scatter_bytes =
+      reduce_scatter_bytes - earlier.reduce_scatter_bytes;
+  delta.all_gather_bytes = all_gather_bytes - earlier.all_gather_bytes;
+  delta.broadcast_bytes = broadcast_bytes - earlier.broadcast_bytes;
+  delta.all_reduce_calls = all_reduce_calls - earlier.all_reduce_calls;
+  delta.reduce_scatter_calls =
+      reduce_scatter_calls - earlier.reduce_scatter_calls;
+  delta.all_gather_calls = all_gather_calls - earlier.all_gather_calls;
+  delta.broadcast_calls = broadcast_calls - earlier.broadcast_calls;
+  delta.collective_calls = collective_calls - earlier.collective_calls;
+  return delta;
 }
 
 double InterconnectModel::all_reduce_seconds(std::uint64_t bytes,
@@ -186,8 +218,7 @@ double InterconnectModel::all_reduce_seconds(std::uint64_t bytes,
   if (ranks <= 1) return 0.0;
   const double steps = 2.0 * (ranks - 1);
   return steps * (static_cast<double>(bytes) / ranks /
-                  link_bandwidth_bytes_per_s) +
-         steps * latency_seconds;
+                  link_bandwidth_bytes_per_s);
 }
 
 double InterconnectModel::reduce_scatter_seconds(std::uint64_t bytes,
@@ -195,8 +226,7 @@ double InterconnectModel::reduce_scatter_seconds(std::uint64_t bytes,
   if (ranks <= 1) return 0.0;
   const double steps = static_cast<double>(ranks - 1);
   return steps * (static_cast<double>(bytes) / ranks /
-                  link_bandwidth_bytes_per_s) +
-         steps * latency_seconds;
+                  link_bandwidth_bytes_per_s);
 }
 
 double InterconnectModel::all_gather_seconds(std::uint64_t bytes,
@@ -207,8 +237,42 @@ double InterconnectModel::all_gather_seconds(std::uint64_t bytes,
 double InterconnectModel::broadcast_seconds(std::uint64_t bytes,
                                             int ranks) const {
   if (ranks <= 1) return 0.0;
-  return static_cast<double>(bytes) / link_bandwidth_bytes_per_s +
-         static_cast<double>(ranks - 1) * latency_seconds;
+  return static_cast<double>(bytes) / link_bandwidth_bytes_per_s;
+}
+
+double InterconnectModel::all_reduce_latency_seconds(int ranks) const {
+  if (ranks <= 1) return 0.0;
+  return 2.0 * (ranks - 1) * latency_seconds;
+}
+
+double InterconnectModel::reduce_scatter_latency_seconds(int ranks) const {
+  if (ranks <= 1) return 0.0;
+  return static_cast<double>(ranks - 1) * latency_seconds;
+}
+
+double InterconnectModel::all_gather_latency_seconds(int ranks) const {
+  return reduce_scatter_latency_seconds(ranks);
+}
+
+double InterconnectModel::broadcast_latency_seconds(int ranks) const {
+  if (ranks <= 1) return 0.0;
+  return static_cast<double>(ranks - 1) * latency_seconds;
+}
+
+double InterconnectModel::seconds(const Communicator::Traffic& traffic,
+                                  int ranks) const {
+  return all_reduce_seconds(traffic.all_reduce_bytes, ranks) +
+         reduce_scatter_seconds(traffic.reduce_scatter_bytes, ranks) +
+         all_gather_seconds(traffic.all_gather_bytes, ranks) +
+         broadcast_seconds(traffic.broadcast_bytes, ranks) +
+         static_cast<double>(traffic.all_reduce_calls) *
+             all_reduce_latency_seconds(ranks) +
+         static_cast<double>(traffic.reduce_scatter_calls) *
+             reduce_scatter_latency_seconds(ranks) +
+         static_cast<double>(traffic.all_gather_calls) *
+             all_gather_latency_seconds(ranks) +
+         static_cast<double>(traffic.broadcast_calls) *
+             broadcast_latency_seconds(ranks);
 }
 
 }  // namespace sgnn

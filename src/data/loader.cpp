@@ -42,6 +42,29 @@ void DataLoader::begin_epoch() {
 
 bool DataLoader::has_next() const { return cursor_ < order_.size(); }
 
+DataLoader::State DataLoader::state() const {
+  State state;
+  state.rng = rng_.state();
+  state.order.assign(order_.begin(), order_.end());
+  state.cursor = cursor_;
+  return state;
+}
+
+void DataLoader::restore_state(const State& state) {
+  SGNN_CHECK(state.order.size() == graphs_.size(),
+             "loader state covers " << state.order.size() << " graphs, "
+                                    << "loader holds " << graphs_.size());
+  SGNN_CHECK(state.cursor <= state.order.size(),
+             "loader state cursor out of range");
+  for (const auto index : state.order) {
+    SGNN_CHECK(index < graphs_.size(), "loader state order index "
+                                           << index << " out of range");
+  }
+  rng_.set_state(state.rng);
+  order_.assign(state.order.begin(), state.order.end());
+  cursor_ = state.cursor;
+}
+
 GraphBatch DataLoader::next() {
   SGNN_CHECK(has_next(), "next() called on exhausted epoch");
   obs::TraceSpan span("next_batch", "data");

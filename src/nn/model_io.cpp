@@ -121,9 +121,18 @@ void restore_parameters(std::istream& in, EGNNModel& model) {
   }
 }
 
+// Header: magic + u32 version + u64 payload_size. Trailer: u32 crc + magic.
+constexpr std::uint64_t kHeaderBytes = 4 + 4 + 8;
+constexpr std::uint64_t kTrailerBytes = 4 + 4;
+
 std::string read_verified_payload(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   SGNN_CHECK(in.is_open(), "cannot open model file '" << path << "'");
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  SGNN_CHECK(file_size >= kHeaderBytes + kTrailerBytes,
+             "'" << path << "' too small to be a model file");
   char magic[4];
   in.read(magic, 4);
   SGNN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
@@ -133,6 +142,12 @@ std::string read_verified_payload(const std::string& path) {
                                       << "' has unsupported model version "
                                       << version);
   const auto payload_size = read_raw<std::uint64_t>(in);
+  // Bound the allocation by what the file can actually hold: a flipped byte
+  // in the size field must yield a clean Error, not a multi-GB allocation.
+  SGNN_CHECK(payload_size <= file_size - kHeaderBytes - kTrailerBytes,
+             "'" << path << "' declares " << payload_size
+                 << " payload bytes but holds only "
+                 << file_size - kHeaderBytes - kTrailerBytes);
   std::string payload(payload_size, '\0');
   in.read(payload.data(), static_cast<std::streamsize>(payload_size));
   SGNN_CHECK(in.good(), "'" << path << "' truncated payload");
@@ -171,7 +186,14 @@ std::unique_ptr<EGNNModel> load_model(const std::string& path) {
 }
 
 void load_parameters_into(EGNNModel& model, const std::string& path) {
-  const std::string payload = read_verified_payload(path);
+  load_model_payload(model, read_verified_payload(path));
+}
+
+std::string model_payload_bytes(const EGNNModel& model) {
+  return serialize_payload(model);
+}
+
+void load_model_payload(EGNNModel& model, const std::string& payload) {
   std::istringstream in(payload);
   const ModelConfig config = read_config(in);
   SGNN_CHECK(config.hidden_dim == model.config().hidden_dim &&
@@ -181,7 +203,7 @@ void load_parameters_into(EGNNModel& model, const std::string& path) {
                  config.kernel == model.config().kernel &&
                  config.force_head == model.config().force_head &&
                  config.predict_dipole == model.config().predict_dipole,
-             "model file architecture does not match the target model");
+             "model payload architecture does not match the target model");
   restore_parameters(in, model);
 }
 

@@ -2,20 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <numeric>
+#include <optional>
 #include <thread>
 
 #include "sgnn/graph/batch.hpp"
+#include "sgnn/nn/model_io.hpp"
 #include "sgnn/obs/telemetry.hpp"
 #include "sgnn/obs/trace.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/train/schedule.hpp"
 #include "sgnn/train/zero.hpp"
 #include "sgnn/util/error.hpp"
+#include "sgnn/util/logging.hpp"
 #include "sgnn/util/rng.hpp"
 #include "sgnn/util/timer.hpp"
 
 namespace sgnn {
+
+namespace {
+
+/// Restores a flat optimizer-state section into a moment tensor.
+void restore_tensor(const std::vector<real>& flat, Tensor& dst) {
+  SGNN_CHECK(static_cast<std::int64_t>(flat.size()) == dst.numel(),
+             "optimizer-state section holds " << flat.size()
+                                              << " values, tensor expects "
+                                              << dst.numel());
+  std::copy(flat.begin(), flat.end(), dst.data());
+}
+
+}  // namespace
 
 const char* dist_strategy_name(DistStrategy strategy) {
   switch (strategy) {
@@ -76,9 +93,11 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
     if (options_.strategy == DistStrategy::kDDP) {
       ddp.push_back(
           std::make_unique<DDPAdam>(comm, std::move(params), options_.adam));
+      ddp.back()->set_max_grad_norm(options_.max_grad_norm);
     } else {
       zero.push_back(
           std::make_unique<ZeroAdam>(comm, std::move(params), options_.adam));
+      zero.back()->set_max_grad_norm(options_.max_grad_norm);
     }
   }
 
@@ -89,6 +108,72 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
       static_cast<std::int64_t>(R) * options_.per_rank_batch_size;
   const std::int64_t steps_per_epoch = store.size() / global_batch;
   SGNN_CHECK(steps_per_epoch > 0, "dataset smaller than one global batch");
+
+  const auto& copt = options_.checkpoint;
+  SGNN_CHECK(copt.every_steps <= 0 || !copt.directory.empty(),
+             "checkpoint.every_steps needs checkpoint.directory");
+  std::optional<ckpt::CheckpointManager> manager;
+  if (copt.every_steps > 0) manager.emplace(copt.directory, copt.keep_last);
+
+  // Resume (single-threaded, before the rank threads exist). The snapshot
+  // stores the position of the NEXT step to run — (epoch, epoch_step) —
+  // plus the sampler state from which that epoch's permutation can be
+  // re-derived by re-shuffling.
+  std::int64_t start_epoch = 0;
+  std::int64_t start_step = 0;
+  std::int64_t start_counted = 0;
+  Rng initial_sampler(options_.sampler_seed);
+  if (!copt.resume_from.empty()) {
+    const auto loaded = ckpt::CheckpointManager::load_latest(copt.resume_from);
+    if (!loaded) {
+      SGNN_LOG_WARN << "no readable checkpoint under '" << copt.resume_from
+                    << "'; starting fresh";
+    } else {
+      const ckpt::SnapshotView view(loaded->payload);
+      SGNN_CHECK(view.bytes("meta.kind") == "dist",
+                 "snapshot '" << loaded->path
+                              << "' is not a distributed checkpoint");
+      SGNN_CHECK(view.i64("meta.ranks") == R,
+                 "checkpoint was written for " << view.i64("meta.ranks")
+                                              << " ranks, trainer has " << R);
+      SGNN_CHECK(view.i64("meta.strategy") ==
+                     static_cast<std::int64_t>(options_.strategy),
+                 "checkpoint strategy does not match trainer strategy");
+      load_model_payload(*replicas_.front(), view.bytes("model"));
+      for (int r = 1; r < R; ++r) {
+        replicas_[static_cast<std::size_t>(r)]->copy_parameters_from(
+            *replicas_.front());
+      }
+      const std::int64_t timestep = view.i64("optim.timestep");
+      const double lr = view.f64("optim.lr");
+      for (int r = 0; r < R; ++r) {
+        const auto rr = static_cast<std::size_t>(r);
+        if (options_.strategy == DistStrategy::kDDP) {
+          // Replicated Adam state: every rank restores the same moments.
+          restore_tensor(view.reals("optim.m"), ddp[rr]->moment1());
+          restore_tensor(view.reals("optim.v"), ddp[rr]->moment2());
+          ddp[rr]->set_timestep(timestep);
+          ddp[rr]->set_learning_rate(lr);
+        } else {
+          // Sharded Adam state: rank r restores only its own shard.
+          const std::string suffix = "." + std::to_string(r);
+          restore_tensor(view.reals("optim.m" + suffix), zero[rr]->moment1());
+          restore_tensor(view.reals("optim.v" + suffix), zero[rr]->moment2());
+          zero[rr]->set_timestep(timestep);
+          zero[rr]->set_learning_rate(lr);
+        }
+      }
+      initial_sampler.set_state(
+          ckpt::pod_from_bytes<Rng::State>(view.bytes("sampler.rng")));
+      start_epoch = view.i64("meta.epoch");
+      start_step = view.i64("meta.epoch_step");
+      start_counted = view.i64("meta.step");
+      SGNN_LOG_INFO << "resumed distributed run from " << loaded->path
+                    << " (step " << start_counted << ", epoch " << start_epoch
+                    << ", epoch step " << start_step << ")";
+    }
+  }
+  const Rng::State sampler_start = initial_sampler.state();
 
   std::vector<double> rank_loss(static_cast<std::size_t>(R), 0.0);
   std::vector<double> rank_seconds(static_cast<std::size_t>(R), 0.0);
@@ -102,12 +187,17 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
     EGNNModel::ForwardOptions forward_options;
     forward_options.activation_checkpointing =
         options_.activation_checkpointing;
-    Rng sampler(options_.sampler_seed);  // identical on every rank
+    Rng sampler(options_.sampler_seed);
+    sampler.set_state(sampler_start);  // identical on every rank
     const WallTimer timer;
     double loss_sum = 0;
-    std::int64_t counted_steps = 0;
+    std::int64_t counted_steps = start_counted;
+    std::int64_t local_steps = 0;
 
-    for (std::int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (std::int64_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
+      // Pre-shuffle sampler state: a mid-epoch checkpoint stores it so a
+      // resume can re-derive this epoch's permutation by re-shuffling.
+      const Rng::State epoch_start_state = sampler.state();
       // Shared shuffled order; rank r takes the r-th stride (the standard
       // distributed sampler). All ranks draw the same permutation because
       // the sampler RNG is seeded identically.
@@ -118,7 +208,8 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
         std::swap(order[i - 1], order[sampler.uniform_index(i)]);
       }
 
-      for (std::int64_t step = 0; step < steps_per_epoch; ++step) {
+      const std::int64_t first_step = epoch == start_epoch ? start_step : 0;
+      for (std::int64_t step = first_step; step < steps_per_epoch; ++step) {
         const WallTimer step_timer;
         std::vector<const MolecularGraph*> samples;
         {
@@ -166,6 +257,15 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
           if (options_.telemetry != nullptr) {
             grad_norm = grad_l2_norm(model.parameters());
           }
+          if (options_.schedule) {
+            // Pure function of the global step, so replicas agree for free.
+            const double lr = options_.schedule->at_step(counted_steps);
+            if (options_.strategy == DistStrategy::kDDP) {
+              ddp[ri]->set_learning_rate(lr);
+            } else {
+              zero[ri]->set_learning_rate(lr);
+            }
+          }
           if (options_.strategy == DistStrategy::kDDP) {
             ddp[ri]->step(rank);
           } else {
@@ -179,7 +279,11 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
         telemetry.rank = rank;
         telemetry.loss = step_loss;
         telemetry.grad_norm = grad_norm;
-        telemetry.learning_rate = options_.adam.learning_rate;
+        // The EFFECTIVE learning rate this step used (schedule- and
+        // resume-aware), not the base configuration value.
+        telemetry.learning_rate = options_.strategy == DistStrategy::kDDP
+                                      ? ddp[ri]->learning_rate()
+                                      : zero[ri]->learning_rate();
         telemetry.batch_graphs = batch.num_graphs;
         telemetry.batch_atoms = batch.num_nodes;
         telemetry.batch_edges = batch.num_edges;
@@ -193,22 +297,14 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
               telemetry.step_seconds;
         }
         if (rank == 0) {
-          const Communicator::Traffic traffic = comm.traffic();
-          telemetry.collective_bytes =
-              traffic.total_bytes() - traffic_before.total_bytes();
-          telemetry.comm_seconds_modeled =
-              interconnect_.all_reduce_seconds(
-                  traffic.all_reduce_bytes - traffic_before.all_reduce_bytes,
-                  R) +
-              interconnect_.reduce_scatter_seconds(
-                  traffic.reduce_scatter_bytes -
-                      traffic_before.reduce_scatter_bytes,
-                  R) +
-              interconnect_.all_gather_seconds(
-                  traffic.all_gather_bytes - traffic_before.all_gather_bytes,
-                  R) +
-              interconnect_.broadcast_seconds(
-                  traffic.broadcast_bytes - traffic_before.broadcast_bytes, R);
+          // One formula for per-step and aggregate accounting: the modeled
+          // time of the step's traffic delta. seconds() is additive over
+          // deltas, so these per-step values sum exactly to the aggregate
+          // comm_seconds in the final report (no double-counted latency).
+          const Communicator::Traffic delta =
+              comm.traffic().since(traffic_before);
+          telemetry.collective_bytes = delta.total_bytes();
+          telemetry.comm_seconds_modeled = interconnect_.seconds(delta, R);
         }
         telemetry.live_bytes = MemoryTracker::instance().live().total();
         telemetry.peak_bytes = MemoryTracker::instance().peak_total();
@@ -217,21 +313,94 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
           options_.telemetry->on_step(telemetry);
         }
         ++counted_steps;
+        ++local_steps;
+
+        if (manager && counted_steps % copt.every_steps == 0) {
+          // Rank 0 snapshots ALL ranks' state between two barriers: every
+          // other rank is parked in the second barrier while the writer
+          // reads the shared parameters and (for ZeRO) the other ranks'
+          // moment shards, so the cross-thread reads are race-free — the
+          // barrier's mutex/condvar provides the happens-before edge.
+          comm.barrier();
+          if (rank == 0) {
+            const bool epoch_done = step + 1 == steps_per_epoch;
+            ckpt::SnapshotBuilder builder;
+            builder.add_bytes("meta.kind", "dist");
+            builder.add_i64("meta.ranks", R);
+            builder.add_i64("meta.strategy",
+                            static_cast<std::int64_t>(options_.strategy));
+            builder.add_i64("meta.step", counted_steps);
+            builder.add_i64("meta.epoch", epoch_done ? epoch + 1 : epoch);
+            builder.add_i64("meta.epoch_step", epoch_done ? 0 : step + 1);
+            builder.add_bytes("model",
+                              model_payload_bytes(*replicas_.front()));
+            // The state the NEXT step's epoch starts shuffling from.
+            const Rng::State resume_rng =
+                epoch_done ? sampler.state() : epoch_start_state;
+            builder.add_bytes("sampler.rng", ckpt::pod_bytes(resume_rng));
+            if (options_.strategy == DistStrategy::kDDP) {
+              builder.add_i64("optim.timestep", ddp[ri]->timestep());
+              builder.add_f64("optim.lr", ddp[ri]->learning_rate());
+              const Tensor& m = ddp[ri]->moment1();
+              const Tensor& v = ddp[ri]->moment2();
+              builder.add_reals("optim.m", m.data(),
+                                static_cast<std::size_t>(m.numel()));
+              builder.add_reals("optim.v", v.data(),
+                                static_cast<std::size_t>(v.numel()));
+            } else {
+              builder.add_i64("optim.timestep", zero[ri]->timestep());
+              builder.add_f64("optim.lr", zero[ri]->learning_rate());
+              for (int r = 0; r < R; ++r) {
+                const auto rr = static_cast<std::size_t>(r);
+                const std::string suffix = "." + std::to_string(r);
+                const Tensor& m = zero[rr]->moment1();
+                const Tensor& v = zero[rr]->moment2();
+                builder.add_reals("optim.m" + suffix, m.data(),
+                                  static_cast<std::size_t>(m.numel()));
+                builder.add_reals("optim.v" + suffix, v.data(),
+                                  static_cast<std::size_t>(v.numel()));
+              }
+            }
+            manager->save(static_cast<std::uint64_t>(counted_steps),
+                          builder.payload());
+          }
+          comm.barrier();
+        }
+        // Fault injection: every rank reaches this point with the same
+        // counted_steps and throws together — no rank is left behind in a
+        // barrier, so the simulated crash cannot deadlock the others.
+        ckpt::maybe_crash(copt, counted_steps);
       }
     }
-    rank_loss[ri] = loss_sum / static_cast<double>(counted_steps);
+    rank_loss[ri] = local_steps > 0
+                        ? loss_sum / static_cast<double>(local_steps)
+                        : 0.0;
     rank_seconds[ri] = timer.seconds();
   };
 
+  std::vector<std::exception_ptr> worker_errors(static_cast<std::size_t>(R));
   // sgnn-lint: allow(thread): the multi-rank driver runs one OS thread per
   // simulated rank by design; worker parallelism inside each rank still
   // goes through the shared ThreadPool.
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(R));
   for (int r = 0; r < R; ++r) {
-    threads.emplace_back(worker, r);
+    threads.emplace_back([&worker, &worker_errors, r] {
+      // An exception escaping a std::thread terminates the process; park it
+      // and rethrow on the joining thread instead. The fault-injection
+      // crash is step-synchronized, so every rank throws together and none
+      // is left waiting in a collective.
+      try {
+        worker(r);
+      } catch (...) {
+        worker_errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
   }
   for (auto& t : threads) t.join();
+  for (const auto& error : worker_errors) {
+    if (error) std::rethrow_exception(error);
+  }
 
   SGNN_CHECK(replica_divergence() == 0.0,
              "replicas diverged — gradient synchronization is broken");
@@ -253,18 +422,13 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
   report.peak_optimizer =
       MemoryTracker::instance().peak_during(TrainPhase::kOptimizer);
 
-  // Interconnect time from the recorded payload volumes. The bandwidth term
-  // is exact for aggregated payloads; the per-step launch latency (a few
-  // microseconds per collective) is added separately.
-  const auto& traffic = report.collective_traffic;
-  report.comm_seconds =
-      interconnect_.all_reduce_seconds(traffic.all_reduce_bytes, R) +
-      interconnect_.reduce_scatter_seconds(traffic.reduce_scatter_bytes, R) +
-      interconnect_.all_gather_seconds(traffic.all_gather_bytes, R) +
-      interconnect_.broadcast_seconds(traffic.broadcast_bytes, R) +
-      (R > 1 ? static_cast<double>(traffic.collective_calls) *
-                   interconnect_.latency_seconds
-             : 0.0);
+  // Interconnect time from the aggregate traffic record: per-kind bandwidth
+  // terms plus per-call launch latency, through the SAME formula the
+  // per-step telemetry uses. The model is additive over traffic deltas, so
+  // this aggregate equals the sum of the per-step comm_seconds_modeled
+  // values (the old code charged latency both inside the bandwidth terms
+  // and again per call, double-counting it).
+  report.comm_seconds = interconnect_.seconds(report.collective_traffic, R);
   return report;
 }
 

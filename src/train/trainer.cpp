@@ -1,9 +1,12 @@
 #include "sgnn/train/trainer.hpp"
 
+#include "sgnn/nn/model_io.hpp"
 #include "sgnn/obs/telemetry.hpp"
 #include "sgnn/obs/trace.hpp"
 #include "sgnn/tensor/ops.hpp"
+#include "sgnn/train/zero.hpp"
 #include "sgnn/util/error.hpp"
+#include "sgnn/util/logging.hpp"
 #include "sgnn/util/timer.hpp"
 
 namespace sgnn {
@@ -12,6 +15,71 @@ Trainer::Trainer(EGNNModel& model, const TrainOptions& options)
     : model_(model), options_(options), optimizer_(model.parameters(),
                                                    options.adam) {
   SGNN_CHECK(options.epochs > 0, "epochs must be positive");
+  SGNN_CHECK(options.checkpoint.every_steps <= 0 ||
+                 !options.checkpoint.directory.empty(),
+             "checkpoint.every_steps needs checkpoint.directory");
+}
+
+std::string Trainer::build_snapshot(const DataLoader& loader) {
+  ckpt::SnapshotBuilder builder;
+  builder.add_bytes("meta.kind", "trainer");
+  builder.add_i64("meta.step", global_step_);
+  builder.add_i64("meta.epoch", epoch_index_);
+  builder.add_bytes("model", model_payload_bytes(model_));
+  builder.add_i64("optim.timestep", optimizer_.timestep());
+  builder.add_f64("optim.lr", optimizer_.learning_rate());
+  const std::vector<real> m = flatten_parameters(optimizer_.moment1());
+  const std::vector<real> v = flatten_parameters(optimizer_.moment2());
+  builder.add_reals("optim.m", m.data(), m.size());
+  builder.add_reals("optim.v", v.data(), v.size());
+  const DataLoader::State loader_state = loader.state();
+  builder.add_bytes("loader.rng", ckpt::pod_bytes(loader_state.rng));
+  builder.add_u64s("loader.order", loader_state.order);
+  builder.add_u64("loader.cursor", loader_state.cursor);
+  return builder.payload();
+}
+
+void Trainer::maybe_checkpoint(const DataLoader& loader) {
+  const auto& copt = options_.checkpoint;
+  if (copt.every_steps <= 0) return;
+  if (global_step_ % copt.every_steps != 0) return;
+  if (!ckpt_manager_) {
+    ckpt_manager_.emplace(copt.directory, copt.keep_last);
+  }
+  ckpt_manager_->save(static_cast<std::uint64_t>(global_step_),
+                      build_snapshot(loader));
+}
+
+bool Trainer::try_resume(DataLoader& loader) {
+  if (options_.checkpoint.resume_from.empty()) return false;
+  const auto loaded =
+      ckpt::CheckpointManager::load_latest(options_.checkpoint.resume_from);
+  if (!loaded) {
+    SGNN_LOG_WARN << "no readable checkpoint under '"
+                  << options_.checkpoint.resume_from << "'; starting fresh";
+    return false;
+  }
+  const ckpt::SnapshotView view(loaded->payload);
+  SGNN_CHECK(view.bytes("meta.kind") == "trainer",
+             "snapshot '" << loaded->path << "' is not a trainer checkpoint");
+  load_model_payload(model_, view.bytes("model"));
+  optimizer_.set_timestep(view.i64("optim.timestep"));
+  optimizer_.set_learning_rate(view.f64("optim.lr"));
+  std::vector<real> m = view.reals("optim.m");
+  std::vector<real> v = view.reals("optim.v");
+  unflatten_into_parameters(m, optimizer_.moment1());
+  unflatten_into_parameters(v, optimizer_.moment2());
+  DataLoader::State loader_state;
+  loader_state.rng = ckpt::pod_from_bytes<Rng::State>(view.bytes("loader.rng"));
+  loader_state.order = view.u64s("loader.order");
+  loader_state.cursor = view.u64("loader.cursor");
+  loader.restore_state(loader_state);
+  global_step_ = view.i64("meta.step");
+  epoch_index_ = view.i64("meta.epoch");
+  skip_begin_epoch_ = true;
+  SGNN_LOG_INFO << "resumed trainer from " << loaded->path << " (step "
+                << global_step_ << ", epoch " << epoch_index_ << ")";
+  return true;
 }
 
 Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
@@ -19,7 +87,13 @@ Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
   double loss_sum = 0;
   std::int64_t batches = 0;
 
-  loader.begin_epoch();
+  if (skip_begin_epoch_) {
+    // First epoch after a resume: the loader already sits at the restored
+    // mid-epoch position; reshuffling would diverge from the original run.
+    skip_begin_epoch_ = false;
+  } else {
+    loader.begin_epoch();
+  }
   EGNNModel::ForwardOptions forward_options;
   forward_options.activation_checkpointing =
       options_.activation_checkpointing;
@@ -86,6 +160,8 @@ Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
     if (telemetry_ != nullptr) telemetry_->on_step(step);
 
     ++batches;
+    maybe_checkpoint(loader);
+    ckpt::maybe_crash(options_.checkpoint, global_step_);
   }
 
   ++epoch_index_;
@@ -97,9 +173,16 @@ Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
 }
 
 std::vector<Trainer::EpochResult> Trainer::fit(DataLoader& loader) {
+  try_resume(loader);
   std::vector<EpochResult> history;
+  // Replay the per-epoch decay up to the resume point by repeated
+  // multiplication — the same float sequence the original run produced
+  // (pow() could differ in the last bit, breaking bit-identical resume).
   double lr = options_.adam.learning_rate;
-  for (std::int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (std::int64_t epoch = 0; epoch < epoch_index_; ++epoch) {
+    lr *= options_.lr_decay;
+  }
+  for (std::int64_t epoch = epoch_index_; epoch < options_.epochs; ++epoch) {
     // A step-based schedule takes precedence over the per-epoch decay.
     if (!options_.schedule) optimizer_.set_learning_rate(lr);
     history.push_back(train_epoch(loader));

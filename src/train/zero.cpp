@@ -1,6 +1,7 @@
 #include "sgnn/train/zero.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sgnn/obs/trace.hpp"
 #include "sgnn/util/error.hpp"
@@ -72,6 +73,20 @@ void DDPAdam::step(int rank) {
   comm_.all_reduce_sum(rank, grad);
   const auto scale = real{1} / static_cast<real>(comm_.num_ranks());
   for (auto& g : grad) g *= scale;
+  if (max_grad_norm_ > 0) {
+    // Clip the AVERAGED gradient. Every rank holds the identical vector and
+    // sums it in the same (sequential) order, so the clip factor — and thus
+    // the update — is bit-identical across replicas.
+    double sum_sq = 0;
+    for (const auto g : grad) {
+      sum_sq += static_cast<double>(g) * static_cast<double>(g);
+    }
+    const double norm = std::sqrt(sum_sq);
+    if (norm > max_grad_norm_) {
+      const auto clip = static_cast<real>(max_grad_norm_ / norm);
+      for (auto& g : grad) g *= clip;
+    }
+  }
 
   std::vector<real> param = flatten_parameters(parameters_);
   const ScopedBytes param_staging(param.size() * sizeof(real),
@@ -126,6 +141,23 @@ void ZeroAdam::step(int rank) {
   }
   const auto scale = real{1} / static_cast<real>(comm_.num_ranks());
   for (auto& g : grad_shard) g *= scale;
+  if (max_grad_norm_ > 0) {
+    // Global norm of the averaged gradient from per-shard partial sums: the
+    // scalar all-reduce adds the partials in fixed rank order, so every
+    // rank computes the identical clip factor (replicas stay bit-identical,
+    // and the result matches DDP's full-vector clip up to fp association).
+    double partial = 0;
+    for (const auto g : grad_shard) {
+      partial += static_cast<double>(g) * static_cast<double>(g);
+    }
+    std::vector<real> sum_sq = {static_cast<real>(partial)};
+    comm_.all_reduce_sum(rank, sum_sq);
+    const double norm = std::sqrt(static_cast<double>(sum_sq[0]));
+    if (norm > max_grad_norm_) {
+      const auto clip = static_cast<real>(max_grad_norm_ / norm);
+      for (auto& g : grad_shard) g *= clip;
+    }
+  }
 
   // Update only the owned parameter shard with the owned optimizer state.
   std::vector<real> param = flatten_parameters(parameters_);

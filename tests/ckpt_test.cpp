@@ -1,0 +1,452 @@
+#include "sgnn/ckpt/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "sgnn/data/dataset.hpp"
+#include "sgnn/nn/model_io.hpp"
+#include "sgnn/obs/metrics.hpp"
+#include "sgnn/train/distributed.hpp"
+#include "sgnn/train/trainer.hpp"
+#include "sgnn/train/zero.hpp"
+
+namespace sgnn {
+namespace {
+
+/// Unique scratch directory, removed (recursively) on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+const ReferencePotential& shared_potential() {
+  static const ReferencePotential potential;
+  return potential;
+}
+
+const AggregatedDataset& tiny_dataset() {
+  static const AggregatedDataset dataset = [] {
+    DatasetOptions options;
+    options.target_bytes = 600 << 10;
+    options.seed = 23;
+    return AggregatedDataset::generate(options, shared_potential());
+  }();
+  return dataset;
+}
+
+// -- container --------------------------------------------------------------
+
+TEST(SnapshotContainerTest, PayloadRoundTripPreservesEverySectionType) {
+  ckpt::SnapshotBuilder builder;
+  builder.add_bytes("raw", std::string("\x00\x01payload", 9));
+  builder.add_u64("unsigned", 0xDEADBEEFCAFEBABEULL);
+  builder.add_i64("signed", -42);
+  builder.add_f64("float", 2.5);
+  const std::vector<real> values = {1.0, -2.0, 3.5};
+  builder.add_reals("reals", values.data(), values.size());
+  builder.add_u64s("indices", {7, 8, 9});
+
+  const ckpt::SnapshotView view(builder.payload());
+  EXPECT_EQ(view.bytes("raw"), std::string("\x00\x01payload", 9));
+  EXPECT_EQ(view.u64("unsigned"), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(view.i64("signed"), -42);
+  EXPECT_DOUBLE_EQ(view.f64("float"), 2.5);
+  EXPECT_EQ(view.reals("reals"), values);
+  EXPECT_EQ(view.u64s("indices"), (std::vector<std::uint64_t>{7, 8, 9}));
+  EXPECT_TRUE(view.has("raw"));
+  EXPECT_FALSE(view.has("absent"));
+}
+
+TEST(SnapshotContainerTest, PayloadBytesAreInsertionOrderIndependent) {
+  ckpt::SnapshotBuilder forward;
+  forward.add_u64("a", 1);
+  forward.add_u64("b", 2);
+  ckpt::SnapshotBuilder reversed;
+  reversed.add_u64("b", 2);
+  reversed.add_u64("a", 1);
+  EXPECT_EQ(forward.payload(), reversed.payload());
+}
+
+TEST(SnapshotContainerTest, MissingSectionAndTypeMismatchThrow) {
+  ckpt::SnapshotBuilder builder;
+  builder.add_u64("counter", 3);
+  builder.add_bytes("blob", "xyz");
+  const ckpt::SnapshotView view(builder.payload());
+  EXPECT_THROW(view.u64("absent"), Error);
+  EXPECT_THROW(view.u64("blob"), Error);    // 3 bytes, not 8
+  EXPECT_THROW(view.reals("blob"), Error);  // not a multiple of sizeof(real)
+  EXPECT_THROW(ckpt::SnapshotBuilder(builder).add_u64("counter", 4), Error);
+}
+
+TEST(SnapshotContainerTest, FileRoundTripLeavesNoTemporary) {
+  TempDir dir("sgnn_ckpt_file_test");
+  std::filesystem::create_directories(dir.path());
+  const std::string path =
+      (std::filesystem::path(dir.path()) / "snap.sgck").string();
+  ckpt::SnapshotBuilder builder;
+  builder.add_i64("step", 12);
+  const std::string payload = builder.payload();
+
+  ckpt::write_snapshot_file(path, payload);
+  EXPECT_EQ(ckpt::read_snapshot_file(path), payload);
+  // The atomic-rename protocol must not leave the staging file behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Overwriting an existing snapshot is equally atomic.
+  ckpt::SnapshotBuilder next;
+  next.add_i64("step", 13);
+  ckpt::write_snapshot_file(path, next.payload());
+  EXPECT_EQ(ckpt::read_snapshot_file(path), next.payload());
+}
+
+// -- manager ----------------------------------------------------------------
+
+std::string step_payload(std::int64_t step) {
+  ckpt::SnapshotBuilder builder;
+  builder.add_i64("meta.step", step);
+  return builder.payload();
+}
+
+TEST(CheckpointManagerTest, RetentionKeepsOnlyTheNewestSnapshots) {
+  TempDir dir("sgnn_ckpt_retention_test");
+  ckpt::CheckpointManager manager(dir.path(), /*keep_last=*/2);
+  for (std::uint64_t step = 1; step <= 5; ++step) {
+    manager.save(step, step_payload(static_cast<std::int64_t>(step)));
+  }
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+  const auto loaded = ckpt::CheckpointManager::load_latest(dir.path());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->step, 5u);
+}
+
+TEST(CheckpointManagerTest, RejectsRetentionWithoutAFallback) {
+  EXPECT_THROW(ckpt::CheckpointManager("somewhere", /*keep_last=*/1), Error);
+  EXPECT_THROW(ckpt::CheckpointManager("", /*keep_last=*/2), Error);
+}
+
+TEST(CheckpointManagerTest, LoadLatestFallsBackAcrossTruncatedSnapshot) {
+  TempDir dir("sgnn_ckpt_truncate_test");
+  ckpt::CheckpointManager manager(dir.path(), 2);
+  manager.save(1, step_payload(1));
+  const std::string newest = manager.save(2, step_payload(2));
+
+  auto& skipped = obs::MetricsRegistry::instance().counter(
+      "ckpt.corrupt_skipped");
+  const std::int64_t skipped_before = skipped.value();
+  std::filesystem::resize_file(newest,
+                               std::filesystem::file_size(newest) / 2);
+
+  const auto loaded = ckpt::CheckpointManager::load_latest(dir.path());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->step, 1u);
+  EXPECT_EQ(ckpt::SnapshotView(loaded->payload).i64("meta.step"), 1);
+  EXPECT_EQ(skipped.value(), skipped_before + 1);
+}
+
+TEST(CheckpointManagerTest, LoadLatestFallsBackAcrossBitFlippedSnapshot) {
+  TempDir dir("sgnn_ckpt_bitflip_test");
+  ckpt::CheckpointManager manager(dir.path(), 2);
+  manager.save(3, step_payload(3));
+  const std::string newest = manager.save(4, step_payload(4));
+
+  std::string bytes = slurp(newest);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+  spew(newest, bytes);
+
+  const auto loaded = ckpt::CheckpointManager::load_latest(dir.path());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->step, 3u);
+}
+
+TEST(CheckpointManagerTest, LoadLatestReturnsNulloptWhenNothingReadable) {
+  TempDir dir("sgnn_ckpt_empty_test");
+  EXPECT_FALSE(ckpt::CheckpointManager::load_latest(dir.path()).has_value());
+  // A directory of only corrupt snapshots also yields nullopt, not a throw.
+  ckpt::CheckpointManager manager(dir.path(), 2);
+  const std::string only = manager.save(1, step_payload(1));
+  spew(only, "not a snapshot at all");
+  EXPECT_FALSE(ckpt::CheckpointManager::load_latest(dir.path()).has_value());
+}
+
+TEST(CheckpointManagerTest, SaveAndRestoreRecordMetrics) {
+  auto& registry = obs::MetricsRegistry::instance();
+  const std::int64_t writes_before = registry.counter("ckpt.writes").value();
+  const std::int64_t bytes_before = registry.counter("ckpt.bytes").value();
+  const std::int64_t restores_before =
+      registry.counter("ckpt.restores").value();
+
+  TempDir dir("sgnn_ckpt_metrics_test");
+  ckpt::CheckpointManager manager(dir.path(), 2);
+  manager.save(1, step_payload(1));
+  ASSERT_TRUE(ckpt::CheckpointManager::load_latest(dir.path()).has_value());
+
+  EXPECT_EQ(registry.counter("ckpt.writes").value(), writes_before + 1);
+  EXPECT_GT(registry.counter("ckpt.bytes").value(), bytes_before);
+  EXPECT_EQ(registry.counter("ckpt.restores").value(), restores_before + 1);
+}
+
+// -- fault injection --------------------------------------------------------
+
+TEST(SimulatedCrashTest, MaybeCrashHonorsThreshold) {
+  ckpt::CheckpointOptions options;
+  EXPECT_NO_THROW(ckpt::maybe_crash(options, 1000));  // disabled by default
+  options.crash_after_step = 5;
+  EXPECT_NO_THROW(ckpt::maybe_crash(options, 4));
+  EXPECT_THROW(ckpt::maybe_crash(options, 5), ckpt::SimulatedCrash);
+  try {
+    ckpt::maybe_crash(options, 7);
+    FAIL() << "expected SimulatedCrash";
+  } catch (const ckpt::SimulatedCrash& crash) {
+    EXPECT_EQ(crash.step(), 7);
+  }
+}
+
+// -- single-process trainer resume ------------------------------------------
+
+std::vector<real> trainer_run(const std::string& ckpt_dir,
+                              std::int64_t every_steps,
+                              std::int64_t crash_after,
+                              const std::string& resume_from,
+                              bool expect_crash) {
+  const auto& dataset = tiny_dataset();
+  const auto split = dataset.split(0.25, 5);
+
+  ModelConfig config;
+  config.hidden_dim = 10;
+  config.num_layers = 2;
+  EGNNModel model(config);
+
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 4;
+  options.adam.learning_rate = 2e-3;
+  options.max_grad_norm = 1.0;
+  options.checkpoint.every_steps = every_steps;
+  options.checkpoint.directory = ckpt_dir;
+  options.checkpoint.crash_after_step = crash_after;
+  options.checkpoint.resume_from = resume_from;
+
+  Trainer trainer(model, options);
+  DataLoader loader(dataset.view(split.train), options.batch_size, 11);
+  if (expect_crash) {
+    EXPECT_THROW(trainer.fit(loader), ckpt::SimulatedCrash);
+  } else {
+    trainer.fit(loader);
+  }
+  return flatten_parameters(model.parameters());
+}
+
+TEST(TrainerResumeTest, CrashAndResumeIsBitIdenticalToUninterruptedRun) {
+  const auto& dataset = tiny_dataset();
+  const auto split = dataset.split(0.25, 5);
+  const std::int64_t steps_per_epoch =
+      DataLoader(dataset.view(split.train), 4, 11).num_batches();
+  ASSERT_GT(steps_per_epoch, 2);  // the crash step below must be reachable
+
+  TempDir dir("sgnn_trainer_resume_test");
+  // Reference: the same run with checkpointing but no crash.
+  const std::vector<real> reference =
+      trainer_run("", /*every_steps=*/0, /*crash_after=*/-1, "", false);
+
+  // Crash mid-epoch-1 with snapshots every 2 steps: the newest good
+  // snapshot precedes the crash, so the resume replays at least one step.
+  trainer_run(dir.path(), 2, steps_per_epoch + 2, "", true);
+  ASSERT_TRUE(ckpt::CheckpointManager::load_latest(dir.path()).has_value());
+
+  // Resume and finish; parameters must match the reference byte for byte.
+  const std::vector<real> resumed =
+      trainer_run("", 0, -1, dir.path(), false);
+  EXPECT_EQ(resumed, reference);
+}
+
+TEST(TrainerResumeTest, ResumeFromEpochBoundaryCheckpointIsBitIdentical) {
+  const auto& dataset = tiny_dataset();
+  const auto split = dataset.split(0.25, 5);
+  const std::int64_t steps_per_epoch =
+      DataLoader(dataset.view(split.train), 4, 11).num_batches();
+  ASSERT_GT(steps_per_epoch, 1);
+
+  TempDir dir("sgnn_trainer_boundary_test");
+  const std::vector<real> reference = trainer_run("", 0, -1, "", false);
+  // Snapshot lands exactly on the last step of epoch 0, then crash.
+  trainer_run(dir.path(), steps_per_epoch, steps_per_epoch, "", true);
+  const std::vector<real> resumed = trainer_run("", 0, -1, dir.path(), false);
+  EXPECT_EQ(resumed, reference);
+}
+
+TEST(TrainerResumeTest, CorruptNewestCheckpointFallsBackToPreviousGood) {
+  TempDir dir("sgnn_trainer_corrupt_test");
+  const std::vector<real> reference = trainer_run("", 0, -1, "", false);
+
+  // Snapshots every 2 steps, crash after 6: on-disk 4 and 6 (keep_last=2).
+  trainer_run(dir.path(), 2, 6, "", true);
+  const auto newest = ckpt::CheckpointManager::load_latest(dir.path());
+  ASSERT_TRUE(newest.has_value());
+  ASSERT_EQ(newest->step, 6u);
+  std::string bytes = slurp(newest->path);
+  bytes[bytes.size() / 3] = static_cast<char>(bytes[bytes.size() / 3] ^ 0x01);
+  spew(newest->path, bytes);
+
+  // Resume silently falls back to snapshot 4 and still converges to the
+  // reference bit-for-bit (it just replays two more steps).
+  const auto fallback = ckpt::CheckpointManager::load_latest(dir.path());
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(fallback->step, 4u);
+  const std::vector<real> resumed = trainer_run("", 0, -1, dir.path(), false);
+  EXPECT_EQ(resumed, reference);
+}
+
+// -- distributed trainer resume ---------------------------------------------
+
+class DistributedResume : public ::testing::TestWithParam<DistStrategy> {};
+
+std::vector<real> dist_run(DistStrategy strategy, const DDStore& store,
+                           const std::string& ckpt_dir,
+                           std::int64_t every_steps, std::int64_t crash_after,
+                           const std::string& resume_from, bool expect_crash) {
+  ModelConfig config;
+  config.hidden_dim = 10;
+  config.num_layers = 2;
+  DistTrainOptions options;
+  options.num_ranks = 2;
+  options.epochs = 2;
+  options.per_rank_batch_size = 4;
+  options.strategy = strategy;
+  options.max_grad_norm = 1.0;
+  options.schedule = LrSchedule::warmup_cosine(2e-3, 3, 40);
+  options.checkpoint.every_steps = every_steps;
+  options.checkpoint.directory = ckpt_dir;
+  options.checkpoint.crash_after_step = crash_after;
+  options.checkpoint.resume_from = resume_from;
+
+  DistributedTrainer trainer(config, options);
+  if (expect_crash) {
+    EXPECT_THROW(trainer.train(store), ckpt::SimulatedCrash);
+  } else {
+    trainer.train(store);
+    EXPECT_EQ(trainer.replica_divergence(), 0.0);
+  }
+  return flatten_parameters(
+      const_cast<EGNNModel&>(trainer.model()).parameters());
+}
+
+TEST_P(DistributedResume, CrashAndResumeIsBitIdenticalToUninterruptedRun) {
+  const DistStrategy strategy = GetParam();
+  DDStore store(2);
+  store.insert(tiny_dataset().graphs());
+  const std::int64_t steps_per_epoch =
+      store.size() / (2 * 4);
+  ASSERT_GT(steps_per_epoch, 1);
+
+  const std::vector<real> reference =
+      dist_run(strategy, store, "", 0, -1, "", false);
+
+  // Crash mid-epoch-1 (one step past the epoch boundary), snapshots every
+  // step — the resume restores a mid-epoch position and replays from there.
+  TempDir dir("sgnn_dist_resume_test");
+  dist_run(strategy, store, dir.path(), 1, steps_per_epoch + 1, "", true);
+  ASSERT_TRUE(ckpt::CheckpointManager::load_latest(dir.path()).has_value());
+
+  const std::vector<real> resumed =
+      dist_run(strategy, store, "", 0, -1, dir.path(), false);
+  EXPECT_EQ(resumed, reference);
+}
+
+TEST_P(DistributedResume, EpochBoundaryCheckpointResumesBitIdentically) {
+  const DistStrategy strategy = GetParam();
+  DDStore store(2);
+  store.insert(tiny_dataset().graphs());
+  const std::int64_t steps_per_epoch = store.size() / (2 * 4);
+  ASSERT_GT(steps_per_epoch, 1);
+
+  const std::vector<real> reference =
+      dist_run(strategy, store, "", 0, -1, "", false);
+  TempDir dir("sgnn_dist_boundary_test");
+  dist_run(strategy, store, dir.path(), steps_per_epoch, steps_per_epoch, "",
+           true);
+  const std::vector<real> resumed =
+      dist_run(strategy, store, "", 0, -1, dir.path(), false);
+  EXPECT_EQ(resumed, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, DistributedResume,
+                         ::testing::Values(DistStrategy::kDDP,
+                                           DistStrategy::kZeRO1));
+
+TEST(DistributedResumeTest, MismatchedTopologyIsRejected) {
+  DDStore store2(2);
+  store2.insert(tiny_dataset().graphs());
+  TempDir dir("sgnn_dist_mismatch_test");
+  dist_run(DistStrategy::kDDP, store2, dir.path(), 2, 3, "", true);
+
+  // Wrong strategy for the stored optimizer state.
+  ModelConfig config;
+  config.hidden_dim = 10;
+  config.num_layers = 2;
+  DistTrainOptions options;
+  options.num_ranks = 2;
+  options.epochs = 1;
+  options.per_rank_batch_size = 4;
+  options.strategy = DistStrategy::kZeRO1;
+  options.checkpoint.resume_from = dir.path();
+  DistributedTrainer wrong_strategy(config, options);
+  EXPECT_THROW(wrong_strategy.train(store2), Error);
+
+  // Wrong rank count.
+  DDStore store4(4);
+  store4.insert(tiny_dataset().graphs());
+  options.strategy = DistStrategy::kDDP;
+  options.num_ranks = 4;
+  DistributedTrainer wrong_ranks(config, options);
+  EXPECT_THROW(wrong_ranks.train(store4), Error);
+}
+
+TEST(DistributedResumeTest, TrainerSnapshotIsRejectedByDistributedTrainer) {
+  TempDir dir("sgnn_dist_kind_test");
+  trainer_run(dir.path(), 2, 4, "", true);  // writes "trainer" snapshots
+
+  DDStore store(2);
+  store.insert(tiny_dataset().graphs());
+  ModelConfig config;
+  config.hidden_dim = 10;
+  config.num_layers = 2;
+  DistTrainOptions options;
+  options.num_ranks = 2;
+  options.epochs = 1;
+  options.per_rank_batch_size = 4;
+  options.checkpoint.resume_from = dir.path();
+  DistributedTrainer trainer(config, options);
+  EXPECT_THROW(trainer.train(store), Error);
+}
+
+}  // namespace
+}  // namespace sgnn

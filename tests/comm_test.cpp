@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "sgnn/util/error.hpp"
+
 namespace sgnn {
 namespace {
 
@@ -148,6 +150,88 @@ TEST(CommTest, BarrierSynchronizesPhases) {
     comm.barrier();
   });
   EXPECT_FALSE(violated.load());
+}
+
+TEST(InterconnectModelTest, SecondsMatchesHandComputedKnownTraffic) {
+  // Pins the comm-time model against hand-derived numbers so the
+  // bandwidth/latency split cannot silently regress (the aggregate report
+  // used to fold per-call latency into the bandwidth terms AND add it
+  // again from the call counts, double-counting it).
+  InterconnectModel model;
+  model.link_bandwidth_bytes_per_s = 100.0;
+  model.latency_seconds = 0.5;
+  const int R = 4;
+
+  // Bandwidth terms are pure: zero bytes cost zero regardless of latency.
+  EXPECT_DOUBLE_EQ(model.all_reduce_seconds(0, R), 0.0);
+  EXPECT_DOUBLE_EQ(model.broadcast_seconds(0, R), 0.0);
+  // Ring all-reduce: 2(R-1) steps of n/R bytes = 6 * (400/4/100) = 6 s.
+  EXPECT_DOUBLE_EQ(model.all_reduce_seconds(400, R), 6.0);
+  // Ring reduce-scatter / all-gather: (R-1) steps of n/R bytes.
+  EXPECT_DOUBLE_EQ(model.reduce_scatter_seconds(200, R), 1.5);
+  EXPECT_DOUBLE_EQ(model.all_gather_seconds(100, R), 0.75);
+  EXPECT_DOUBLE_EQ(model.broadcast_seconds(50, R), 0.5);
+  // Per-call launch latency: steps x latency_seconds.
+  EXPECT_DOUBLE_EQ(model.all_reduce_latency_seconds(R), 3.0);
+  EXPECT_DOUBLE_EQ(model.reduce_scatter_latency_seconds(R), 1.5);
+  EXPECT_DOUBLE_EQ(model.all_gather_latency_seconds(R), 1.5);
+  EXPECT_DOUBLE_EQ(model.broadcast_latency_seconds(R), 1.5);
+
+  Communicator::Traffic traffic;
+  traffic.all_reduce_bytes = 400;
+  traffic.all_reduce_calls = 2;
+  traffic.reduce_scatter_bytes = 200;
+  traffic.reduce_scatter_calls = 1;
+  traffic.all_gather_bytes = 100;
+  traffic.all_gather_calls = 3;
+  traffic.broadcast_bytes = 50;
+  traffic.broadcast_calls = 1;
+  // bandwidth: 6 + 1.5 + 0.75 + 0.5 = 8.75
+  // latency:   2*3 + 1*1.5 + 3*1.5 + 1*1.5 = 13.5
+  EXPECT_DOUBLE_EQ(model.seconds(traffic, R), 8.75 + 13.5);
+  // A single rank never touches the fabric.
+  EXPECT_DOUBLE_EQ(model.seconds(traffic, 1), 0.0);
+}
+
+TEST(InterconnectModelTest, SecondsIsAdditiveOverTrafficDeltas) {
+  // The per-step accounting sums seconds(delta) over steps and must equal
+  // seconds(aggregate) — the property the trainer report relies on.
+  InterconnectModel model;
+  model.link_bandwidth_bytes_per_s = 977.0;
+  model.latency_seconds = 1.0e-3;
+  Communicator::Traffic first;
+  first.all_reduce_bytes = 1234;
+  first.all_reduce_calls = 3;
+  first.broadcast_bytes = 77;
+  first.broadcast_calls = 1;
+  Communicator::Traffic total = first;
+  total.all_reduce_bytes += 555;
+  total.all_reduce_calls += 1;
+  total.all_gather_bytes += 901;
+  total.all_gather_calls += 2;
+  const Communicator::Traffic delta = total.since(first);
+  EXPECT_EQ(delta.all_reduce_bytes, 555u);
+  EXPECT_EQ(delta.all_reduce_calls, 1u);
+  EXPECT_EQ(delta.all_gather_bytes, 901u);
+  EXPECT_EQ(delta.broadcast_bytes, 0u);
+  EXPECT_DOUBLE_EQ(model.seconds(first, 8) + model.seconds(delta, 8),
+                   model.seconds(total, 8));
+}
+
+TEST(CommunicatorTest, CollectivesRejectOutOfRangeRanks) {
+  // The bounds checks fire before any barrier is entered, so a bad rank
+  // fails fast instead of deadlocking the collective.
+  Communicator comm(2);
+  std::vector<real> data(4, 1.0);
+  EXPECT_THROW(comm.all_reduce_sum(-1, data), Error);
+  EXPECT_THROW(comm.all_reduce_sum(2, data), Error);
+  EXPECT_THROW(comm.reduce_scatter_sum(5, data), Error);
+  EXPECT_THROW(comm.all_gather(-3, data), Error);
+  EXPECT_THROW(comm.broadcast(2, data, 0), Error);
+  EXPECT_THROW(comm.broadcast(-1, data, 0), Error);
+  // A valid rank with an out-of-range root is rejected the same way.
+  EXPECT_THROW(comm.broadcast(0, data, 7), Error);
+  EXPECT_THROW(comm.broadcast(0, data, -1), Error);
 }
 
 TEST(InterconnectModelTest, CostScalesWithBytesAndRanks) {

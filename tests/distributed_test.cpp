@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <set>
 #include <thread>
 
 #include "sgnn/data/dataset.hpp"
+#include "sgnn/obs/telemetry.hpp"
 #include "sgnn/obs/trace.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/train/zero.hpp"
@@ -380,6 +382,201 @@ TEST(DistributedTrainerTest, DataTrafficReflectsShardLocality) {
   EXPECT_GT(report.data_traffic.local_hits, 0u);
   EXPECT_GT(report.data_traffic.remote_fetches, 0u);
   EXPECT_GT(report.data_traffic.remote_bytes, 0u);
+}
+
+/// Clipping property: distributed updates with max_grad_norm must equal a
+/// single-process Adam step on the CLIPPED rank-averaged gradient, where
+/// the clip norm is joint over all parameters (the same contract the
+/// single Trainer's clip_grad_norm implements).
+TEST_P(StrategyEquivalence, ClippedUpdatesMatchClippedSingleProcessAdam) {
+  const int R = GetParam();
+  const double max_norm = 0.05;  // small enough that every step clips
+  Rng rng(43);
+  const Tensor init_a = Tensor::randn(Shape{13}, rng);
+  const Tensor init_b = Tensor::randn(Shape{3, 5}, rng);
+
+  const auto grad_for = [&](int rank, const Shape& shape, int salt) {
+    Tensor g = Tensor::zeros(shape);
+    real* p = g.data();
+    for (std::int64_t i = 0; i < g.numel(); ++i) {
+      p[i] = static_cast<real>(0.01) * static_cast<real>(rank + 1) *
+             static_cast<real>(i + salt);
+    }
+    return g;
+  };
+
+  // Reference: average per-rank gradients, clip jointly, then Adam.
+  std::vector<Tensor> ref = {init_a.clone().set_requires_grad(true),
+                             init_b.clone().set_requires_grad(true)};
+  Adam::Options options;
+  options.learning_rate = 0.05;
+  {
+    Tensor m_a = Tensor::zeros(Shape{13});
+    Tensor v_a = Tensor::zeros(Shape{13});
+    Tensor m_b = Tensor::zeros(Shape{3, 5});
+    Tensor v_b = Tensor::zeros(Shape{3, 5});
+    for (int step = 1; step <= 3; ++step) {
+      std::vector<Tensor> avg;
+      for (int which = 0; which < 2; ++which) {
+        const Shape shape = which == 0 ? Shape{13} : Shape{3, 5};
+        Tensor sum_grad = Tensor::zeros(shape);
+        for (int r = 0; r < R; ++r) {
+          const Tensor g = grad_for(r, shape, step + which);
+          const real* pg = g.data();
+          real* pa = sum_grad.data();
+          for (std::int64_t i = 0; i < sum_grad.numel(); ++i) pa[i] += pg[i];
+        }
+        real* pa = sum_grad.data();
+        for (std::int64_t i = 0; i < sum_grad.numel(); ++i) {
+          pa[i] /= static_cast<real>(R);
+        }
+        avg.push_back(sum_grad);
+      }
+      double sum_sq = 0;
+      for (const Tensor& g : avg) {
+        const real* pg = g.data();
+        for (std::int64_t i = 0; i < g.numel(); ++i) {
+          sum_sq += static_cast<double>(pg[i]) * static_cast<double>(pg[i]);
+        }
+      }
+      const double norm = std::sqrt(sum_sq);
+      ASSERT_GT(norm, max_norm);  // the scenario must actually clip
+      for (Tensor& g : avg) {
+        real* pg = g.data();
+        for (std::int64_t i = 0; i < g.numel(); ++i) {
+          pg[i] *= static_cast<real>(max_norm / norm);
+        }
+      }
+      for (int which = 0; which < 2; ++which) {
+        Adam::update_flat(
+            ref[static_cast<std::size_t>(which)].data(),
+            avg[static_cast<std::size_t>(which)].data(),
+            which == 0 ? m_a.data() : m_b.data(),
+            which == 0 ? v_a.data() : v_b.data(),
+            static_cast<std::size_t>(
+                avg[static_cast<std::size_t>(which)].numel()),
+            step, options);
+      }
+    }
+  }
+
+  for (const bool use_zero : {false, true}) {
+    Communicator comm(R);
+    std::vector<std::vector<Tensor>> params(static_cast<std::size_t>(R));
+    for (int r = 0; r < R; ++r) {
+      params[static_cast<std::size_t>(r)] = {
+          init_a.clone().set_requires_grad(true),
+          init_b.clone().set_requires_grad(true)};
+    }
+    std::vector<std::unique_ptr<DDPAdam>> ddp(static_cast<std::size_t>(R));
+    std::vector<std::unique_ptr<ZeroAdam>> zero(static_cast<std::size_t>(R));
+    for (int r = 0; r < R; ++r) {
+      if (use_zero) {
+        zero[static_cast<std::size_t>(r)] = std::make_unique<ZeroAdam>(
+            comm, params[static_cast<std::size_t>(r)], options);
+        zero[static_cast<std::size_t>(r)]->set_max_grad_norm(max_norm);
+      } else {
+        ddp[static_cast<std::size_t>(r)] = std::make_unique<DDPAdam>(
+            comm, params[static_cast<std::size_t>(r)], options);
+        ddp[static_cast<std::size_t>(r)]->set_max_grad_norm(max_norm);
+      }
+    }
+    run_ranks(R, [&](int rank) {
+      const auto ri = static_cast<std::size_t>(rank);
+      for (int step = 1; step <= 3; ++step) {
+        for (int which = 0; which < 2; ++which) {
+          Tensor& p = params[ri][static_cast<std::size_t>(which)];
+          p.zero_grad();
+          const Shape shape = which == 0 ? Shape{13} : Shape{3, 5};
+          const Tensor coeff = grad_for(rank, shape, step + which);
+          sum(p * coeff.detach()).backward();
+        }
+        if (use_zero) {
+          zero[ri]->step(rank);
+        } else {
+          ddp[ri]->step(rank);
+        }
+      }
+    });
+
+    for (int r = 0; r < R; ++r) {
+      for (int which = 0; which < 2; ++which) {
+        const auto got =
+            params[static_cast<std::size_t>(r)][static_cast<std::size_t>(which)]
+                .to_vector();
+        const auto want = ref[static_cast<std::size_t>(which)].to_vector();
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          EXPECT_NEAR(got[i], want[i], 1e-12)
+              << (use_zero ? "zero" : "ddp") << " rank " << r << " param "
+              << which << " element " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistributedTrainerTest, AggregateCommSecondsMatchesSumOfPerStepModel) {
+  // Regression for the comm-time double count: the report's aggregate used
+  // to re-add per-call latency that the bandwidth terms already contained.
+  // Now one formula prices both views, so the per-step modeled times must
+  // sum to the aggregate (up to fp summation order).
+  ModelConfig config;
+  config.hidden_dim = 10;
+  config.num_layers = 2;
+  DistTrainOptions options;
+  options.num_ranks = 2;
+  options.epochs = 2;
+  options.per_rank_batch_size = 4;
+  options.strategy = DistStrategy::kZeRO1;
+  options.max_grad_norm = 1.0;  // adds the clip all-reduce to the traffic
+  obs::RecordingTelemetrySink sink;
+  options.telemetry = &sink;
+
+  DistributedTrainer trainer(config, options);
+  const auto store = make_store(2);
+  const DistTrainReport report = trainer.train(*store);
+
+  double per_step_sum = 0;
+  std::int64_t rank0_steps = 0;
+  for (const obs::StepTelemetry& step : sink.steps()) {
+    if (step.rank != 0) {
+      // Only the collective-counting rank attributes comm time.
+      EXPECT_EQ(step.comm_seconds_modeled, 0.0);
+      continue;
+    }
+    per_step_sum += step.comm_seconds_modeled;
+    ++rank0_steps;
+  }
+  EXPECT_EQ(rank0_steps, report.steps);
+  EXPECT_GT(report.comm_seconds, 0.0);
+  EXPECT_NEAR(report.comm_seconds, per_step_sum,
+              report.comm_seconds * 1e-9);
+}
+
+TEST(DistributedTrainerTest, TelemetryReportsEffectiveScheduledLearningRate) {
+  ModelConfig config;
+  config.hidden_dim = 10;
+  config.num_layers = 2;
+  DistTrainOptions options;
+  options.num_ranks = 2;
+  options.epochs = 1;
+  options.per_rank_batch_size = 4;
+  options.adam.learning_rate = 0.1;  // base value the telemetry must NOT echo
+  options.schedule = LrSchedule::warmup_cosine(2e-3, 2, 32);
+  obs::RecordingTelemetrySink sink;
+  options.telemetry = &sink;
+
+  DistributedTrainer trainer(config, options);
+  const auto store = make_store(2);
+  trainer.train(*store);
+
+  ASSERT_FALSE(sink.steps().empty());
+  for (const obs::StepTelemetry& step : sink.steps()) {
+    EXPECT_DOUBLE_EQ(step.learning_rate, options.schedule->at_step(step.step))
+        << "step " << step.step << " rank " << step.rank;
+    EXPECT_NE(step.learning_rate, options.adam.learning_rate);
+  }
 }
 
 }  // namespace
