@@ -43,8 +43,14 @@ int main() {
   const auto steps = static_cast<double>(base.steps);
 
   const InterconnectModel fabric;
+  // With bucketed non-blocking all-reduce the gradient collectives are
+  // posted DURING backward, so up to the backward share of the per-rank
+  // compute can hide communication; only the shortfall is exposed stall
+  // (see docs/communication.md). Backward is modeled at half the step.
+  const double kBackwardShare = 0.5;
   Table table({"Ranks", "Compute s (projected)", "Comm s (modeled)",
-               "Total s", "Speedup", "Efficiency"});
+               "Exposed s (overlap)", "Total s", "Total s (overlap)",
+               "Speedup", "Efficiency", "Eff. (overlap)"});
   const auto project = [&](int ranks) {
     // Fixed global batch: per-rank compute divides; one all-reduce of the
     // full gradient per step regardless of rank count (DDP).
@@ -52,17 +58,24 @@ int main() {
     const double comm =
         steps * fabric.all_reduce_seconds(param_bytes, ranks) +
         (ranks > 1 ? steps * fabric.latency_seconds : 0.0);
-    return std::make_pair(compute, comm);
+    const double exposed = std::max(0.0, comm - kBackwardShare * compute);
+    return std::make_tuple(compute, comm, exposed);
   };
-  const auto [c1, m1] = project(1);
+  const auto [c1, m1, e1] = project(1);
   const double t1 = c1 + m1;
+  const double t1_overlap = c1 + e1;
   for (const int ranks : {1, 2, 4, 8, 16, 32, 128}) {
-    const auto [compute, comm] = project(ranks);
+    const auto [compute, comm, exposed] = project(ranks);
     const double total = compute + comm;
+    const double total_overlap = compute + exposed;
     table.add_row({std::to_string(ranks), Table::fixed(compute, 3),
-                   Table::scientific(comm, 2), Table::fixed(total, 3),
+                   Table::scientific(comm, 2), Table::scientific(exposed, 2),
+                   Table::fixed(total, 3), Table::fixed(total_overlap, 3),
                    Table::fixed(t1 / total, 2) + "x",
-                   Table::fixed(100.0 * t1 / total / ranks, 1) + "%"});
+                   Table::fixed(100.0 * t1 / total / ranks, 1) + "%",
+                   Table::fixed(100.0 * t1_overlap / total_overlap / ranks,
+                                1) +
+                       "%"});
   }
   std::cout << table.to_ascii(
       "Extension — strong-scaling projection (measured 1-rank compute + "
@@ -71,6 +84,10 @@ int main() {
   std::cout << "\nContext: HydraGNN-GFM reports near-linear strong scaling "
                "on Perlmutter/Frontier;\nthe projection shows the same "
                "regime — communication stays negligible until the\nper-rank "
-               "compute share approaches the all-reduce time.\n";
+               "compute share approaches the all-reduce time. The overlap "
+               "columns price\nthe bucketed non-blocking path: gradient "
+               "all-reduces hide behind the backward\nhalf of each step, so "
+               "exposed comm is strictly below the all-exposed model at\n"
+               "every multi-rank point and efficiency decays later.\n";
   return 0;
 }

@@ -44,6 +44,9 @@ int main() {
     std::int64_t peak;
     double compute_s;
     double comm_s;
+    double comm_exposed_s;
+    double comm_overlapped_s;
+    std::int64_t buckets;
     std::uint64_t collective_bytes;
     std::int64_t steps;
     double p50_step_s;
@@ -79,7 +82,8 @@ int main() {
     const obs::Histogram::Snapshot step_seconds =
         metrics.histograms.at("step.seconds");
     results.push_back({report.peak_memory.total(), report.compute_seconds,
-                       report.comm_seconds,
+                       report.comm_seconds, report.comm_exposed_seconds,
+                       report.comm_overlapped_seconds, report.comm_buckets,
                        report.collective_traffic.total_bytes(),
                        metrics.counters.at("train.steps"),
                        step_seconds.quantile(0.50),
@@ -91,6 +95,8 @@ int main() {
   Table table({"Setting", "Rel. peak memory", "(paper)", "Rel. training time",
                "(paper)", "Compute s", "Comm s (modeled)",
                "Collective payload"});
+  Table overlap({"Setting", "Comm s (modeled)", "Exposed s", "Overlapped s",
+                 "Buckets", "Total s (all-exposed)", "Total s (overlap)"});
   Table steps({"Setting", "Steps", "p50 step", "p95 step", "Atoms/s"});
   for (std::size_t i = 0; i < settings.size(); ++i) {
     const double total = results[i].compute_s + results[i].comm_s;
@@ -105,6 +111,12 @@ int main() {
          settings[i].paper_time, Table::fixed(results[i].compute_s, 2),
          Table::scientific(results[i].comm_s, 2),
          Table::human_bytes(static_cast<double>(results[i].collective_bytes))});
+    overlap.add_row(
+        {settings[i].name, Table::scientific(results[i].comm_s, 2),
+         Table::scientific(results[i].comm_exposed_s, 2),
+         Table::scientific(results[i].comm_overlapped_s, 2),
+         std::to_string(results[i].buckets), Table::fixed(total, 2),
+         Table::fixed(results[i].compute_s + results[i].comm_exposed_s, 2)});
     steps.add_row({settings[i].name, std::to_string(results[i].steps),
                    Table::scientific(results[i].p50_step_s, 2) + " s",
                    Table::scientific(results[i].p95_step_s, 2) + " s",
@@ -114,6 +126,10 @@ int main() {
       "Tab. II — Peak memory vs training-time trade-off (4 simulated "
       "ranks)");
   std::cout << "\n";
+  std::cout << overlap.to_ascii(
+      "Exposed vs overlapped communication (bucketed non-blocking "
+      "collectives, see docs/communication.md)");
+  std::cout << "\n";
   std::cout << steps.to_ascii(
       "Step-time distribution per setting (sgnn::obs step.seconds "
       "histogram)");
@@ -121,6 +137,9 @@ int main() {
                "is modeled from the\nexact collective payloads at NVLink-3 "
                "rates, so the memory column is the\nload-bearing comparison "
                "and the time ordering (100% < +ckpt < +ZeRO) is the\nshape "
-               "being reproduced.\n";
+               "being reproduced. 'Exposed s' is the comm time a rank "
+               "actually stalls on\nafter overlapping buckets with backward "
+               "— strictly below the all-exposed\naccounting whenever any "
+               "bucket finishes under compute.\n";
   return 0;
 }

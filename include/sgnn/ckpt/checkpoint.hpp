@@ -47,6 +47,14 @@ struct CheckpointOptions {
   /// SimulatedCrash once this many optimizer steps have completed
   /// (after the step's checkpoint hook). Negative disables.
   std::int64_t crash_after_step = -1;
+  /// Fault injection INSIDE the overlap window: during optimizer step N
+  /// (1-based), SimulatedCrash is thrown after every gradient bucket has
+  /// been posted but before any is drained — no parameter or moment has
+  /// been touched, so resume must be bit-identical (the crash-during-
+  /// overlap checkpoint test). Every rank throws at the same step, so no
+  /// rank is stranded in a collective. Only meaningful with bucketing on
+  /// (DistTrainOptions.bucket_bytes > 0). Non-positive disables.
+  std::int64_t crash_in_overlap_step = -1;
 };
 
 /// Thrown by the trainers' fault-injection hook (CheckpointOptions::

@@ -3,12 +3,54 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "sgnn/tensor/tensor.hpp"
 
 namespace sgnn {
+
+/// The four collective primitives, as an enum so cost accounting can be
+/// parameterized over the kind (see InterconnectModel::overlap_cost).
+enum class CollectiveKind {
+  kAllReduce,
+  kReduceScatter,
+  kAllGather,
+  kBroadcast,
+};
+
+namespace comm_detail {
+struct NbOpState;
+struct PendingOp;
+}  // namespace comm_detail
+
+/// Request object of a non-blocking collective (the MPI_Request analogue).
+/// The posting rank keeps computing while the communicator's progress
+/// engine matches and executes the operation; the buffers handed to the
+/// post call must stay alive and untouched until wait() (or a true test())
+/// returns. Handles are cheap shared references; destroying an un-waited
+/// handle does NOT cancel the operation.
+class CollectiveHandle {
+ public:
+  CollectiveHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// Polls for completion without blocking. Throws the deferred Error when
+  /// the progress engine rejected the operation (mismatched SPMD posts).
+  bool test() const;
+  /// Blocks until the operation completes; rethrows deferred errors.
+  void wait() const;
+
+ private:
+  friend class Communicator;
+  explicit CollectiveHandle(std::shared_ptr<comm_detail::NbOpState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<comm_detail::NbOpState> state_;
+};
 
 /// In-process multi-rank communicator: N simulated GPUs, one thread each,
 /// exchanging data through shared memory with MPI/NCCL-style collective
@@ -24,6 +66,11 @@ namespace sgnn {
 class Communicator {
  public:
   explicit Communicator(int num_ranks);
+  /// Joins the progress engine; outstanding un-matched non-blocking posts
+  /// are failed (their wait() throws) rather than left to deadlock.
+  ~Communicator();
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
 
   int num_ranks() const { return num_ranks_; }
 
@@ -46,6 +93,40 @@ class Communicator {
   /// rank order.
   std::vector<real> all_gather(int rank, const std::vector<real>& shard);
 
+  // -- Non-blocking collectives ---------------------------------------------
+  //
+  // MPI-style immediate variants: the call enqueues the operation with the
+  // communicator's progress engine and returns a CollectiveHandle; the rank
+  // keeps computing and synchronizes via wait()/test(). SPMD matching is by
+  // per-rank post order: the i-th non-blocking post of every rank forms one
+  // logical collective, so all ranks MUST post the same kinds/sizes in the
+  // same order (a mismatch fails the handles instead of deadlocking).
+  // Results are bit-identical to the blocking counterparts (fixed
+  // rank-order reduction). Buffers belong to the engine until completion.
+
+  /// Non-blocking all_reduce_sum: `data` holds the elementwise total across
+  /// ranks once the handle completes.
+  CollectiveHandle iall_reduce_sum(int rank, std::vector<real>& data);
+
+  /// Non-blocking reduce-scatter with an EXPLICIT partition: `counts[r]`
+  /// elements go to rank r (counts must be identical on every rank and sum
+  /// to input.size()). On completion `piece` holds the elementwise sum of
+  /// this rank's partition slice. The shard_range partition of the blocking
+  /// reduce_scatter_sum is the special case counts[r] = |shard_range(n,r,R)|;
+  /// explicit counts are what lets a gradient bucket scatter along GLOBAL
+  /// shard boundaries rather than bucket-local ones.
+  CollectiveHandle ireduce_scatter_counts(int rank,
+                                          const std::vector<real>& input,
+                                          const std::vector<std::size_t>& counts,
+                                          std::vector<real>& piece);
+
+  /// Non-blocking all-gather with explicit per-rank piece sizes (the inverse
+  /// of ireduce_scatter_counts). `piece.size()` must equal counts[rank]; on
+  /// completion `gathered` holds the rank-order concatenation of all pieces.
+  CollectiveHandle iall_gather_counts(int rank, const std::vector<real>& piece,
+                                      const std::vector<std::size_t>& counts,
+                                      std::vector<real>& gathered);
+
   /// Payload bytes and call counts per collective so far (counted once per
   /// call, not per rank). InterconnectModel turns payloads into ring-
   /// algorithm bandwidth time and call counts into launch-latency time.
@@ -67,6 +148,9 @@ class Communicator {
 
     /// Elementwise difference (this minus `earlier`); the per-step traffic
     /// attribution the trainers feed to InterconnectModel::seconds.
+    /// SGNN_CHECKs that every field of `earlier` is <= this snapshot's —
+    /// swapping the arguments would silently wrap the unsigned subtraction
+    /// into astronomically large byte counts.
     Traffic since(const Traffic& earlier) const;
   };
   Traffic traffic() const;
@@ -79,6 +163,16 @@ class Communicator {
                                                          int num_ranks);
 
  private:
+  /// Enqueues `op` for this rank with the progress engine (starting the
+  /// engine thread on first use) and returns the caller's handle.
+  CollectiveHandle enqueue(comm_detail::PendingOp op);
+  /// Progress-engine body: matches same-sequence posts across ranks,
+  /// executes them, and completes (or fails) the handles.
+  void progress_loop();
+  /// Records one executed non-blocking collective in the traffic counters
+  /// and obs metrics — exactly once per logical op, at execution time.
+  void count_nonblocking(CollectiveKind kind, std::uint64_t bytes);
+
   int num_ranks_;
 
   // Reusable sense-reversing barrier.
@@ -89,6 +183,16 @@ class Communicator {
 
   // Exchange slots, valid between the surrounding barriers.
   std::vector<const std::vector<real>*> posted_;
+
+  // Non-blocking progress engine: one FIFO of pending posts per rank, one
+  // lazily-started worker thread that executes a logical collective once
+  // every rank's next post has arrived.
+  std::mutex nb_mutex_;
+  std::condition_variable nb_cv_;
+  std::vector<std::deque<comm_detail::PendingOp>> nb_queues_;
+  bool nb_shutdown_ = false;
+  bool nb_engine_started_ = false;
+  std::thread nb_engine_;
 
   std::atomic<std::uint64_t> all_reduce_bytes_{0};
   std::atomic<std::uint64_t> reduce_scatter_bytes_{0};
@@ -135,6 +239,41 @@ struct InterconnectModel {
   /// Both trainers use this for per-step and aggregate accounting, so the
   /// two views stay consistent by construction.
   double seconds(const Communicator::Traffic& traffic, int ranks) const;
+
+  /// Modeled time of ONE collective call: bandwidth term + launch latency.
+  double call_seconds(CollectiveKind kind, std::uint64_t bytes,
+                      int ranks) const;
+
+  /// One posted non-blocking collective on a rank's compute timeline:
+  /// post/wait stamps are wall-clock offsets (seconds since the step
+  /// started) measured by the posting rank. FIFO contract: events must be
+  /// ordered by post time AND waited in the same order (which is how the
+  /// GradBucketer drains).
+  struct OverlapEvent {
+    CollectiveKind kind = CollectiveKind::kAllReduce;
+    std::uint64_t bytes = 0;
+    double post_seconds = 0;  ///< when the op was posted
+    double wait_seconds = 0;  ///< when the drain started waiting on it
+  };
+
+  /// Split of a step's modeled comm time into the part hidden behind
+  /// compute and the part the rank would stall on.
+  struct OverlapCost {
+    double total_seconds = 0;      ///< sum of per-op modeled durations
+    double exposed_seconds = 0;    ///< stall time not hidden by compute
+    double overlapped_seconds = 0; ///< total - exposed
+    std::int64_t ops = 0;
+  };
+
+  /// Prices a FIFO sequence of non-blocking collectives honestly: each op
+  /// occupies the (serial) fabric for its modeled duration starting at
+  /// max(post time, fabric free); at its wait, whatever of that duration
+  /// has not yet elapsed on the rank's stall-adjusted clock is EXPOSED and
+  /// pushes every later stamp out by the same amount. With no compute
+  /// between post and wait this degrades to the all-exposed accounting
+  /// (exposed == total); with enough compute everything overlaps.
+  OverlapCost overlap_cost(const std::vector<OverlapEvent>& events,
+                           int ranks) const;
 };
 
 }  // namespace sgnn

@@ -36,6 +36,14 @@ struct StepTelemetry {
   /// attributes to it. Zero for single-process training.
   std::uint64_t collective_bytes = 0;
   double comm_seconds_modeled = 0;
+  /// Split of comm_seconds_modeled into the stall the rank would actually
+  /// feel and the part hidden behind backward/optimizer compute (priced
+  /// from the GradBucketer's post/wait stamps; exposed + overlapped ==
+  /// comm_seconds_modeled). With bucketing off, everything is exposed.
+  double comm_exposed_seconds = 0;
+  double comm_overlapped_seconds = 0;
+  /// Non-blocking bucket collectives posted during this step.
+  std::int64_t comm_buckets = 0;
 
   /// Live and peak tracked allocation totals (MemoryTracker), bytes.
   std::int64_t live_bytes = 0;

@@ -59,6 +59,41 @@ struct Node {
   std::function<std::vector<Tensor>(const Tensor& grad_output)> backward;
 };
 
+/// Observer of leaf-gradient completion, keyed by the leaf's TensorImpl
+/// address (the pointer `Tensor::impl().get()` yields — an identity token,
+/// never dereferenced by the hook's installer). The OUTERMOST backward()
+/// on the installing thread invokes the hook right after a leaf's final
+/// gradient has been accumulated into its `.grad` buffer; this is what
+/// lets the GradBucketer post a bucket's collective the moment the last
+/// gradient in it is ready, mid-backward.
+///
+/// Contract for installers:
+/// * Hooks fire for EVERY grad-requiring leaf of the outer graph — an
+///   installer must ignore keys it does not recognize.
+/// * Nested backward passes (activation-checkpoint recomputation) never
+///   fire the hook: a leaf they touch may receive further contributions
+///   later, so its gradient is not yet final. Parameters that reach the
+///   loss ONLY through checkpointed segments (closure captures, not graph
+///   edges) therefore never fire at all; consumers needing completeness
+///   must sweep up unhooked leaves after backward() returns (the
+///   bucketer's post_remaining()).
+using LeafGradHook = std::function<void(const void* leaf)>;
+
+/// RAII installer of the thread-local leaf-grad hook; restores the
+/// previously installed hook (usually none) on destruction, so a hook
+/// never leaks past the training step that installed it even on
+/// exceptions.
+class ScopedLeafGradHook {
+ public:
+  explicit ScopedLeafGradHook(LeafGradHook hook);
+  ~ScopedLeafGradHook();
+  ScopedLeafGradHook(const ScopedLeafGradHook&) = delete;
+  ScopedLeafGradHook& operator=(const ScopedLeafGradHook&) = delete;
+
+ private:
+  LeafGradHook previous_;
+};
+
 }  // namespace autograd
 
 namespace detail {

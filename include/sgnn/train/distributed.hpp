@@ -9,6 +9,7 @@
 #include "sgnn/comm/communicator.hpp"
 #include "sgnn/nn/egnn.hpp"
 #include "sgnn/store/ddstore.hpp"
+#include "sgnn/train/bucketer.hpp"
 #include "sgnn/train/loss.hpp"
 #include "sgnn/train/optim.hpp"
 #include "sgnn/train/schedule.hpp"
@@ -44,6 +45,13 @@ struct DistTrainOptions {
   /// Clipping after averaging keeps replicas bit-identical (per-replica
   /// clipping before the all-reduce would break the sync invariant).
   double max_grad_norm = 0.0;
+  /// Gradient-bucket cap for the overlapped communication path (DDP
+  /// bucketed all-reduce / ZeRO bucketed reduce-scatter + all-gather),
+  /// posted during backward via the autograd leaf-grad hook. Default is
+  /// DDP's 25 MB; 0 disables bucketing and restores the sequential
+  /// blocking collectives. Both settings train byte-identically — see
+  /// docs/communication.md.
+  std::size_t bucket_bytes = GradBucketer::kDefaultBucketBytes;
   /// Crash-safe training-state snapshots, written by rank 0 between two
   /// barriers (see docs/fault-tolerance.md).
   ckpt::CheckpointOptions checkpoint;
@@ -61,6 +69,14 @@ struct DistTrainReport {
   double compute_seconds = 0;
   /// Interconnect time implied by the collective traffic (modeled).
   double comm_seconds = 0;
+  /// Split of comm_seconds into the part hidden behind backward/optimizer
+  /// compute and the part a rank would stall on (rank 0's accounting,
+  /// summed over steps; exposed + overlapped == comm_seconds). With
+  /// bucketing disabled everything is exposed.
+  double comm_exposed_seconds = 0;
+  double comm_overlapped_seconds = 0;
+  /// Non-blocking bucket collectives posted across the run.
+  std::int64_t comm_buckets = 0;
   /// DDStore data-loading traffic implied time is negligible and reported
   /// as raw bytes instead.
   Communicator::Traffic collective_traffic;
@@ -75,7 +91,13 @@ struct DistTrainReport {
   std::int64_t peak_optimizer = 0;
   std::int64_t steps = 0;
 
+  /// All-exposed accounting: every modeled comm second serializes after
+  /// compute (the pre-overlap upper bound).
   double total_seconds() const { return compute_seconds + comm_seconds; }
+  /// Overlap-honest accounting: only the exposed comm stalls the step.
+  double overlapped_total_seconds() const {
+    return compute_seconds + comm_exposed_seconds;
+  }
 };
 
 /// Simulated data-parallel training across `num_ranks` replicas, one thread

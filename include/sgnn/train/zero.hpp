@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sgnn/comm/communicator.hpp"
+#include "sgnn/train/bucketer.hpp"
 #include "sgnn/train/optim.hpp"
 
 namespace sgnn {
@@ -21,10 +24,18 @@ void unflatten_into_parameters(const std::vector<real>& flat,
 /// state redundancy ZeRO removes.
 class DDPAdam {
  public:
+  /// `bucket_bytes` caps the gradient buckets the overlapped all-reduce
+  /// path posts during backward (default: DDP's 25 MB); 0 falls back to
+  /// the sequential single-call path. Both paths are byte-identical.
   DDPAdam(Communicator& comm, std::vector<Tensor> parameters,
-          const Adam::Options& options);
+          const Adam::Options& options,
+          std::size_t bucket_bytes = GradBucketer::kDefaultBucketBytes);
 
-  /// Collective: every rank must call once per step.
+  /// Collective: every rank must call once per step. When bucketing is on
+  /// and the trainer armed the bucketer before backward (begin_step + the
+  /// leaf-grad hook), gradients already in flight are drained here; called
+  /// without arming, it posts and drains everything itself (bucketed but
+  /// unoverlapped — still bit-identical).
   void step(int rank);
   void zero_grad();
   void set_learning_rate(double lr) { options_.learning_rate = lr; }
@@ -41,6 +52,18 @@ class DDPAdam {
   Tensor& moment1() { return m_; }
   Tensor& moment2() { return v_; }
 
+  /// The gradient bucketer behind the overlapped path; null when
+  /// bucket_bytes was 0. The trainer arms it (begin_step + leaf-grad hook)
+  /// around backward and reads its overlap events for telemetry.
+  GradBucketer* bucketer() { return bucketer_.get(); }
+
+  /// Test hook, invoked inside step() after every bucket is posted and
+  /// before the drain — the window the crash-during-overlap checkpoint
+  /// test injects a SimulatedCrash into.
+  void set_pre_drain_hook(std::function<void()> hook) {
+    pre_drain_hook_ = std::move(hook);
+  }
+
  private:
   Communicator& comm_;
   std::vector<Tensor> parameters_;
@@ -49,6 +72,8 @@ class DDPAdam {
   std::int64_t timestep_ = 0;
   Tensor m_;  ///< (N) full first moment, kOptimizerState
   Tensor v_;  ///< (N) full second moment, kOptimizerState
+  std::unique_ptr<GradBucketer> bucketer_;
+  std::function<void()> pre_drain_hook_;
 };
 
 /// ZeRO Adam (Rajbhandari et al., SC'20), one instance per rank: optimizer
@@ -65,11 +90,18 @@ class DDPAdam {
 class ZeroAdam {
  public:
   /// ZeRO stage: 1 = optimizer-state partitioning (the paper's setting),
-  /// 2 = + gradient partitioning.
+  /// 2 = + gradient partitioning. `bucket_bytes` as in DDPAdam: bucketed
+  /// reduce-scatter posted during backward plus an overlapped all-gather
+  /// of the updated shard; 0 restores the sequential single-call path.
+  /// Buckets scatter along the GLOBAL shard boundaries (explicit counts),
+  /// so shard ownership — and checkpoint layout — never depends on the
+  /// bucket size.
   ZeroAdam(Communicator& comm, std::vector<Tensor> parameters,
-           const Adam::Options& options, int stage = 1);
+           const Adam::Options& options, int stage = 1,
+           std::size_t bucket_bytes = GradBucketer::kDefaultBucketBytes);
 
-  /// Collective: every rank must call once per step.
+  /// Collective: every rank must call once per step (see DDPAdam::step for
+  /// the armed vs unarmed bucketing behavior).
   void step(int rank);
   void zero_grad();
   void set_learning_rate(double lr) { options_.learning_rate = lr; }
@@ -93,6 +125,12 @@ class ZeroAdam {
   Tensor& moment1() { return m_; }
   Tensor& moment2() { return v_; }
 
+  /// See DDPAdam::bucketer / set_pre_drain_hook.
+  GradBucketer* bucketer() { return bucketer_.get(); }
+  void set_pre_drain_hook(std::function<void()> hook) {
+    pre_drain_hook_ = std::move(hook);
+  }
+
  private:
   Communicator& comm_;
   std::vector<Tensor> parameters_;
@@ -103,6 +141,8 @@ class ZeroAdam {
   std::size_t total_elements_ = 0;
   Tensor m_;  ///< (N/R) sharded first moment
   Tensor v_;  ///< (N/R) sharded second moment
+  std::unique_ptr<GradBucketer> bucketer_;
+  std::function<void()> pre_drain_hook_;
 };
 
 }  // namespace sgnn

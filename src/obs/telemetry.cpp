@@ -48,6 +48,10 @@ std::string StepTelemetry::to_json() const {
   out += ",\"graphs_per_sec\":" + format_double(graphs_per_sec);
   out += ",\"collective_bytes\":" + std::to_string(collective_bytes);
   out += ",\"comm_seconds_modeled\":" + format_double(comm_seconds_modeled);
+  out += ",\"comm_exposed_seconds\":" + format_double(comm_exposed_seconds);
+  out += ",\"comm_overlapped_seconds\":" +
+         format_double(comm_overlapped_seconds);
+  out += ",\"comm_buckets\":" + std::to_string(comm_buckets);
   out += ",\"live_bytes\":" + std::to_string(live_bytes);
   out += ",\"peak_bytes\":" + std::to_string(peak_bytes);
   out += "}";
@@ -74,6 +78,9 @@ StepTelemetry StepTelemetry::from_json(const std::string& line) {
   t.collective_bytes =
       static_cast<std::uint64_t>(numeric_field(line, "collective_bytes"));
   t.comm_seconds_modeled = numeric_field(line, "comm_seconds_modeled");
+  t.comm_exposed_seconds = numeric_field(line, "comm_exposed_seconds");
+  t.comm_overlapped_seconds = numeric_field(line, "comm_overlapped_seconds");
+  t.comm_buckets = static_cast<std::int64_t>(numeric_field(line, "comm_buckets"));
   t.live_bytes = static_cast<std::int64_t>(numeric_field(line, "live_bytes"));
   t.peak_bytes = static_cast<std::int64_t>(numeric_field(line, "peak_bytes"));
   return t;
@@ -122,6 +129,11 @@ void record_step_metrics(const StepTelemetry& step) {
   registry.gauge("mem.live_bytes").set(static_cast<double>(step.live_bytes));
   registry.gauge("mem.peak_bytes").set(static_cast<double>(step.peak_bytes));
   registry.histogram("step.seconds").observe(step.step_seconds);
+  // Overlap accounting is filled by rank 0 only (zeros elsewhere), so the
+  // accumulated gauges track the run-wide exposed/overlapped split.
+  registry.gauge("comm.exposed_seconds").add(step.comm_exposed_seconds);
+  registry.gauge("comm.overlapped_seconds").add(step.comm_overlapped_seconds);
+  registry.counter("comm.buckets").add(step.comm_buckets);
 }
 
 }  // namespace sgnn::obs

@@ -12,9 +12,22 @@ namespace sgnn {
 namespace autograd {
 namespace {
 thread_local bool t_grad_enabled = true;
+// Installed leaf-grad observer and the backward() nesting depth on this
+// thread; only the outermost pass (depth 1) fires the hook — see the
+// LeafGradHook contract in tensor.hpp.
+thread_local LeafGradHook t_leaf_grad_hook;
+thread_local int t_backward_depth = 0;
 }  // namespace
 
 bool grad_enabled() { return t_grad_enabled; }
+
+ScopedLeafGradHook::ScopedLeafGradHook(LeafGradHook hook)
+    : previous_(std::move(t_leaf_grad_hook)) {
+  t_leaf_grad_hook = std::move(hook);
+}
+ScopedLeafGradHook::~ScopedLeafGradHook() {
+  t_leaf_grad_hook = std::move(previous_);
+}
 
 NoGradGuard::NoGradGuard() : previous_(t_grad_enabled) {
   t_grad_enabled = false;
@@ -232,6 +245,15 @@ void Tensor::backward(const Tensor& grad_output) {
   // Gradients produced during backward are accounted as gradient memory.
   const ScopedMemCategory grad_scope(MemCategory::kGradient);
 
+  // Nesting depth distinguishes the outermost pass (whose leaf gradients
+  // are final, and may be observed by the leaf-grad hook) from nested
+  // passes run by checkpoint recomputation (whose are not).
+  struct DepthGuard {
+    DepthGuard() { ++autograd::t_backward_depth; }
+    ~DepthGuard() { --autograd::t_backward_depth; }
+  };
+  const DepthGuard depth_guard;
+
   Tensor seed = grad_output;
   if (!seed.defined()) {
     SGNN_CHECK(numel() == 1,
@@ -320,6 +342,12 @@ void Tensor::backward(const Tensor& grad_output) {
         const real* src = grad.data();
         const std::int64_t n = impl->shape.numel();
         for (std::int64_t i = 0; i < n; ++i) g[i] += src[i];
+        // Reverse-topo guarantees every consumer already ran, so this
+        // leaf's gradient is final — in the OUTERMOST pass only (a nested
+        // checkpoint-recompute pass may be one of several contributions).
+        if (autograd::t_backward_depth == 1 && autograd::t_leaf_grad_hook) {
+          autograd::t_leaf_grad_hook(impl);
+        }
       }
       grads.erase(grad_it);
       continue;

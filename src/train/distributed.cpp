@@ -91,12 +91,14 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
   for (int r = 0; r < R; ++r) {
     auto params = replicas_[static_cast<std::size_t>(r)]->parameters();
     if (options_.strategy == DistStrategy::kDDP) {
-      ddp.push_back(
-          std::make_unique<DDPAdam>(comm, std::move(params), options_.adam));
+      ddp.push_back(std::make_unique<DDPAdam>(comm, std::move(params),
+                                              options_.adam,
+                                              options_.bucket_bytes));
       ddp.back()->set_max_grad_norm(options_.max_grad_norm);
     } else {
-      zero.push_back(
-          std::make_unique<ZeroAdam>(comm, std::move(params), options_.adam));
+      zero.push_back(std::make_unique<ZeroAdam>(comm, std::move(params),
+                                                options_.adam, /*stage=*/1,
+                                                options_.bucket_bytes));
       zero.back()->set_max_grad_norm(options_.max_grad_norm);
     }
   }
@@ -177,6 +179,11 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
 
   std::vector<double> rank_loss(static_cast<std::size_t>(R), 0.0);
   std::vector<double> rank_seconds(static_cast<std::size_t>(R), 0.0);
+  // Overlap accounting, written only by the rank-0 worker (the thread join
+  // below publishes it to this thread).
+  double exposed_seconds_total = 0;
+  double overlapped_seconds_total = 0;
+  std::int64_t buckets_total = 0;
 
   const auto worker = [&](int rank) {
     const auto ri = static_cast<std::size_t>(rank);
@@ -193,6 +200,26 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
     double loss_sum = 0;
     std::int64_t counted_steps = start_counted;
     std::int64_t local_steps = 0;
+
+    GradBucketer* const bucketer =
+        options_.strategy == DistStrategy::kDDP ? ddp[ri]->bucketer()
+                                                : zero[ri]->bucketer();
+    if (copt.crash_in_overlap_step > 0) {
+      // Crash-during-overlap fault injection: fires inside the optimizer
+      // step, after every bucket is posted and before any drain. All ranks
+      // run the same step count, so every rank throws together and the
+      // progress engine can still complete the (symmetric) posted ops.
+      const auto crash_in_overlap = [&counted_steps, &copt] {
+        if (counted_steps + 1 == copt.crash_in_overlap_step) {
+          throw ckpt::SimulatedCrash(counted_steps);
+        }
+      };
+      if (options_.strategy == DistStrategy::kDDP) {
+        ddp[ri]->set_pre_drain_hook(crash_in_overlap);
+      } else {
+        zero[ri]->set_pre_drain_hook(crash_in_overlap);
+      }
+    }
 
     for (std::int64_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
       // Pre-shuffle sampler state: a mid-epoch checkpoint stores it so a
@@ -240,17 +267,31 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
           loss_sum += step_loss;
           total = terms.total;
         }
+        // Collective payload attributed to this step. The snapshot sits
+        // BEFORE backward because the overlapped path posts (and the
+        // progress engine counts) bucket collectives mid-backward; the
+        // drain inside the optimizer step completes before the closing
+        // snapshot, so the delta captures every bucket exactly once. The
+        // counters are updated once per collective (by rank 0 or the
+        // engine), so the delta is exact on rank 0 and reported 0
+        // elsewhere.
+        const Communicator::Traffic traffic_before =
+            rank == 0 ? comm.traffic() : Communicator::Traffic{};
         {
           const obs::TraceSpan span("backward", "train");
           const ScopedTrainPhase phase(TrainPhase::kBackward);
+          // Arm the bucketer and observe leaf-gradient completion: each
+          // bucket's collective is posted the moment its last gradient is
+          // produced, overlapping communication with the rest of backward.
+          std::optional<autograd::ScopedLeafGradHook> grad_hook;
+          if (bucketer != nullptr) {
+            bucketer->begin_step(rank);
+            grad_hook.emplace(
+                [bucketer](const void* leaf) { bucketer->on_leaf_grad(leaf); });
+          }
           total.backward();
         }
         double grad_norm = 0;
-        // Collective payload attributed to this step; the counters are
-        // updated once per collective (by rank 0 inside the call), so the
-        // delta is exact on rank 0 and reported as 0 elsewhere.
-        const Communicator::Traffic traffic_before =
-            rank == 0 ? comm.traffic() : Communicator::Traffic{};
         {
           const obs::TraceSpan span("optimizer", "train");
           const ScopedTrainPhase phase(TrainPhase::kOptimizer);
@@ -305,6 +346,31 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
               comm.traffic().since(traffic_before);
           telemetry.collective_bytes = delta.total_bytes();
           telemetry.comm_seconds_modeled = interconnect_.seconds(delta, R);
+          if (bucketer != nullptr) {
+            // Price the overlap honestly from the bucketer's post/wait
+            // stamps. Collectives outside the bucketer (the ZeRO clip's
+            // scalar all-reduce) are blocking and count as fully exposed:
+            // exposed = overlap-priced exposure + (delta - event total).
+            const auto cost =
+                interconnect_.overlap_cost(bucketer->take_events(), R);
+            const double exposed = std::min(
+                telemetry.comm_seconds_modeled,
+                cost.exposed_seconds +
+                    std::max(0.0, telemetry.comm_seconds_modeled -
+                                      cost.total_seconds));
+            telemetry.comm_exposed_seconds = exposed;
+            telemetry.comm_overlapped_seconds =
+                telemetry.comm_seconds_modeled - exposed;
+            telemetry.comm_buckets = cost.ops;
+          } else {
+            // Sequential blocking path: every modeled second is exposed.
+            telemetry.comm_exposed_seconds = telemetry.comm_seconds_modeled;
+            telemetry.comm_overlapped_seconds = 0;
+            telemetry.comm_buckets = 0;
+          }
+          exposed_seconds_total += telemetry.comm_exposed_seconds;
+          overlapped_seconds_total += telemetry.comm_overlapped_seconds;
+          buckets_total += telemetry.comm_buckets;
         }
         telemetry.live_bytes = MemoryTracker::instance().live().total();
         telemetry.peak_bytes = MemoryTracker::instance().peak_total();
@@ -429,6 +495,9 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
   // values (the old code charged latency both inside the bandwidth terms
   // and again per call, double-counting it).
   report.comm_seconds = interconnect_.seconds(report.collective_traffic, R);
+  report.comm_exposed_seconds = exposed_seconds_total;
+  report.comm_overlapped_seconds = overlapped_seconds_total;
+  report.comm_buckets = buckets_total;
   return report;
 }
 

@@ -55,10 +55,14 @@ std::size_t total_elements(const std::vector<Tensor>& parameters) {
 }  // namespace
 
 DDPAdam::DDPAdam(Communicator& comm, std::vector<Tensor> parameters,
-                 const Adam::Options& options)
+                 const Adam::Options& options, std::size_t bucket_bytes)
     : comm_(comm), parameters_(std::move(parameters)), options_(options) {
   SGNN_CHECK(!parameters_.empty(), "DDPAdam needs parameters");
   const auto n = static_cast<std::int64_t>(total_elements(parameters_));
+  if (bucket_bytes > 0) {
+    bucketer_ = std::make_unique<GradBucketer>(
+        comm_, parameters_, CollectiveKind::kAllReduce, bucket_bytes);
+  }
   const ScopedMemCategory scope(MemCategory::kOptimizerState);
   m_ = Tensor::zeros(Shape{n});
   v_ = Tensor::zeros(Shape{n});
@@ -67,10 +71,25 @@ DDPAdam::DDPAdam(Communicator& comm, std::vector<Tensor> parameters,
 void DDPAdam::step(int rank) {
   const obs::TraceSpan span("ddp_adam_step", "optimizer");
   ++timestep_;
-  std::vector<real> grad = flatten_gradients(parameters_);
+  std::vector<real> grad;
+  if (bucketer_) {
+    // Overlapped path: buckets were posted from the leaf-grad hook during
+    // backward (or all at once here, if the trainer never armed the
+    // bucketer); the drain assembles the same summed flat vector the
+    // blocking all_reduce_sum produces — byte for byte.
+    if (!bucketer_->active()) bucketer_->begin_step(rank);
+    bucketer_->post_remaining();
+    if (pre_drain_hook_) pre_drain_hook_();
+    bucketer_->drain_all_reduce(grad);
+    bucketer_->end_step();
+  } else {
+    grad = flatten_gradients(parameters_);
+  }
   const ScopedBytes grad_staging(grad.size() * sizeof(real),
                                  MemCategory::kWorkspace);
-  comm_.all_reduce_sum(rank, grad);
+  if (!bucketer_) {
+    comm_.all_reduce_sum(rank, grad);
+  }
   const auto scale = real{1} / static_cast<real>(comm_.num_ranks());
   for (auto& g : grad) g *= scale;
   if (max_grad_norm_ > 0) {
@@ -101,7 +120,8 @@ void DDPAdam::zero_grad() {
 }
 
 ZeroAdam::ZeroAdam(Communicator& comm, std::vector<Tensor> parameters,
-                   const Adam::Options& options, int stage)
+                   const Adam::Options& options, int stage,
+                   std::size_t bucket_bytes)
     : comm_(comm),
       parameters_(std::move(parameters)),
       options_(options),
@@ -109,6 +129,10 @@ ZeroAdam::ZeroAdam(Communicator& comm, std::vector<Tensor> parameters,
   SGNN_CHECK(!parameters_.empty(), "ZeroAdam needs parameters");
   SGNN_CHECK(stage == 1 || stage == 2, "ZeRO stage must be 1 or 2");
   total_elements_ = total_elements(parameters_);
+  if (bucket_bytes > 0) {
+    bucketer_ = std::make_unique<GradBucketer>(
+        comm_, parameters_, CollectiveKind::kReduceScatter, bucket_bytes);
+  }
   // The shard this rank owns is fixed by its position in the communicator;
   // every rank constructs its own ZeroAdam, so each allocates 1/R of the
   // optimizer state — the ZeRO stage-1 saving, visible to the memory
@@ -127,13 +151,24 @@ ZeroAdam::ZeroAdam(Communicator& comm, std::vector<Tensor> parameters,
 void ZeroAdam::step(int rank) {
   const obs::TraceSpan span("zero_adam_step", "optimizer");
   ++timestep_;
-  const std::vector<real> grad = flatten_gradients(parameters_);
-  const ScopedBytes grad_staging(grad.size() * sizeof(real),
-                                 MemCategory::kWorkspace);
-  SGNN_CHECK(grad.size() == total_elements_, "gradient size changed");
 
   // Gradient shard for this rank (summed across ranks), then averaged.
-  std::vector<real> grad_shard = comm_.reduce_scatter_sum(rank, grad);
+  std::vector<real> grad_shard;
+  if (bucketer_) {
+    // Overlapped path: bucketed reduce-scatter along the GLOBAL shard
+    // boundaries, posted during backward; the drain assembles exactly the
+    // shard the blocking reduce_scatter_sum yields.
+    if (!bucketer_->active()) bucketer_->begin_step(rank);
+    bucketer_->post_remaining();
+    if (pre_drain_hook_) pre_drain_hook_();
+    bucketer_->drain_reduce_scatter(grad_shard);
+  } else {
+    const std::vector<real> grad = flatten_gradients(parameters_);
+    const ScopedBytes grad_staging(grad.size() * sizeof(real),
+                                   MemCategory::kWorkspace);
+    SGNN_CHECK(grad.size() == total_elements_, "gradient size changed");
+    grad_shard = comm_.reduce_scatter_sum(rank, grad);
+  }
   if (stage_ == 2) {
     // Gradient partitioning: the full per-parameter gradient buffers are
     // no longer needed once the owned shard exists.
@@ -172,9 +207,15 @@ void ZeroAdam::step(int rank) {
                     v_.data(), param_shard.size(), timestep_, options_);
 
   // Reassemble the full updated parameter vector on every rank.
-  const std::vector<real> gathered = comm_.all_gather(rank, param_shard);
-  SGNN_CHECK(gathered.size() == total_elements_, "all_gather size mismatch");
-  unflatten_into_parameters(gathered, parameters_);
+  if (bucketer_) {
+    // Bucketed non-blocking gathers; the write-back of each landed bucket
+    // overlaps the gathers still in flight. Ends the bucketed step.
+    bucketer_->all_gather_params(param_shard);
+  } else {
+    const std::vector<real> gathered = comm_.all_gather(rank, param_shard);
+    SGNN_CHECK(gathered.size() == total_elements_, "all_gather size mismatch");
+    unflatten_into_parameters(gathered, parameters_);
+  }
 }
 
 void ZeroAdam::zero_grad() {

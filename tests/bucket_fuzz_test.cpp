@@ -1,0 +1,290 @@
+// Randomized property suite for the gradient bucketer (FUZZ label, run
+// under ASan/UBSan in CI): for random shape lists and bucket caps, the
+// layout must tile the flat vector exactly, the bucketed collectives must
+// reproduce the blocking ones bit-for-bit, and degenerate inputs (empty
+// parameter list, fewer elements than ranks, double begin_step) must throw
+// or no-op cleanly — never deadlock. Everything is seeded, so a failure
+// reproduces deterministically.
+
+#include "sgnn/train/bucketer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/train/zero.hpp"
+#include "sgnn/util/error.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+template <typename Body>
+void run_ranks(int num_ranks, Body body) {
+  std::vector<std::thread> threads;
+  for (int r = 0; r < num_ranks; ++r) threads.emplace_back(body, r);
+  for (auto& t : threads) t.join();
+}
+
+// -- plan() layout properties -------------------------------------------------
+
+TEST(BucketPlanFuzz, EveryElementLandsInExactlyOneBucket) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = rng.uniform_index(5000);
+    const std::size_t bytes = 1 + rng.uniform_index(64 * 1024);
+    const auto buckets = GradBucketer::plan(n, bytes);
+    if (n == 0) {
+      EXPECT_TRUE(buckets.empty());
+      continue;
+    }
+    const std::size_t cap =
+        bytes / sizeof(real) == 0 ? 1 : bytes / sizeof(real);
+    // Descending contiguous tiling of [0, n): bucket i+1 ends exactly where
+    // bucket i begins, the first bucket reaches n, the last reaches 0.
+    ASSERT_FALSE(buckets.empty()) << "n=" << n << " bytes=" << bytes;
+    EXPECT_EQ(buckets.front().end, n);
+    EXPECT_EQ(buckets.back().begin, 0u);
+    std::size_t covered = 0;
+    std::size_t prev_begin = n;
+    for (const auto& bucket : buckets) {
+      EXPECT_LT(bucket.begin, bucket.end) << "n=" << n << " bytes=" << bytes;
+      EXPECT_EQ(bucket.end, prev_begin) << "n=" << n << " bytes=" << bytes;
+      EXPECT_LE(bucket.end - bucket.begin, cap)
+          << "n=" << n << " bytes=" << bytes;
+      covered += bucket.end - bucket.begin;
+      prev_begin = bucket.begin;
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(BucketPlanFuzz, SubElementCapClampsToOneElementPerBucket) {
+  const auto buckets = GradBucketer::plan(5, 0);
+  ASSERT_EQ(buckets.size(), 5u);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    EXPECT_EQ(buckets[i].end - buckets[i].begin, 1u);
+  }
+  EXPECT_TRUE(GradBucketer::plan(0, 0).empty());
+  EXPECT_TRUE(GradBucketer::plan(0, 1 << 20).empty());
+}
+
+// -- randomized end-to-end parity against the blocking collectives ------------
+
+/// Per-rank clones of `num_params` randomly shaped parameters.
+std::vector<std::vector<Tensor>> make_random_params(Rng& rng, int ranks,
+                                                    std::size_t num_params) {
+  Rng init_rng = rng.split();
+  std::vector<Tensor> prototypes;
+  for (std::size_t p = 0; p < num_params; ++p) {
+    const auto len = static_cast<std::int64_t>(1 + rng.uniform_index(40));
+    const Shape shape =
+        rng.uniform() < 0.5 ? Shape{len} : Shape{2, (len + 1) / 2};
+    prototypes.push_back(Tensor::randn(shape, init_rng));
+  }
+  std::vector<std::vector<Tensor>> params(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    for (const Tensor& proto : prototypes) {
+      params[static_cast<std::size_t>(r)].push_back(
+          proto.clone().set_requires_grad(true));
+    }
+  }
+  return params;
+}
+
+/// Installs grad(param p, element i) = (rank+1) * (p+1) * (i+1) / 64 by
+/// differentiating a linear objective.
+void install_grads(std::vector<Tensor>& params, int rank) {
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor coeff = Tensor::zeros(params[p].shape());
+    real* c = coeff.data();
+    for (std::int64_t i = 0; i < coeff.numel(); ++i) {
+      c[i] = static_cast<real>(rank + 1) * static_cast<real>(p + 1) *
+             static_cast<real>(i + 1) / static_cast<real>(64);
+    }
+    params[p].zero_grad();
+    sum(params[p] * coeff).backward();
+  }
+}
+
+/// Fixed rank-order elementwise sum of the per-rank flat gradients — the
+/// exact reduction order both the blocking path and the engine use.
+std::vector<real> rank_order_sum(
+    const std::vector<std::vector<Tensor>>& params) {
+  std::vector<real> total = flatten_gradients(params[0]);
+  for (std::size_t r = 1; r < params.size(); ++r) {
+    const std::vector<real> g = flatten_gradients(params[r]);
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += g[i];
+  }
+  return total;
+}
+
+TEST(BucketerFuzz, BucketedAllReduceMatchesBlockingForRandomShapes) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int R = 1 + static_cast<int>(rng.uniform_index(4));
+    const std::size_t num_params = 1 + rng.uniform_index(5);
+    const std::size_t bucket_bytes = 1 + rng.uniform_index(50 * sizeof(real));
+    auto params = make_random_params(rng, R, num_params);
+    for (int r = 0; r < R; ++r) {
+      install_grads(params[static_cast<std::size_t>(r)], r);
+    }
+    const std::vector<real> expected = rank_order_sum(params);
+
+    Communicator comm(R);
+    std::vector<std::unique_ptr<GradBucketer>> bucketers;
+    for (int r = 0; r < R; ++r) {
+      bucketers.push_back(std::make_unique<GradBucketer>(
+          comm, params[static_cast<std::size_t>(r)],
+          CollectiveKind::kAllReduce, bucket_bytes));
+    }
+    std::vector<std::vector<real>> drained(static_cast<std::size_t>(R));
+    run_ranks(R, [&](int rank) {
+      const auto ri = static_cast<std::size_t>(rank);
+      bucketers[ri]->begin_step(rank);
+      bucketers[ri]->post_remaining();
+      bucketers[ri]->drain_all_reduce(drained[ri]);
+      bucketers[ri]->end_step();
+    });
+    for (int r = 0; r < R; ++r) {
+      EXPECT_EQ(drained[static_cast<std::size_t>(r)], expected)
+          << "trial " << trial << " rank " << r << " R=" << R
+          << " bucket_bytes=" << bucket_bytes;
+    }
+  }
+}
+
+TEST(BucketerFuzz, BucketedReduceScatterAndAllGatherMatchBlockingShards) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int R = 1 + static_cast<int>(rng.uniform_index(4));
+    const std::size_t num_params = 1 + rng.uniform_index(5);
+    const std::size_t bucket_bytes = 1 + rng.uniform_index(50 * sizeof(real));
+    auto params = make_random_params(rng, R, num_params);
+    for (int r = 0; r < R; ++r) {
+      install_grads(params[static_cast<std::size_t>(r)], r);
+    }
+    const std::vector<real> expected = rank_order_sum(params);
+    const std::size_t n = expected.size();
+
+    Communicator comm(R);
+    std::vector<std::unique_ptr<GradBucketer>> bucketers;
+    for (int r = 0; r < R; ++r) {
+      bucketers.push_back(std::make_unique<GradBucketer>(
+          comm, params[static_cast<std::size_t>(r)],
+          CollectiveKind::kReduceScatter, bucket_bytes));
+    }
+    // The refreshed parameters every rank must end up holding.
+    std::vector<real> updated(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      updated[i] = static_cast<real>(i) * static_cast<real>(0.5) -
+                   static_cast<real>(1);
+    }
+    run_ranks(R, [&](int rank) {
+      const auto ri = static_cast<std::size_t>(rank);
+      bucketers[ri]->begin_step(rank);
+      bucketers[ri]->post_remaining();
+      std::vector<real> shard;
+      bucketers[ri]->drain_reduce_scatter(shard);
+      // The drained shard is exactly this rank's slice of the global sum —
+      // shard boundaries never depend on the bucket size.
+      const auto [begin, end] = Communicator::shard_range(n, rank, R);
+      ASSERT_EQ(shard.size(), end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        EXPECT_EQ(shard[i - begin], expected[i])
+            << "trial " << trial << " rank " << rank << " element " << i;
+      }
+      // Overlapped all-gather of the updated shard ends the step.
+      const std::vector<real> shard_update(updated.begin() + static_cast<std::ptrdiff_t>(begin),
+                                           updated.begin() + static_cast<std::ptrdiff_t>(end));
+      bucketers[ri]->all_gather_params(shard_update);
+    });
+    for (int r = 0; r < R; ++r) {
+      EXPECT_EQ(flatten_parameters(params[static_cast<std::size_t>(r)]),
+                updated)
+          << "trial " << trial << " rank " << r;
+    }
+  }
+}
+
+// -- degenerate inputs --------------------------------------------------------
+
+TEST(BucketerDegenerateTest, FewerElementsThanRanksLeavesEmptyShards) {
+  const int R = 4;
+  Communicator comm(R);
+  std::vector<std::vector<Tensor>> params(R);
+  std::vector<std::unique_ptr<GradBucketer>> bucketers;
+  for (int r = 0; r < R; ++r) {
+    Tensor p = Tensor::zeros(Shape{2}).set_requires_grad(true);
+    params[static_cast<std::size_t>(r)] = {p};
+    install_grads(params[static_cast<std::size_t>(r)], r);
+    bucketers.push_back(std::make_unique<GradBucketer>(
+        comm, params[static_cast<std::size_t>(r)],
+        CollectiveKind::kReduceScatter, sizeof(real)));
+  }
+  const std::vector<real> expected = rank_order_sum(params);
+  run_ranks(R, [&](int rank) {
+    const auto ri = static_cast<std::size_t>(rank);
+    bucketers[ri]->begin_step(rank);
+    bucketers[ri]->post_remaining();
+    std::vector<real> shard;
+    bucketers[ri]->drain_reduce_scatter(shard);
+    const auto [begin, end] = Communicator::shard_range(2, rank, R);
+    ASSERT_EQ(shard.size(), end - begin);  // ranks 2 and 3 own nothing
+    for (std::size_t i = begin; i < end; ++i) {
+      EXPECT_EQ(shard[i - begin], expected[i]);
+    }
+    bucketers[ri]->all_gather_params(
+        std::vector<real>(expected.begin() + static_cast<std::ptrdiff_t>(begin),
+                          expected.begin() + static_cast<std::ptrdiff_t>(end)));
+  });
+  for (int r = 0; r < R; ++r) {
+    EXPECT_EQ(flatten_parameters(params[static_cast<std::size_t>(r)]),
+              expected);
+  }
+}
+
+TEST(BucketerDegenerateTest, EmptyParameterListIsACleanNoOp) {
+  const int R = 2;
+  Communicator comm(R);
+  std::vector<std::unique_ptr<GradBucketer>> bucketers;
+  for (int r = 0; r < R; ++r) {
+    bucketers.push_back(std::make_unique<GradBucketer>(
+        comm, std::vector<Tensor>{}, CollectiveKind::kAllReduce, 1024));
+    EXPECT_EQ(bucketers.back()->num_buckets(), 0u);
+    EXPECT_EQ(bucketers.back()->total_elements(), 0u);
+  }
+  run_ranks(R, [&](int rank) {
+    const auto ri = static_cast<std::size_t>(rank);
+    bucketers[ri]->begin_step(rank);
+    bucketers[ri]->post_remaining();
+    std::vector<real> flat = {real{99}};  // must come back empty
+    bucketers[ri]->drain_all_reduce(flat);
+    EXPECT_TRUE(flat.empty());
+    bucketers[ri]->end_step();
+  });
+  EXPECT_EQ(comm.traffic().total_bytes(), 0u);
+}
+
+TEST(BucketerDegenerateTest, BeginStepWhileActiveThrows) {
+  Communicator comm(1);
+  std::vector<Tensor> params = {
+      Tensor::zeros(Shape{3}).set_requires_grad(true)};
+  GradBucketer bucketer(comm, params, CollectiveKind::kAllReduce, 1024);
+  bucketer.begin_step(0);
+  EXPECT_THROW(bucketer.begin_step(0), Error);
+  // The original step is still live and completes normally (the undefined
+  // gradient drains as zeros).
+  bucketer.post_remaining();
+  std::vector<real> flat;
+  bucketer.drain_all_reduce(flat);
+  EXPECT_EQ(flat, (std::vector<real>{0, 0, 0}));
+  bucketer.end_step();
+}
+
+}  // namespace
+}  // namespace sgnn

@@ -332,7 +332,8 @@ class DistributedResume : public ::testing::TestWithParam<DistStrategy> {};
 std::vector<real> dist_run(DistStrategy strategy, const DDStore& store,
                            const std::string& ckpt_dir,
                            std::int64_t every_steps, std::int64_t crash_after,
-                           const std::string& resume_from, bool expect_crash) {
+                           const std::string& resume_from, bool expect_crash,
+                           std::int64_t crash_in_overlap = -1) {
   ModelConfig config;
   config.hidden_dim = 10;
   config.num_layers = 2;
@@ -346,6 +347,7 @@ std::vector<real> dist_run(DistStrategy strategy, const DDStore& store,
   options.checkpoint.every_steps = every_steps;
   options.checkpoint.directory = ckpt_dir;
   options.checkpoint.crash_after_step = crash_after;
+  options.checkpoint.crash_in_overlap_step = crash_in_overlap;
   options.checkpoint.resume_from = resume_from;
 
   DistributedTrainer trainer(config, options);
@@ -393,6 +395,39 @@ TEST_P(DistributedResume, EpochBoundaryCheckpointResumesBitIdentically) {
   TempDir dir("sgnn_dist_boundary_test");
   dist_run(strategy, store, dir.path(), steps_per_epoch, steps_per_epoch, "",
            true);
+  const std::vector<real> resumed =
+      dist_run(strategy, store, "", 0, -1, dir.path(), false);
+  EXPECT_EQ(resumed, reference);
+}
+
+TEST_P(DistributedResume, CrashInsideOverlapWindowResumesBitIdentically) {
+  // The hardest crash point the overlapped path introduces: every gradient
+  // bucket of step N has been POSTED (the progress engine may already be
+  // summing them) but nothing has been drained — no parameter or moment has
+  // been touched. The crash must land symmetrically on all ranks (no rank
+  // stranded in a collective), the bucketer teardown must retire the
+  // in-flight posts, and resuming from step N-1's snapshot must replay to
+  // the exact bytes of an uninterrupted run. Bucketing is on by default in
+  // DistTrainOptions, so dist_run exercises the overlapped path as-is.
+  const DistStrategy strategy = GetParam();
+  DDStore store(2);
+  store.insert(tiny_dataset().graphs());
+  const std::int64_t steps_per_epoch = store.size() / (2 * 4);
+  ASSERT_GT(steps_per_epoch, 1);
+
+  const std::vector<real> reference =
+      dist_run(strategy, store, "", 0, -1, "", false);
+
+  TempDir dir("sgnn_dist_overlap_crash_test");
+  dist_run(strategy, store, dir.path(), 1, -1, "", true,
+           /*crash_in_overlap=*/steps_per_epoch + 1);
+  const auto latest = ckpt::CheckpointManager::load_latest(dir.path());
+  ASSERT_TRUE(latest.has_value());
+  // The interrupted step never completed, so the newest snapshot is the
+  // previous step's.
+  EXPECT_EQ(latest->step,
+            static_cast<std::uint64_t>(steps_per_epoch));
+
   const std::vector<real> resumed =
       dist_run(strategy, store, "", 0, -1, dir.path(), false);
   EXPECT_EQ(resumed, reference);

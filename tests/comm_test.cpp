@@ -234,6 +234,222 @@ TEST(CommunicatorTest, CollectivesRejectOutOfRangeRanks) {
   EXPECT_THROW(comm.broadcast(0, data, -1), Error);
 }
 
+// -- non-blocking collectives -------------------------------------------------
+
+TEST(NonBlockingCommTest, IallReduceMatchesBlockingAndCountsOncePerOp) {
+  const int R = 3;
+  Communicator comm(R);
+  const std::size_t n = 50;
+  std::vector<std::vector<real>> data(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      data[static_cast<std::size_t>(r)].push_back(
+          static_cast<real>(r * 10) + static_cast<real>(i));
+    }
+  }
+  run_ranks(R, [&](int rank) {
+    CollectiveHandle handle =
+        comm.iall_reduce_sum(rank, data[static_cast<std::size_t>(rank)]);
+    ASSERT_TRUE(handle.valid());
+    handle.wait();
+    EXPECT_TRUE(handle.test());  // complete and still queryable after wait
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    real expected = 0;
+    for (int r = 0; r < R; ++r) {
+      expected += static_cast<real>(r * 10) + static_cast<real>(i);
+    }
+    for (int r = 0; r < R; ++r) {
+      EXPECT_DOUBLE_EQ(data[static_cast<std::size_t>(r)][i], expected);
+    }
+  }
+  // One logical collective: the payload is counted once at execution, not
+  // once per posting rank and not again at wait().
+  const auto traffic = comm.traffic();
+  EXPECT_EQ(traffic.all_reduce_bytes, n * sizeof(real));
+  EXPECT_EQ(traffic.all_reduce_calls, 1u);
+  EXPECT_EQ(traffic.collective_calls, 1u);
+}
+
+TEST(NonBlockingCommTest, ScatterGatherCountsTileTheVectorAndCountOnce) {
+  const int R = 4;
+  Communicator comm(R);
+  const std::size_t n = 10;
+  std::vector<std::size_t> counts;
+  for (int r = 0; r < R; ++r) {
+    const auto [begin, end] = Communicator::shard_range(n, r, R);
+    counts.push_back(end - begin);
+  }
+  std::vector<std::vector<real>> input(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      input[static_cast<std::size_t>(r)].push_back(
+          static_cast<real>(r + 1) * static_cast<real>(i));
+    }
+  }
+  std::vector<real> full_sum(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int r = 0; r < R; ++r) {
+      full_sum[i] += static_cast<real>(r + 1) * static_cast<real>(i);
+    }
+  }
+  std::vector<std::vector<real>> gathered(static_cast<std::size_t>(R));
+  run_ranks(R, [&](int rank) {
+    const auto ri = static_cast<std::size_t>(rank);
+    std::vector<real> piece(counts[ri]);
+    comm.ireduce_scatter_counts(rank, input[ri], counts, piece).wait();
+    const auto [begin, end] = Communicator::shard_range(n, rank, R);
+    ASSERT_EQ(piece.size(), end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      EXPECT_DOUBLE_EQ(piece[i - begin], full_sum[i]);
+    }
+    comm.iall_gather_counts(rank, piece, counts, gathered[ri]).wait();
+  });
+  for (int r = 0; r < R; ++r) {
+    EXPECT_EQ(gathered[static_cast<std::size_t>(r)], full_sum);
+  }
+  const auto traffic = comm.traffic();
+  EXPECT_EQ(traffic.reduce_scatter_bytes, n * sizeof(real));
+  EXPECT_EQ(traffic.reduce_scatter_calls, 1u);
+  EXPECT_EQ(traffic.all_gather_bytes, n * sizeof(real));
+  EXPECT_EQ(traffic.all_gather_calls, 1u);
+  EXPECT_EQ(traffic.collective_calls, 2u);
+}
+
+TEST(NonBlockingCommTest, MismatchedPostsFailTheHandlesInsteadOfDeadlocking) {
+  // Size mismatch: the i-th posts of the two ranks form one logical op, so
+  // differing lengths are an SPMD protocol violation — the engine must fail
+  // both handles (deferred Error at wait) rather than hang.
+  {
+    Communicator comm(2);
+    run_ranks(2, [&](int rank) {
+      std::vector<real> data(static_cast<std::size_t>(4 + rank), real{1});
+      CollectiveHandle handle = comm.iall_reduce_sum(rank, data);
+      EXPECT_THROW(handle.wait(), Error);
+    });
+    EXPECT_EQ(comm.traffic().total_bytes(), 0u);  // rejected ops don't count
+  }
+  // Kind mismatch: all-reduce matched against reduce-scatter.
+  {
+    Communicator comm(2);
+    run_ranks(2, [&](int rank) {
+      if (rank == 0) {
+        std::vector<real> data(4, real{1});
+        EXPECT_THROW(comm.iall_reduce_sum(rank, data).wait(), Error);
+      } else {
+        const std::vector<real> input(4, real{1});
+        std::vector<real> piece(2);
+        EXPECT_THROW(
+            comm.ireduce_scatter_counts(rank, input, {2, 2}, piece).wait(),
+            Error);
+      }
+    });
+  }
+}
+
+TEST(NonBlockingCommTest, DestroyingCommunicatorFailsOrphanedPosts) {
+  std::vector<real> data(3, real{1});
+  CollectiveHandle orphan;
+  {
+    Communicator comm(2);
+    orphan = comm.iall_reduce_sum(0, data);  // rank 1 never posts
+  }
+  ASSERT_TRUE(orphan.valid());
+  EXPECT_THROW(orphan.wait(), Error);
+}
+
+TEST(CommTest, TrafficSinceRejectsSnapshotFromTheFuture) {
+  Communicator::Traffic earlier;
+  earlier.all_reduce_bytes = 100;
+  earlier.all_reduce_calls = 2;
+  Communicator::Traffic later = earlier;
+  later.all_reduce_bytes += 50;
+  later.all_reduce_calls += 1;
+  EXPECT_EQ(later.since(earlier).all_reduce_bytes, 50u);
+  // Swapped arguments would "wrap" the unsigned subtraction into garbage;
+  // the contract is to fail loudly instead.
+  EXPECT_THROW(earlier.since(later), Error);
+}
+
+TEST(InterconnectModelTest, CallSecondsMatchesPerKindFormulas) {
+  InterconnectModel model;
+  model.link_bandwidth_bytes_per_s = 100.0;
+  model.latency_seconds = 0.5;
+  const int R = 4;
+  // Each kind = its bandwidth term + its launch latency (hand numbers from
+  // SecondsMatchesHandComputedKnownTraffic above).
+  EXPECT_DOUBLE_EQ(model.call_seconds(CollectiveKind::kAllReduce, 400, R),
+                   6.0 + 3.0);
+  EXPECT_DOUBLE_EQ(model.call_seconds(CollectiveKind::kReduceScatter, 200, R),
+                   1.5 + 1.5);
+  EXPECT_DOUBLE_EQ(model.call_seconds(CollectiveKind::kAllGather, 100, R),
+                   0.75 + 1.5);
+  EXPECT_DOUBLE_EQ(model.call_seconds(CollectiveKind::kBroadcast, 50, R),
+                   0.5 + 1.5);
+}
+
+TEST(InterconnectModelTest, OverlapCostSplitsExposedAndHiddenTime) {
+  InterconnectModel model;
+  model.link_bandwidth_bytes_per_s = 100.0;
+  model.latency_seconds = 0.5;
+  const int R = 4;
+  // One 400-byte all-reduce models 9 s of fabric time (6 bandwidth + 3
+  // latency; see CallSecondsMatchesPerKindFormulas).
+  using Event = InterconnectModel::OverlapEvent;
+
+  // Fully overlapped: the wait arrives 20 s after the post, far past the
+  // modeled finish at t=9 — no stall.
+  {
+    const auto cost = model.overlap_cost(
+        {Event{CollectiveKind::kAllReduce, 400, 0.0, 20.0}}, R);
+    EXPECT_EQ(cost.ops, 1);
+    EXPECT_DOUBLE_EQ(cost.total_seconds, 9.0);
+    EXPECT_DOUBLE_EQ(cost.exposed_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(cost.overlapped_seconds, 9.0);
+  }
+  // Fully exposed: wait immediately at the post — the rank stalls for the
+  // whole duration, like a blocking call.
+  {
+    const auto cost = model.overlap_cost(
+        {Event{CollectiveKind::kAllReduce, 400, 0.0, 0.0}}, R);
+    EXPECT_DOUBLE_EQ(cost.exposed_seconds, 9.0);
+    EXPECT_DOUBLE_EQ(cost.overlapped_seconds, 0.0);
+  }
+  // Serial fabric: the second op cannot start before the first finishes
+  // (t=9), so its finish is t=18 and a wait at t=10 exposes 8 s; the first
+  // op's wait at t=10 is fully covered.
+  {
+    const auto cost = model.overlap_cost(
+        {Event{CollectiveKind::kAllReduce, 400, 0.0, 10.0},
+         Event{CollectiveKind::kAllReduce, 400, 1.0, 10.0}},
+        R);
+    EXPECT_EQ(cost.ops, 2);
+    EXPECT_DOUBLE_EQ(cost.total_seconds, 18.0);
+    EXPECT_DOUBLE_EQ(cost.exposed_seconds, 8.0);
+    EXPECT_DOUBLE_EQ(cost.overlapped_seconds, 10.0);
+  }
+  // An earlier stall shifts every later measured timestamp: two immediate
+  // back-to-back waits expose everything.
+  {
+    const auto cost = model.overlap_cost(
+        {Event{CollectiveKind::kAllReduce, 400, 0.0, 0.0},
+         Event{CollectiveKind::kAllReduce, 400, 0.0, 0.0}},
+        R);
+    EXPECT_DOUBLE_EQ(cost.exposed_seconds, 18.0);
+    EXPECT_DOUBLE_EQ(cost.overlapped_seconds, 0.0);
+  }
+  // Malformed event streams fail loudly: wait before post, posts that go
+  // backwards in time.
+  EXPECT_THROW(model.overlap_cost(
+                   {Event{CollectiveKind::kAllReduce, 400, 5.0, 1.0}}, R),
+               Error);
+  EXPECT_THROW(model.overlap_cost(
+                   {Event{CollectiveKind::kAllReduce, 400, 5.0, 6.0},
+                    Event{CollectiveKind::kAllReduce, 400, 2.0, 7.0}},
+                   R),
+               Error);
+}
+
 TEST(InterconnectModelTest, CostScalesWithBytesAndRanks) {
   const InterconnectModel model;
   EXPECT_EQ(model.all_reduce_seconds(1 << 20, 1), 0.0);
