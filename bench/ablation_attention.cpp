@@ -91,6 +91,7 @@ AblationPoint train_and_eval(Model& model,
 }  // namespace
 
 int main() {
+  BenchReport report("ablation_attention");
   // Molecular-only dataset (ANI1x + QM7X geometry class): small graphs keep
   // the all-pairs attention affordable and avoid the transformer's periodic
   // approximation.
@@ -170,5 +171,9 @@ int main() {
                "cap model scaling\nbeyond ~2B params; attention can learn "
                "connections between any pair. This\nablation implements that "
                "comparison at reproduction scale.\n";
+
+  report.add_table("comparison", table);
+  report.add_table("slopes", slopes);
+  report.write();
   return 0;
 }

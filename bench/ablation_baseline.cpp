@@ -10,6 +10,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport report("ablation_baseline");
   const Experiment experiment = make_experiment();
   const auto train_indices = experiment.dataset.subsample(
       experiment.split.train, paper_tb_to_bytes(0.2), true, 91);
@@ -56,5 +57,8 @@ int main() {
   std::cout << "\n(NOTE: losses are comparable within a row pair only; the "
                "baseline changes the\nenergy target's scale, so the "
                "energy-MAE column is the apples-to-apples one.)\n";
+
+  report.add_table("baseline_sweep", table);
+  report.write();
   return 0;
 }

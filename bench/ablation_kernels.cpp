@@ -10,6 +10,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport report("ablation_kernels");
   const Experiment experiment = make_experiment();
   const SweepProtocol protocol = sweep_protocol();
   const auto train_indices = experiment.dataset.subsample(
@@ -48,5 +49,8 @@ int main() {
   std::cout << "\nPaper context: HydraGNN's flexible MPNN layers let the "
                "study pick EGNN for its\nE(n) equivariance; this ablation "
                "keeps everything else fixed and swaps the\nkernel.\n";
+
+  report.add_table("kernel_sweep", table);
+  report.write();
   return 0;
 }

@@ -11,6 +11,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport report("ablation_multitask");
   const Experiment experiment = make_experiment();
   const auto train_indices = experiment.dataset.subsample(
       experiment.split.train, paper_tb_to_bytes(0.4), true, 91);
@@ -61,5 +62,10 @@ int main() {
   std::cout << "\nChecks: the dipole head must beat predict-the-mean, and "
                "adding the third task\nmust not wreck the shared "
                "energy/force tasks (HydraGNN's multi-task premise).\n";
+
+  report.add_table("multitask", table);
+  report.add_value("dipole_baseline_mae", baseline_mae,
+                   BenchReport::Better::kNone);
+  report.write();
   return 0;
 }

@@ -11,6 +11,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport report("ablation_oversmoothing");
   const Experiment experiment = make_experiment();
   SweepProtocol protocol = sweep_protocol();
   protocol.train.epochs = 6;  // the effect shows early
@@ -89,5 +90,9 @@ int main() {
   std::cout << "\nPaper context (Sec. IV-C): the over-smoothing issue "
                "persists even at large\ndata/model scale, making width the "
                "productive scaling direction.\n";
+
+  report.add_table("depth_sweep", table);
+  report.add_table("verdict", verdict);
+  report.write();
   return 0;
 }

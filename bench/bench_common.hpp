@@ -9,14 +9,17 @@
 // volume is scaled), and the model-size axis is compressed onto widths this
 // machine can train. Every bench prints both scales.
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "sgnn/sgnn.hpp"
 
 namespace sgnn::bench {
@@ -119,12 +122,14 @@ inline const SweepPoint& grid_at(const std::vector<SweepPoint>& grid,
 }
 
 /// Writes a bench table as CSV next to the ASCII output (plotting input);
-/// prints where it went.
+/// prints where it went. Honors SGNN_BENCH_OUT_DIR like the JSON reports.
 inline void export_csv(const Table& table, const std::string& artifact) {
-  const std::string path = "sgnn_" + artifact + ".csv";
+  const std::string path = bench_out_path("sgnn_" + artifact + ".csv");
+  errno = 0;
   std::ofstream out(path);
   if (!out.is_open()) {
-    std::cerr << "[bench] could not write " << path << "\n";
+    std::cerr << "[bench] could not write " << path << ": "
+              << std::strerror(errno) << "\n";
     return;
   }
   out << table.to_csv();
@@ -134,8 +139,6 @@ inline void export_csv(const Table& table, const std::string& artifact) {
 /// Formats a parameter count with its compressed paper-scale label.
 inline std::string model_label(const SweepPoint& point) {
   for (const auto& m : model_grid()) {
-    ModelConfig c;
-    c.hidden_dim = m.hidden;
     if (point.hidden_dim == m.hidden) {
       return std::string(m.paper_label) + " (" +
              Table::human_count(static_cast<double>(point.parameters)) +

@@ -1,0 +1,70 @@
+#pragma once
+
+// Drop-in replacement for BENCHMARK_MAIN() in the micro benches: runs
+// google-benchmark with the normal console output, but also collects every
+// per-iteration run into a BenchReport and writes BENCH_<name>.json
+// (real seconds per iteration, items/s where reported) so the perf-smoke CI
+// job can diff micro-bench runs with sgnn_bench_compare.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+
+namespace sgnn::bench {
+
+class CollectingReporter : public ::benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      if (run.iterations <= 0) continue;
+      const std::string key = "bm." + run.benchmark_name();
+      report_.add_value(key + ".real_time_s",
+                        run.real_accumulated_time /
+                            static_cast<double>(run.iterations),
+                        BenchReport::Better::kLower);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        report_.add_value(key + ".items_per_s",
+                          static_cast<double>(items->second),
+                          BenchReport::Better::kHigher);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport& report_;
+};
+
+inline int run_gbench_main(int argc, char** argv, const char* report_name) {
+  char arg0_default[] = "benchmark";
+  char* args_default = arg0_default;
+  if (argv == nullptr) {
+    argc = 1;
+    argv = &args_default;
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchReport report(report_name);
+  CollectingReporter reporter(report);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+  report.write();
+  return 0;
+}
+
+}  // namespace sgnn::bench
+
+/// Expands to a main() that runs the registered benchmarks and writes
+/// BENCH_<report_name>.json alongside the console output.
+#define SGNN_GBENCH_MAIN(report_name)                               \
+  int main(int argc, char** argv) {                                 \
+    return ::sgnn::bench::run_gbench_main(argc, argv, report_name); \
+  }                                                                 \
+  int main(int, char**)

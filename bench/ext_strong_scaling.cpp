@@ -15,6 +15,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport report("ext_strong_scaling");
   const Experiment experiment = make_experiment();
   const auto subset = experiment.dataset.subsample(
       experiment.split.train, paper_tb_to_bytes(0.3), true, 91);
@@ -89,5 +90,10 @@ int main() {
                "all-reduces hide behind the backward\nhalf of each step, so "
                "exposed comm is strictly below the all-exposed model at\n"
                "every multi-rank point and efficiency decays later.\n";
+
+  report.add_table("projection", table);
+  report.add_value("single_rank_compute_s", single_compute,
+                   BenchReport::Better::kLower);
+  report.write();
   return 0;
 }

@@ -12,6 +12,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport report("ext_transfer");
   const ReferencePotential potential;
 
   // Pretraining corpus = the standard experiment aggregate.
@@ -89,5 +90,10 @@ int main() {
                "paper Sec. II-B/VI).\n";
 
   std::remove(checkpoint.c_str());
+
+  report.add_table("transfer", table);
+  report.add_value("finetune_wins", static_cast<double>(wins),
+                   BenchReport::Better::kHigher);
+  report.write();
   return 0;
 }

@@ -12,6 +12,8 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport report("fig1_landscape");
+
   struct Entry {
     const char* model;
     double dataset_bytes;
@@ -53,5 +55,10 @@ int main() {
                "point onto this\n    machine: 1 paper-TB == "
             << Table::human_bytes(kBytesPerPaperTB * bench_scale())
             << " here, model axis compressed to widths 8-128.\n";
+
+  report.add_table("landscape", table);
+  report.add_value("repro_bytes", static_cast<double>(repro_bytes),
+                   BenchReport::Better::kNone);
+  report.write();
   return 0;
 }

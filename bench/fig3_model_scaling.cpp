@@ -12,6 +12,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport report("fig3_model_scaling");
   const auto grid = shared_scaling_grid();
 
   Table table({"Dataset", "Model (paper-scale*)", "Params", "Test loss",
@@ -78,5 +79,11 @@ int main() {
             << "Paper claim: loss keeps falling with model size but with "
                "diminishing returns\n(GNN locality constraints), unlike the "
                "log-linear LLM scaling laws.\n";
+
+  report.add_table("loss_grid", table);
+  report.add_table("shape_analysis", analysis);
+  report.add_value("diminishing_count", diminishing_count,
+                   BenchReport::Better::kNone);
+  report.write();
   return 0;
 }

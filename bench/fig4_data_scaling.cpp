@@ -13,6 +13,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport report("fig4_data_scaling");
   const auto grid = shared_scaling_grid();
 
   Table table({"Model (paper-scale*)", "Dataset", "Train graphs", "Test loss",
@@ -73,5 +74,9 @@ int main() {
                "(distribution mismatch vs the\nfixed test set), then steady "
                "predictable decrease to 1.2 TB; at large scale,\nscaling "
                "data beats scaling the model.\n";
+
+  report.add_table("loss_grid", table);
+  report.add_table("shape_analysis", analysis);
+  report.write();
   return 0;
 }

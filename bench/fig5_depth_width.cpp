@@ -21,6 +21,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport report("fig5_depth_width");
   const Experiment experiment = make_experiment();
   const SweepProtocol protocol = sweep_protocol();
   const auto train_indices = experiment.dataset.subsample(
@@ -129,5 +130,10 @@ int main() {
                "the node-feature-dependent (energy) channel; the equivariant"
                "\nforce head reads edge geometry and sidesteps it (see "
                "ablation_oversmoothing).\n";
+
+  report.add_table("series", table);
+  report.add_table("verdict", verdict);
+  report.add_value("width_wins", width_wins, BenchReport::Better::kNone);
+  report.write();
   return 0;
 }

@@ -25,6 +25,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport bench_report("fig6_memory_breakdown");
   const Experiment experiment = make_experiment();
   const auto subset = experiment.dataset.subsample(
       experiment.split.train, paper_tb_to_bytes(0.2), true, 91);
@@ -128,5 +129,15 @@ int main() {
                "(peak at start of\nbackward); checkpointing shifts the peak "
                "to the weight update; ZeRO shards\noptimizer states across "
                "the 4 GPUs.\n";
+
+  bench_report.add_table("phases", phases);
+  bench_report.add_table("telemetry", telemetry);
+  bench_report.add_table("breakdown", breakdown);
+  bench_report.add_table("relative_peak", relative);
+  bench_report.add_value("vanilla_peak_bytes", static_cast<double>(peaks[0]),
+                         BenchReport::Better::kLower);
+  bench_report.add_value("zero_peak_bytes", static_cast<double>(peaks.back()),
+                         BenchReport::Better::kLower);
+  bench_report.write();
   return 0;
 }

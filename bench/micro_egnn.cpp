@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include "sgnn/data/sources.hpp"
 #include "sgnn/graph/batch.hpp"
 #include "sgnn/nn/egnn.hpp"
@@ -102,4 +104,4 @@ BENCHMARK(BM_EGNNTrainStepThreads)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SGNN_GBENCH_MAIN("micro_egnn");

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include "sgnn/graph/neighbor.hpp"
 #include "sgnn/util/rng.hpp"
 
@@ -49,4 +51,4 @@ BENCHMARK(BM_CellList)->Arg(32)->Arg(128)->Arg(512)->Arg(2048)->Arg(8192);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SGNN_GBENCH_MAIN("micro_neighbor");

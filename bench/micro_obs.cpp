@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include "sgnn/obs/metrics.hpp"
 #include "sgnn/obs/trace.hpp"
 
@@ -98,4 +100,4 @@ BENCHMARK(BM_HistogramObserve)->Threads(1)->Threads(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SGNN_GBENCH_MAIN("micro_obs");

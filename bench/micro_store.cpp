@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -111,4 +113,4 @@ BENCHMARK(BM_StreamingEpoch)->Arg(0)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SGNN_GBENCH_MAIN("micro_store");

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include "sgnn/tensor/checkpoint.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/rng.hpp"
@@ -181,4 +183,4 @@ BENCHMARK(BM_CheckpointOverhead)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SGNN_GBENCH_MAIN("micro_tensor");

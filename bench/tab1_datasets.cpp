@@ -10,6 +10,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport report("tab1_datasets");
   const Experiment experiment = make_experiment();
   const auto& dataset = experiment.dataset;
 
@@ -75,5 +76,15 @@ int main() {
   std::cout << "\n"
             << extrapolated.to_ascii(
                    "Tab. I cross-check — extrapolated to 1.2 TB vs published");
+
+  report.add_table("composition", table);
+  report.add_table("extrapolated", extrapolated);
+  report.add_value("total_nodes", static_cast<double>(nodes),
+                   BenchReport::Better::kNone);
+  report.add_value("total_edges", static_cast<double>(edges),
+                   BenchReport::Better::kNone);
+  report.add_value("total_graphs", static_cast<double>(graphs),
+                   BenchReport::Better::kNone);
+  report.write();
   return 0;
 }

@@ -23,6 +23,7 @@ int main() {
   using namespace sgnn;
   using namespace sgnn::bench;
 
+  BenchReport bench_report("tab2_memory_time");
   const Experiment experiment = make_experiment();
   const auto subset = experiment.dataset.subsample(
       experiment.split.train, paper_tb_to_bytes(0.2), true, 91);
@@ -141,5 +142,19 @@ int main() {
                "actually stalls on\nafter overlapping buckets with backward "
                "— strictly below the all-exposed\naccounting whenever any "
                "bucket finishes under compute.\n";
+
+  bench_report.add_table("tradeoff", table);
+  bench_report.add_table("overlap", overlap);
+  bench_report.add_table("steps", steps);
+  bench_report.add_value("vanilla_peak_bytes",
+                         static_cast<double>(results[0].peak),
+                         BenchReport::Better::kLower);
+  bench_report.add_value("vanilla_p95_step_s", results[0].p95_step_s,
+                         BenchReport::Better::kLower);
+  bench_report.add_value("vanilla_atoms_per_sec", results[0].atoms_per_sec,
+                         BenchReport::Better::kHigher);
+  bench_report.add_value("zero_comm_exposed_s", results.back().comm_exposed_s,
+                         BenchReport::Better::kLower);
+  bench_report.write();
   return 0;
 }

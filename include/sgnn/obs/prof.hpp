@@ -1,0 +1,193 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgnn::obs::prof {
+
+namespace detail {
+/// Plain constant-initialized global — no magic-static guard — so the
+/// disabled fast path of ProfRegion/KernelScope is one relaxed load and a
+/// branch (the same discipline as obs::detail::g_trace_enabled).
+extern std::atomic<bool> g_prof_enabled;
+
+struct Node;  // per-thread call-tree node; opaque outside prof.cpp
+
+/// Pushes a child of the calling thread's current node and returns it.
+/// `suffix` (when non-null) is appended to the name — the ".bwd" variants —
+/// so call sites pay the concatenation only on the enabled path.
+Node* enter(const char* name, const char* suffix = nullptr);
+/// Pops back to the parent, adding elapsed time (and, for kernels, the
+/// FLOP/byte cost) to the node's relaxed per-thread counters.
+void leave(Node* node, std::int64_t begin_ns, std::int64_t flops,
+           std::int64_t bytes, bool kernel);
+std::int64_t now_ns();
+/// Thread-local guard excluding calibration (and other internal work) from
+/// the profile while it runs under an enabled profiler.
+bool suppressed();
+}  // namespace detail
+
+/// True when profiling is collecting. The disabled path of every hook is a
+/// single relaxed atomic load plus branch.
+inline bool enabled() {
+  return detail::g_prof_enabled.load(std::memory_order_relaxed);
+}
+
+void enable();
+void disable();
+/// Zeroes every recorded count/time in place. Node storage (and any Node*
+/// held by an open region) stays valid, so reset between runs is safe even
+/// if instrumented threads are mid-flight — their open regions simply
+/// contribute to the fresh counts when they close.
+void reset();
+
+/// RAII scoped region: aggregates into the per-thread call tree keyed by the
+/// full path of enclosing regions. Trainers wrap step phases; benches wrap
+/// whole workloads so the report's exclusive times sum to the profiled wall
+/// time.
+class ProfRegion {
+ public:
+  explicit ProfRegion(const char* name)
+      : active_(enabled() && !detail::suppressed()) {
+    if (!active_) return;
+    node_ = detail::enter(name);
+    begin_ns_ = detail::now_ns();
+  }
+  ~ProfRegion() {
+    if (active_) detail::leave(node_, begin_ns_, 0, 0, /*kernel=*/false);
+  }
+  ProfRegion(const ProfRegion&) = delete;
+  ProfRegion& operator=(const ProfRegion&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+  detail::Node* node_ = nullptr;
+  std::int64_t begin_ns_ = 0;
+};
+
+/// RAII cost-reporting hook for one tensor-kernel invocation. Records wall
+/// time like ProfRegion and additionally attributes FLOPs and bytes moved
+/// (computed by the caller from the operand shapes — see the kernel cost
+/// model in docs/observability.md). Construct immediately before the kernel
+/// loop and let it close right after, so nested op calls never land inside.
+class KernelScope {
+ public:
+  KernelScope(const char* name, std::int64_t flops, std::int64_t bytes,
+              const char* suffix = nullptr)
+      : active_(enabled() && !detail::suppressed()) {
+    if (!active_) return;
+    flops_ = flops;
+    bytes_ = bytes;
+    node_ = detail::enter(name, suffix);
+    begin_ns_ = detail::now_ns();
+  }
+  ~KernelScope() {
+    if (active_) detail::leave(node_, begin_ns_, flops_, bytes_, true);
+  }
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Replaces the attributed cost — for kernels (neighbor search) whose
+  /// work is only known once they ran.
+  void cost(std::int64_t flops, std::int64_t bytes) {
+    if (!active_) return;
+    flops_ = flops;
+    bytes_ = bytes;
+  }
+
+ private:
+  bool active_;
+  detail::Node* node_ = nullptr;
+  std::int64_t begin_ns_ = 0;
+  std::int64_t flops_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+/// Measured machine peaks the roofline fractions are computed against.
+/// Calibrated once per process on first use with the same kernel shapes the
+/// micro_tensor bench exercises: a cache-blocked ikj matmul for GFLOP/s and
+/// a streaming triad for GB/s, both run through the intra-op thread pool.
+struct Calibration {
+  double peak_gflops = 0;  ///< achieved dense-matmul FLOP rate
+  double peak_gbps = 0;    ///< achieved streaming-triad byte rate
+  int threads = 1;         ///< pool lanes the calibration ran with
+};
+
+/// The cached per-process calibration (measured on first call, ~50 ms).
+/// Excluded from the profile via the suppression guard.
+const Calibration& calibration();
+
+/// Cheap aggregate over every kernel recorded so far — the per-step profile
+/// snapshot the trainers put into StepTelemetry.
+struct Totals {
+  std::int64_t kernel_calls = 0;
+  std::int64_t flops = 0;
+  std::int64_t bytes = 0;
+  double kernel_seconds = 0;
+};
+Totals totals();
+
+/// One call-tree path, pre-order. `path` joins region names with ';' (the
+/// collapsed-stack separator), `exclusive_seconds` is inclusive minus the
+/// children's inclusive time.
+struct TreeRow {
+  std::string path;
+  std::string name;
+  int depth = 0;
+  std::int64_t calls = 0;
+  double inclusive_seconds = 0;
+  double exclusive_seconds = 0;
+  std::int64_t flops = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Per-kernel cost row, aggregated by kernel name across every call site and
+/// thread, with achieved rates and the roofline comparison against the
+/// calibrated peaks.
+struct KernelRow {
+  std::string name;
+  std::int64_t calls = 0;
+  std::int64_t flops = 0;
+  std::int64_t bytes = 0;
+  double seconds = 0;
+  double gflops = 0;           ///< achieved, flops / seconds / 1e9
+  double gbps = 0;             ///< achieved, bytes / seconds / 1e9
+  double intensity = 0;        ///< FLOP/byte
+  double attainable_gflops = 0;  ///< min(peak_gflops, intensity * peak_gbps)
+  /// Achieved fraction of the roofline: gflops / attainable_gflops, or for
+  /// pure data-movement kernels (flops == 0) gbps / peak_gbps.
+  double roofline_fraction = 0;
+};
+
+/// Snapshot of everything the profiler knows, merged across threads.
+struct Report {
+  std::vector<TreeRow> tree;      ///< pre-order; depth-0 rows are top level
+  std::vector<KernelRow> kernels;  ///< sorted by seconds, descending
+  Calibration machine;
+
+  double total_seconds() const;  ///< sum of top-level inclusive times
+
+  /// Human-readable report: roofline table plus top-N hotspots by
+  /// exclusive time.
+  std::string to_text(std::size_t top_n = 10) const;
+  /// Machine-readable report embedded into BENCH_*.json.
+  std::string to_json() const;
+  /// Collapsed-stack (Brendan Gregg flamegraph.pl) format: one line per
+  /// path, weight = exclusive microseconds.
+  std::string to_collapsed() const;
+  /// Top-N rows by exclusive time (ties broken by path for determinism).
+  std::vector<TreeRow> hotspots(std::size_t top_n) const;
+};
+
+/// Builds the merged report. `with_calibration` controls whether the (lazy,
+/// one-time) machine calibration runs; pass false where peaks are irrelevant
+/// and the ~50 ms matters (unit tests).
+Report report(bool with_calibration = true);
+
+}  // namespace sgnn::obs::prof

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -49,6 +50,13 @@ struct StepTelemetry {
   std::int64_t live_bytes = 0;
   std::int64_t peak_bytes = 0;
 
+  /// Per-step kernel profile snapshot (deltas of obs::prof::totals() across
+  /// the step): time spent inside instrumented tensor kernels and the
+  /// FLOPs / bytes those kernels attributed. Zero when the profiler is off.
+  double kernel_seconds = 0;
+  std::int64_t kernel_flops = 0;
+  std::int64_t kernel_bytes = 0;
+
   std::string to_json() const;
   /// Parses one to_json() line back; throws sgnn::Error on malformed input.
   static StepTelemetry from_json(const std::string& line);
@@ -88,6 +96,13 @@ class RecordingTelemetrySink final : public TelemetrySink {
   mutable std::mutex mutex_;
   std::vector<StepTelemetry> steps_;
 };
+
+/// Parses a whole JSONL telemetry stream (one to_json() object per line,
+/// blank lines ignored). A malformed line throws sgnn::Error naming the
+/// 1-based line number and the offending field instead of decaying to zeros.
+std::vector<StepTelemetry> read_jsonl(std::istream& in);
+/// File-opening overload; the error also names the path.
+std::vector<StepTelemetry> read_jsonl(const std::string& path);
 
 /// Mirrors one step into the global MetricsRegistry: counters train.steps /
 /// train.atoms / train.graphs, gauges train.loss / train.lr /

@@ -24,6 +24,10 @@ class Table {
   std::size_t rows() const { return rows_.size(); }
   std::size_t columns() const { return headers_.size(); }
 
+  /// Raw cell access for structured (JSON) exports.
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& cells() const { return rows_; }
+
   /// Numeric formatting helpers shared by benches.
   static std::string fixed(double value, int precision);
   static std::string scientific(double value, int precision);

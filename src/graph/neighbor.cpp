@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sgnn/obs/metrics.hpp"
+#include "sgnn/obs/prof.hpp"
 #include "sgnn/obs/trace.hpp"
 #include "sgnn/util/error.hpp"
 #include "sgnn/util/thread_pool.hpp"
@@ -221,11 +222,18 @@ EdgeList cell_list_neighbors(const AtomicStructure& structure, double cutoff) {
 
 EdgeList build_neighbors(const AtomicStructure& structure, double cutoff) {
   obs::TraceSpan span("neighbor_build", "graph");
+  // Edge count is unknown until the search ran, so the cost is attributed
+  // post-hoc (see the cost-model note in docs/observability.md).
+  obs::prof::KernelScope prof("neighbor_search", 0, 0);
   // Cell lists win once the bookkeeping amortizes; ~100 atoms in practice.
   constexpr std::int64_t kBruteForceMax = 100;
   EdgeList edges = structure.num_atoms() <= kBruteForceMax
                        ? brute_force_neighbors(structure, cutoff)
                        : cell_list_neighbors(structure, cutoff);
+  const auto num_edges = static_cast<std::int64_t>(edges.src.size());
+  prof.cost(8 * num_edges,
+            3 * static_cast<std::int64_t>(sizeof(double)) *
+                (structure.num_atoms() + num_edges));
   if (span.active()) {
     span.arg("atoms", structure.num_atoms())
         .arg("edges", static_cast<std::int64_t>(edges.src.size()));

@@ -54,6 +54,9 @@ std::string StepTelemetry::to_json() const {
   out += ",\"comm_buckets\":" + std::to_string(comm_buckets);
   out += ",\"live_bytes\":" + std::to_string(live_bytes);
   out += ",\"peak_bytes\":" + std::to_string(peak_bytes);
+  out += ",\"kernel_seconds\":" + format_double(kernel_seconds);
+  out += ",\"kernel_flops\":" + std::to_string(kernel_flops);
+  out += ",\"kernel_bytes\":" + std::to_string(kernel_bytes);
   out += "}";
   return out;
 }
@@ -83,7 +86,42 @@ StepTelemetry StepTelemetry::from_json(const std::string& line) {
   t.comm_buckets = static_cast<std::int64_t>(numeric_field(line, "comm_buckets"));
   t.live_bytes = static_cast<std::int64_t>(numeric_field(line, "live_bytes"));
   t.peak_bytes = static_cast<std::int64_t>(numeric_field(line, "peak_bytes"));
+  t.kernel_seconds = numeric_field(line, "kernel_seconds");
+  t.kernel_flops =
+      static_cast<std::int64_t>(numeric_field(line, "kernel_flops"));
+  t.kernel_bytes =
+      static_cast<std::int64_t>(numeric_field(line, "kernel_bytes"));
   return t;
+}
+
+std::vector<StepTelemetry> read_jsonl(std::istream& in) {
+  std::vector<StepTelemetry> steps;
+  std::string line;
+  std::int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      steps.push_back(StepTelemetry::from_json(line));
+    } catch (const Error& e) {
+      // Re-throw with the position attached — a sweep reading thousands of
+      // lines needs to know *which* record is corrupt.
+      SGNN_CHECK(false, "telemetry JSONL parse error at line " << line_no
+                                                               << ": "
+                                                               << e.what());
+    }
+  }
+  return steps;
+}
+
+std::vector<StepTelemetry> read_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  SGNN_CHECK(in.good(), "cannot open telemetry file " << path);
+  try {
+    return read_jsonl(in);
+  } catch (const Error& e) {
+    SGNN_CHECK(false, "in " << path << ": " << e.what());
+  }
 }
 
 JsonlTelemetrySink::JsonlTelemetrySink(const std::string& path)
@@ -134,6 +172,10 @@ void record_step_metrics(const StepTelemetry& step) {
   registry.gauge("comm.exposed_seconds").add(step.comm_exposed_seconds);
   registry.gauge("comm.overlapped_seconds").add(step.comm_overlapped_seconds);
   registry.counter("comm.buckets").add(step.comm_buckets);
+  // Kernel profile deltas (zero when the profiler is disabled).
+  registry.gauge("kernel.seconds").add(step.kernel_seconds);
+  registry.counter("kernel.flops").add(step.kernel_flops);
+  registry.counter("kernel.bytes").add(step.kernel_bytes);
 }
 
 }  // namespace sgnn::obs

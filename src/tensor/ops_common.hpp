@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "sgnn/obs/prof.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/tensor/tensor.hpp"
 #include "sgnn/util/error.hpp"
@@ -95,6 +96,10 @@ inline Tensor reduce_to(const Tensor& grad, const Shape& target) {
   SGNN_CHECK(Shape::broadcastable_to(target, grad.shape()),
              "reduce_to: " << target.to_string() << " does not broadcast to "
                            << grad.shape().to_string());
+  const obs::prof::KernelScope prof(
+      "reduce_to", grad.numel(),
+      static_cast<std::int64_t>(sizeof(real)) *
+          (grad.numel() + target.numel()));
   Tensor out = Tensor::zeros(target);
   const auto st = broadcast_strides(target, grad.shape());
   const auto sg = grad.shape().strides();

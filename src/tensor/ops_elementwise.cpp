@@ -1,6 +1,7 @@
 #include <cmath>
 
 #include "ops_common.hpp"
+#include "sgnn/obs/prof.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/thread_pool.hpp"
 
@@ -29,6 +30,10 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name,
         Tensor gb = Tensor::zeros(grad.shape());
         {
           // Evaluate d(out)/d(a) * grad and d(out)/d(b) * grad pointwise.
+          const obs::prof::KernelScope prof(
+              name, 4 * grad.numel(),
+              5 * static_cast<std::int64_t>(sizeof(real)) * grad.numel(),
+              ".bwd");
           const auto sa =
               ops_detail::broadcast_strides(a_shape, grad.shape());
           const auto sb =
@@ -63,7 +68,12 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name,
         return {reduce_to(ga, a_shape), reduce_to(gb, b_shape)};
       },
       name);
-  binary_broadcast(ad, bd, out, fwd);
+  {
+    const obs::prof::KernelScope prof(
+        name, out.numel(),
+        3 * static_cast<std::int64_t>(sizeof(real)) * out.numel());
+    binary_broadcast(ad, bd, out, fwd);
+  }
   return out;
 }
 
@@ -80,22 +90,33 @@ Tensor unary_op(const Tensor& x, const char* name, Forward fwd,
         const real* pg = grad.data();
         real* pgx = gx.data();
         const std::int64_t n = grad.numel();
-        parallel_for(0, n, kElementwiseGrain,
-                     [&, px, pg, pgx](std::int64_t begin, std::int64_t end) {
-                       for (std::int64_t i = begin; i < end; ++i) {
-                         pgx[i] = dfdx(px[i]) * pg[i];
-                       }
-                     });
+        {
+          const obs::prof::KernelScope prof(
+              name, 2 * n, 3 * static_cast<std::int64_t>(sizeof(real)) * n,
+              ".bwd");
+          parallel_for(
+              0, n, kElementwiseGrain,
+              [&, px, pg, pgx](std::int64_t begin, std::int64_t end) {
+                for (std::int64_t i = begin; i < end; ++i) {
+                  pgx[i] = dfdx(px[i]) * pg[i];
+                }
+              });
+        }
         return {gx};
       },
       name);
   const real* px = xd.data();
   real* po = out.data();
   const std::int64_t n = out.numel();
-  parallel_for(0, n, kElementwiseGrain,
-               [&, px, po](std::int64_t begin, std::int64_t end) {
-                 for (std::int64_t i = begin; i < end; ++i) po[i] = fwd(px[i]);
-               });
+  {
+    const obs::prof::KernelScope prof(
+        name, n, 2 * static_cast<std::int64_t>(sizeof(real)) * n);
+    parallel_for(
+        0, n, kElementwiseGrain,
+        [&, px, po](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) po[i] = fwd(px[i]);
+        });
+  }
   return out;
 }
 
@@ -113,8 +134,13 @@ Tensor add(const Tensor& a, const Tensor& b) {
         return {reduce_to(grad, a_shape), reduce_to(grad, b_shape)};
       },
       "add");
-  binary_broadcast(a.detach(), b.detach(), out,
-                   [](real x, real y) { return x + y; });
+  {
+    const obs::prof::KernelScope prof(
+        "add", out.numel(),
+        3 * static_cast<std::int64_t>(sizeof(real)) * out.numel());
+    binary_broadcast(a.detach(), b.detach(), out,
+                     [](real x, real y) { return x + y; });
+  }
   return out;
 }
 
@@ -129,17 +155,27 @@ Tensor sub(const Tensor& a, const Tensor& b) {
         const real* pg = grad.data();
         real* pn = gneg.data();
         const std::int64_t n = grad.numel();
-        parallel_for(0, n, kElementwiseGrain,
-                     [=](std::int64_t begin, std::int64_t end) {
-                       for (std::int64_t i = begin; i < end; ++i) {
-                         pn[i] = -pg[i];
-                       }
-                     });
+        {
+          const obs::prof::KernelScope prof(
+              "sub", n, 2 * static_cast<std::int64_t>(sizeof(real)) * n,
+              ".bwd");
+          parallel_for(0, n, kElementwiseGrain,
+                       [=](std::int64_t begin, std::int64_t end) {
+                         for (std::int64_t i = begin; i < end; ++i) {
+                           pn[i] = -pg[i];
+                         }
+                       });
+        }
         return {reduce_to(grad, a_shape), reduce_to(gneg, b_shape)};
       },
       "sub");
-  binary_broadcast(a.detach(), b.detach(), out,
-                   [](real x, real y) { return x - y; });
+  {
+    const obs::prof::KernelScope prof(
+        "sub", out.numel(),
+        3 * static_cast<std::int64_t>(sizeof(real)) * out.numel());
+    binary_broadcast(a.detach(), b.detach(), out,
+                     [](real x, real y) { return x - y; });
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "ops_common.hpp"
+#include "sgnn/obs/prof.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/thread_pool.hpp"
 
@@ -53,11 +54,18 @@ Tensor index_select_rows(const Tensor& x,
       [=](const Tensor& grad) -> std::vector<Tensor> {
         // Rows gathered multiple times accumulate their gradients; the
         // scatter is receiver-sharded to keep that accumulation ordered.
+        const obs::prof::KernelScope prof(
+            "index_select", out_rows * cols,
+            3 * static_cast<std::int64_t>(sizeof(real)) * out_rows * cols,
+            ".bwd");
         Tensor gx = Tensor::zeros(Shape{rows, cols});
         scatter_rows_into(grad.data(), index, gx.data(), rows, cols);
         return {gx};
       },
       "index_select_rows");
+  const obs::prof::KernelScope prof(
+      "index_select", 0,
+      2 * static_cast<std::int64_t>(sizeof(real)) * out_rows * cols);
   const real* px = xd.data();
   real* po = out.data();
   parallel_for(0, out_rows, parallel_grain(cols),
@@ -90,6 +98,10 @@ Tensor scatter_add_rows(const Tensor& src,
       Shape{num_rows, cols}, {src},
       [=](const Tensor& grad) -> std::vector<Tensor> {
         // d(out[idx[i]])/d(src[i]) = I, so the gradient is a row gather.
+        const obs::prof::KernelScope prof(
+            "scatter_add", 0,
+            2 * static_cast<std::int64_t>(sizeof(real)) * in_rows * cols,
+            ".bwd");
         Tensor gs = Tensor::zeros(Shape{in_rows, cols});
         real* pgs = gs.data();
         const real* pg = grad.data();
@@ -105,6 +117,9 @@ Tensor scatter_add_rows(const Tensor& src,
         return {gs};
       },
       "scatter_add_rows");
+  const obs::prof::KernelScope prof(
+      "scatter_add", in_rows * cols,
+      3 * static_cast<std::int64_t>(sizeof(real)) * in_rows * cols);
   scatter_rows_into(sd.data(), index, out.data(), num_rows, cols);
   return out;
 }

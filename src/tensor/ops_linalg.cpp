@@ -1,4 +1,5 @@
 #include "ops_common.hpp"
+#include "sgnn/obs/prof.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/thread_pool.hpp"
 
@@ -84,7 +85,13 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   Tensor out = Tensor::make_result(
       Shape{m, n}, {a, b},
       [=](const Tensor& grad) -> std::vector<Tensor> {
-        // dA = G @ Bᵀ, dB = Aᵀ @ G.
+        // dA = G @ Bᵀ, dB = Aᵀ @ G: two products, each priced like the
+        // forward one (see the kernel cost model in docs/observability.md).
+        const obs::prof::KernelScope prof(
+            "matmul", 4 * m * k * n,
+            2 * static_cast<std::int64_t>(sizeof(real)) *
+                (m * k + k * n + m * n),
+            ".bwd");
         Tensor ga = Tensor::zeros(Shape{m, k});
         Tensor gb = Tensor::zeros(Shape{k, n});
         matmul_a_bt(grad.data(), bd.data(), ga.data(), m, n, k);
@@ -92,7 +99,12 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         return {ga, gb};
       },
       "matmul");
-  matmul_into(ad.data(), bd.data(), out.data(), m, k, n);
+  {
+    const obs::prof::KernelScope prof(
+        "matmul", 2 * m * k * n,
+        static_cast<std::int64_t>(sizeof(real)) * (m * k + k * n + m * n));
+    matmul_into(ad.data(), bd.data(), out.data(), m, k, n);
+  }
   return out;
 }
 
@@ -105,6 +117,10 @@ Tensor transpose(const Tensor& x) {
   Tensor out = Tensor::make_result(
       Shape{cols, rows}, {x},
       [=](const Tensor& grad) -> std::vector<Tensor> {
+        const obs::prof::KernelScope prof(
+            "transpose", 0,
+            2 * static_cast<std::int64_t>(sizeof(real)) * rows * cols,
+            ".bwd");
         Tensor gx = Tensor::zeros(Shape{rows, cols});
         const real* pg = grad.data();
         real* pgx = gx.data();
@@ -119,6 +135,9 @@ Tensor transpose(const Tensor& x) {
         return {gx};
       },
       "transpose");
+  const obs::prof::KernelScope prof(
+      "transpose", 0,
+      2 * static_cast<std::int64_t>(sizeof(real)) * rows * cols);
   const real* px = xd.data();
   real* po = out.data();
   parallel_for(0, rows, parallel_grain(cols),

@@ -1,4 +1,5 @@
 #include "ops_common.hpp"
+#include "sgnn/obs/prof.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/thread_pool.hpp"
 
@@ -12,6 +13,10 @@ Tensor sum(const Tensor& x) {
   Tensor out = Tensor::make_result(
       Shape{}, {x},
       [=](const Tensor& grad) -> std::vector<Tensor> {
+        const obs::prof::KernelScope prof(
+            "sum", 0,
+            static_cast<std::int64_t>(sizeof(real)) * x_shape.numel(),
+            ".bwd");
         const real g = grad.item();
         Tensor gx = Tensor::full(x_shape, g);
         return {gx};
@@ -19,6 +24,8 @@ Tensor sum(const Tensor& x) {
       "sum");
   const real* px = x.data();
   const std::int64_t n = x.numel();
+  const obs::prof::KernelScope prof(
+      "sum", n, static_cast<std::int64_t>(sizeof(real)) * (n + 1));
   // Order-deterministic chunked reduction: per-chunk partials combined in
   // chunk order, so the value is identical for every pool size.
   out.data()[0] = static_cast<real>(parallel_reduce_sum(
@@ -80,6 +87,11 @@ Tensor sum(const Tensor& x, std::size_t axis, bool keepdim) {
       out_shape, {x},
       [=](const Tensor& grad) -> std::vector<Tensor> {
         // Broadcast grad back along the reduced axis.
+        const obs::prof::KernelScope prof(
+            "sum_axis", 0,
+            static_cast<std::int64_t>(sizeof(real)) *
+                (grad.numel() + x_shape.numel()),
+            ".bwd");
         Tensor gx = Tensor::zeros(x_shape);
         const real* pg = grad.data();
         real* pgx = gx.data();
@@ -98,6 +110,9 @@ Tensor sum(const Tensor& x, std::size_t axis, bool keepdim) {
         return {gx};
       },
       "sum_axis");
+  const obs::prof::KernelScope prof(
+      "sum_axis", x.numel(),
+      static_cast<std::int64_t>(sizeof(real)) * (x.numel() + out.numel()));
   const real* px = x.data();
   real* po = out.data();
   // Each output slice accumulates over the reduced axis in ascending order,

@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "ops_common.hpp"
+#include "sgnn/obs/prof.hpp"
 #include "sgnn/tensor/ops.hpp"
 
 namespace sgnn {
@@ -14,12 +15,19 @@ Tensor reshape(const Tensor& x, const Shape& shape) {
   Tensor out = Tensor::make_result(
       shape, {x},
       [=](const Tensor& grad) -> std::vector<Tensor> {
+        const obs::prof::KernelScope prof(
+            "reshape", 0,
+            2 * static_cast<std::int64_t>(sizeof(real)) * x_shape.numel(),
+            ".bwd");
         Tensor gx = Tensor::zeros(x_shape);
         std::copy_n(grad.data(), static_cast<std::size_t>(grad.numel()),
                     gx.data());
         return {gx};
       },
       "reshape");
+  const obs::prof::KernelScope prof(
+      "reshape", 0,
+      2 * static_cast<std::int64_t>(sizeof(real)) * xd.numel());
   std::copy_n(xd.data(), static_cast<std::size_t>(xd.numel()), out.data());
   return out;
 }
@@ -74,6 +82,10 @@ Tensor concat(const std::vector<Tensor>& parts, std::size_t axis) {
   Tensor out = Tensor::make_result(
       out_shape, parts,
       [=](const Tensor& grad) -> std::vector<Tensor> {
+        const obs::prof::KernelScope prof(
+            "concat", 0,
+            2 * static_cast<std::int64_t>(sizeof(real)) * grad.numel(),
+            ".bwd");
         std::vector<Tensor> grads;
         grads.reserve(part_shapes.size());
         const real* pg = grad.data();
@@ -95,6 +107,9 @@ Tensor concat(const std::vector<Tensor>& parts, std::size_t axis) {
       },
       "concat");
 
+  const obs::prof::KernelScope prof(
+      "concat", 0,
+      2 * static_cast<std::int64_t>(sizeof(real)) * out.numel());
   real* po = out.data();
   std::int64_t axis_offset = 0;
   for (const auto& p : parts) {
@@ -130,6 +145,12 @@ Tensor narrow(const Tensor& x, std::size_t axis, std::int64_t start,
   Tensor out = Tensor::make_result(
       out_shape, {x},
       [=](const Tensor& grad) -> std::vector<Tensor> {
+        // Zero-fill of the full input extent plus the copied slice.
+        const obs::prof::KernelScope prof(
+            "narrow", 0,
+            static_cast<std::int64_t>(sizeof(real)) *
+                (x_shape.numel() + grad.numel()),
+            ".bwd");
         Tensor gx = Tensor::zeros(x_shape);
         real* pgx = gx.data();
         const real* pg = grad.data();
@@ -142,6 +163,9 @@ Tensor narrow(const Tensor& x, std::size_t axis, std::int64_t start,
       },
       "narrow");
 
+  const obs::prof::KernelScope prof(
+      "narrow", 0,
+      2 * static_cast<std::int64_t>(sizeof(real)) * out.numel());
   const real* px = xd.data();
   real* po = out.data();
   for (std::int64_t o = 0; o < s.outer; ++o) {

@@ -9,6 +9,7 @@
 
 #include "sgnn/graph/batch.hpp"
 #include "sgnn/nn/model_io.hpp"
+#include "sgnn/obs/prof.hpp"
 #include "sgnn/obs/telemetry.hpp"
 #include "sgnn/obs/trace.hpp"
 #include "sgnn/tensor/ops.hpp"
@@ -238,6 +239,12 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
       const std::int64_t first_step = epoch == start_epoch ? start_step : 0;
       for (std::int64_t step = first_step; step < steps_per_epoch; ++step) {
         const WallTimer step_timer;
+        // Kernel-profile snapshot, rank 0 only: prof::totals() aggregates
+        // across every rank thread, so the per-step delta is process-wide
+        // (all R ranks' kernels), mirroring the comm accounting below.
+        const obs::prof::Totals prof_before =
+            rank == 0 ? obs::prof::totals() : obs::prof::Totals{};
+        const obs::prof::ProfRegion step_region("train_step");
         std::vector<const MolecularGraph*> samples;
         {
           const obs::TraceSpan span("fetch_batch", "data");
@@ -259,6 +266,7 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
         Tensor total;
         {
           const obs::TraceSpan span("forward", "train");
+          const obs::prof::ProfRegion region("forward");
           const ScopedTrainPhase phase(TrainPhase::kForward);
           const auto out = model.forward(batch, forward_options);
           const LossTerms terms =
@@ -279,6 +287,7 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
             rank == 0 ? comm.traffic() : Communicator::Traffic{};
         {
           const obs::TraceSpan span("backward", "train");
+          const obs::prof::ProfRegion region("backward");
           const ScopedTrainPhase phase(TrainPhase::kBackward);
           // Arm the bucketer and observe leaf-gradient completion: each
           // bucket's collective is posted the moment its last gradient is
@@ -294,6 +303,7 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
         double grad_norm = 0;
         {
           const obs::TraceSpan span("optimizer", "train");
+          const obs::prof::ProfRegion region("optimizer");
           const ScopedTrainPhase phase(TrainPhase::kOptimizer);
           if (options_.telemetry != nullptr) {
             grad_norm = grad_l2_norm(model.parameters());
@@ -374,6 +384,13 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
         }
         telemetry.live_bytes = MemoryTracker::instance().live().total();
         telemetry.peak_bytes = MemoryTracker::instance().peak_total();
+        if (rank == 0) {
+          const obs::prof::Totals prof_after = obs::prof::totals();
+          telemetry.kernel_seconds =
+              prof_after.kernel_seconds - prof_before.kernel_seconds;
+          telemetry.kernel_flops = prof_after.flops - prof_before.flops;
+          telemetry.kernel_bytes = prof_after.bytes - prof_before.bytes;
+        }
         obs::record_step_metrics(telemetry);
         if (options_.telemetry != nullptr) {
           options_.telemetry->on_step(telemetry);

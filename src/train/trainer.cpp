@@ -1,6 +1,7 @@
 #include "sgnn/train/trainer.hpp"
 
 #include "sgnn/nn/model_io.hpp"
+#include "sgnn/obs/prof.hpp"
 #include "sgnn/obs/telemetry.hpp"
 #include "sgnn/obs/trace.hpp"
 #include "sgnn/tensor/ops.hpp"
@@ -102,6 +103,8 @@ Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
 
   while (loader.has_next()) {
     const WallTimer step_timer;
+    const obs::prof::Totals prof_before = obs::prof::totals();
+    const obs::prof::ProfRegion step_region("train_step");
     GraphBatch batch = loader.next();
     if (use_baseline_) baseline_.subtract_from(batch);
     optimizer_.zero_grad();
@@ -110,6 +113,7 @@ Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
     Tensor total;
     {
       const obs::TraceSpan span("forward", "train");
+      const obs::prof::ProfRegion region("forward");
       const ScopedTrainPhase phase(TrainPhase::kForward);
       const auto out = model_.forward(batch, forward_options);
       LossTerms terms = multitask_loss(out, batch, options_.loss_weights);
@@ -119,12 +123,14 @@ Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
     }
     {
       const obs::TraceSpan span("backward", "train");
+      const obs::prof::ProfRegion region("backward");
       const ScopedTrainPhase phase(TrainPhase::kBackward);
       total.backward();
     }
     double grad_norm = 0;
     {
       const obs::TraceSpan span("optimizer", "train");
+      const obs::prof::ProfRegion region("optimizer");
       const ScopedTrainPhase phase(TrainPhase::kOptimizer);
       if (options_.schedule) {
         optimizer_.set_learning_rate(options_.schedule->at_step(global_step_));
@@ -156,6 +162,10 @@ Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
     }
     step.live_bytes = MemoryTracker::instance().live().total();
     step.peak_bytes = MemoryTracker::instance().peak_total();
+    const obs::prof::Totals prof_after = obs::prof::totals();
+    step.kernel_seconds = prof_after.kernel_seconds - prof_before.kernel_seconds;
+    step.kernel_flops = prof_after.flops - prof_before.flops;
+    step.kernel_bytes = prof_after.bytes - prof_before.bytes;
     obs::record_step_metrics(step);
     if (telemetry_ != nullptr) telemetry_->on_step(step);
 

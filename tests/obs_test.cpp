@@ -9,6 +9,7 @@
 #include "sgnn/obs/metrics.hpp"
 #include "sgnn/obs/telemetry.hpp"
 #include "sgnn/obs/trace.hpp"
+#include "sgnn/util/error.hpp"
 
 namespace sgnn::obs {
 namespace {
@@ -274,6 +275,9 @@ StepTelemetry sample_step() {
   t.comm_seconds_modeled = 3.5e-5;
   t.live_bytes = 123456;
   t.peak_bytes = 654321;
+  t.kernel_seconds = 0.125;
+  t.kernel_flops = 1000000;
+  t.kernel_bytes = 2000000;
   return t;
 }
 
@@ -297,6 +301,36 @@ TEST(TelemetryTest, JsonRoundTripPreservesEveryField) {
                    original.comm_seconds_modeled);
   EXPECT_EQ(parsed.live_bytes, original.live_bytes);
   EXPECT_EQ(parsed.peak_bytes, original.peak_bytes);
+  EXPECT_DOUBLE_EQ(parsed.kernel_seconds, original.kernel_seconds);
+  EXPECT_EQ(parsed.kernel_flops, original.kernel_flops);
+  EXPECT_EQ(parsed.kernel_bytes, original.kernel_bytes);
+}
+
+TEST(TelemetryTest, ReadJsonlParsesStreamAndSkipsBlankLines) {
+  std::ostringstream out;
+  JsonlTelemetrySink sink(out);
+  sink.on_step(sample_step());
+  StepTelemetry second = sample_step();
+  second.step = 43;
+  sink.on_step(second);
+
+  std::istringstream in(out.str() + "\n   \n");
+  const std::vector<StepTelemetry> steps = read_jsonl(in);
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0].step, 42);
+  EXPECT_EQ(steps[1].step, 43);
+  EXPECT_EQ(steps[1].kernel_flops, 1000000);
+}
+
+TEST(TelemetryTest, ReadJsonlReportsLineNumberOnMalformedInput) {
+  std::istringstream in(sample_step().to_json() + "\n{not json}\n");
+  try {
+    read_jsonl(in);
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(TelemetryTest, JsonlSinkWritesOneParseableLinePerStep) {
