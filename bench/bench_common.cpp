@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <iomanip>
+#include <locale>
 
 namespace sgnn::bench {
 
@@ -8,6 +9,7 @@ namespace {
 
 std::string cache_path() {
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << "sgnn_scaling_grid_scale" << std::fixed << std::setprecision(3)
      << bench_scale() << ".cache.csv";
   return os.str();
@@ -22,6 +24,7 @@ std::vector<SweepPoint> load_cache(const std::string& path,
   std::getline(in, line);  // header
   while (std::getline(in, line)) {
     std::istringstream row(line);
+    row.imbue(std::locale::classic());
     SweepPoint p;
     char comma;
     row >> p.parameters >> comma >> p.hidden_dim >> comma >> p.num_layers >>
@@ -38,6 +41,7 @@ std::vector<SweepPoint> load_cache(const std::string& path,
 void save_cache(const std::string& path,
                 const std::vector<SweepPoint>& points) {
   std::ofstream out(path);
+  out.imbue(std::locale::classic());
   out << "parameters,hidden,layers,bytes,train_graphs,train_loss,test_loss,"
          "energy_mae,force_mae,feature_spread,seconds\n";
   out << std::setprecision(17);

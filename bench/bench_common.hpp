@@ -21,6 +21,7 @@
 
 #include "bench_report.hpp"
 #include "sgnn/sgnn.hpp"
+#include "sgnn/util/parse.hpp"
 
 namespace sgnn::bench {
 
@@ -31,8 +32,8 @@ inline constexpr double kBytesPerPaperTB = 4.0 * 1024 * 1024;
 /// smoke version, =4 a heavier one. Default 1.
 inline double bench_scale() {
   if (const char* env = std::getenv("SGNN_BENCH_SCALE")) {
-    const double value = std::atof(env);
-    if (value > 0) return value;
+    double value = 0;
+    if (util::parse_double(env, value) && value > 0) return value;
   }
   return 1.0;
 }
@@ -44,6 +45,7 @@ inline std::uint64_t paper_tb_to_bytes(double paper_tb) {
 
 inline std::string paper_tb_label(double paper_tb) {
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os.precision(1);
   os << std::fixed << paper_tb << " TB*";
   return os.str();

@@ -10,6 +10,8 @@
 
 #include "sgnn/obs/metrics.hpp"
 #include "sgnn/obs/prof.hpp"
+#include "sgnn/tensor/kernels.hpp"
+#include "sgnn/util/parse.hpp"
 #include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn::bench {
@@ -40,12 +42,7 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-std::string format_double(double value) {
-  std::ostringstream os;
-  os.precision(17);
-  os << value;
-  return os.str();
-}
+std::string format_double(double value) { return util::format_double(value); }
 
 const char* better_label(BenchReport::Better better) {
   switch (better) {
@@ -81,6 +78,11 @@ BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
     add_info("bench_scale", "1");
   }
   add_info("threads", static_cast<double>(ThreadPool::instance().size()));
+  // Reports from different kernel backends / compute dtypes are not
+  // comparable; record both so bench_compare and readers can tell.
+  add_info("kernel_backend", kernels::backend_name(kernels::active_backend()));
+  add_info("compute_dtype",
+           kernels::dtype_name(kernels::active_compute_dtype()));
 }
 
 void BenchReport::add_value(const std::string& key, double value,

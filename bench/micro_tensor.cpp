@@ -7,6 +7,7 @@
 #include "bench_gbench_main.hpp"
 
 #include "sgnn/tensor/checkpoint.hpp"
+#include "sgnn/tensor/kernels.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/rng.hpp"
 #include "sgnn/util/thread_pool.hpp"
@@ -26,6 +27,49 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Backend sweep on the dominant kernel. The simd:0 row is the committed
+// scalar reference; the simd:1 row must hold the >= 2x items_per_second
+// acceptance bar over it at the default bench scale (docs/kernels.md).
+// Rows are skipped (not failed) on machines without the vector ISA.
+void BM_MatmulBackend(benchmark::State& state) {
+  const auto n = state.range(0);
+  const bool simd = state.range(1) != 0;
+  if (simd && !kernels::simd_available()) {
+    state.SkipWithError("SIMD backend unavailable on this machine");
+    return;
+  }
+  kernels::ScopedBackend scope(simd ? kernels::Backend::kSimd
+                                    : kernels::Backend::kScalar);
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulBackend)
+    ->ArgNames({"n", "simd"})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
+// Float32 compute path (fp64 storage, fp32 kernel arithmetic including the
+// cast in/out of the scratch buffers — the honest end-to-end cost).
+void BM_MatmulFp32(benchmark::State& state) {
+  const auto n = state.range(0);
+  kernels::ScopedComputeDtype scope(kernels::ComputeDtype::kFloat32);
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulFp32)->Arg(128)->Arg(256);
 
 // Thread-pool scaling on the kernel that dominates wide-model training.
 // Compare the threads:1 row against threads:8 at 2048 — the acceptance bar

@@ -2,10 +2,45 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 namespace sgnn::obs::prof {
+
+/// Saturating multiply for KernelScope cost expressions. Shape products like
+/// `2 * m * k * n` can exceed int64 for extreme (synthetic) shapes; a cost
+/// estimate that clamps at INT64_MAX is still monotone and safe, whereas
+/// wrap-around would poison roofline fractions with negative totals.
+inline std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return out;
+}
+
+inline std::int64_t sat_mul(std::int64_t a, std::int64_t b, std::int64_t c) {
+  return sat_mul(sat_mul(a, b), c);
+}
+
+inline std::int64_t sat_mul(std::int64_t a, std::int64_t b, std::int64_t c,
+                            std::int64_t d) {
+  return sat_mul(sat_mul(sat_mul(a, b), c), d);
+}
+
+/// Saturating add, same rationale as sat_mul.
+inline std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return out;
+}
+
+inline std::int64_t sat_add(std::int64_t a, std::int64_t b, std::int64_t c) {
+  return sat_add(sat_add(a, b), c);
+}
 
 namespace detail {
 /// Plain constant-initialized global — no magic-static guard — so the

@@ -57,6 +57,13 @@ struct StepTelemetry {
   std::int64_t kernel_flops = 0;
   std::int64_t kernel_bytes = 0;
 
+  /// Kernel backend ("scalar"/"simd") and compute dtype ("float64"/
+  /// "float32") active while this step ran. Telemetry from different
+  /// backends is not performance-comparable; these fields let sweep
+  /// tooling tell lines apart. Empty when parsed from pre-backend logs.
+  std::string kernel_backend;
+  std::string compute_dtype;
+
   std::string to_json() const;
   /// Parses one to_json() line back; throws sgnn::Error on malformed input.
   static StepTelemetry from_json(const std::string& line);

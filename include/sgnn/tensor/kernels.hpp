@@ -1,0 +1,226 @@
+#pragma once
+
+// sgnn::kernels — runtime-dispatched CPU kernel backends for the tensor ops.
+//
+// The op layer (src/tensor/ops_*.cpp) owns shapes, autograd, KernelScope
+// accounting and thread-pool sharding; the inner loops live here behind a
+// table of function pointers so the same op code runs against either
+//
+//   * the scalar reference backend (portable, always available), or
+//   * the SIMD backend (AVX2+FMA on x86-64, NEON on AArch64), selected at
+//     runtime from CPUID with an `SGNN_BACKEND=scalar|simd` env override.
+//
+// Every kernel comes in a float64 and a float32-compute flavour. Storage is
+// always `real` (double); the fp32 flavour rounds operands through float and
+// is enabled process-wide with `SGNN_COMPUTE_DTYPE=float32` (master weights,
+// optimizer state and gradient accumulation stay fp64 — see docs/kernels.md
+// for the exact rounding semantics and cross-backend tolerances).
+//
+// Determinism contract: within one backend, every kernel is bit-identical
+// across thread counts (band decomposition is done by the caller with the
+// deterministic parallel_for chunking, and each band accumulates in a fixed
+// order). Across backends, matmul / matmul_at_b / elementwise / axis-sums
+// are bit-identical by construction (the SIMD code performs the same
+// per-element operations, with separate mul+add instead of FMA); only the
+// dot-product kernels (matmul_a_bt, full sum) change reduction order and
+// carry a documented tolerance.
+
+#include <cstdint>
+
+namespace sgnn {
+// Storage scalar, re-declared here (identically to tensor.hpp) so the SIMD
+// backend TU — compiled with stricter ISA flags — never includes the
+// inline-heavy tensor headers and can't leak AVX2 code into shared inline
+// functions through the static archive.
+using real = double;
+}  // namespace sgnn
+
+namespace sgnn::kernels {
+
+enum class Backend { kScalar = 0, kSimd = 1 };
+enum class ComputeDtype { kFloat64 = 0, kFloat32 = 1 };
+
+/// Elementwise binary kernels (same-shape and scalar-broadcast fast paths).
+enum class BinaryOp { kAdd, kSub, kMul, kDiv };
+
+/// Elementwise unary kernels. `c` is the op parameter where one exists
+/// (kScale: factor, kAddScalar: addend, kPow: exponent, kClampMin: bound).
+enum class UnaryOp {
+  kNeg,
+  kScale,
+  kAddScalar,
+  kPow,
+  kSquare,
+  kSqrt,
+  kExp,
+  kLog,
+  kAbs,
+  kClampMin,
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kSilu,
+  kSoftplus,
+};
+
+/// One backend's kernel entry points. Band kernels take element pointers to
+/// whole operands plus a [row_begin, row_end) band so the caller can shard
+/// with parallel_for while the table owns the inner loops. Elementwise
+/// kernels take pre-offset pointers and a count. The `_f32` flavours of the
+/// elementwise/reduction kernels read and write `real` storage but round
+/// every operand through float; the `_f32` matmul bands run on float scratch
+/// buffers prepared by the drivers below.
+struct KernelTable {
+  // C(m,n) = A(m,k) @ B(k,n), rows [row_begin, row_end) of C.
+  void (*matmul_rows_f64)(const real* a, const real* b, real* c,
+                          std::int64_t k, std::int64_t n,
+                          std::int64_t row_begin, std::int64_t row_end);
+  void (*matmul_rows_f32)(const float* a, const float* b, float* c,
+                          std::int64_t k, std::int64_t n,
+                          std::int64_t row_begin, std::int64_t row_end);
+  // C(k,n) = Aᵀ @ B with A given as (m,k), B as (m,n); band is rows of C.
+  void (*matmul_at_b_band_f64)(const real* a, const real* b, real* c,
+                               std::int64_t m, std::int64_t k, std::int64_t n,
+                               std::int64_t row_begin, std::int64_t row_end);
+  void (*matmul_at_b_band_f32)(const float* a, const float* b, float* c,
+                               std::int64_t m, std::int64_t k, std::int64_t n,
+                               std::int64_t row_begin, std::int64_t row_end);
+  // C(m,k) = A(m,n) @ Bᵀ with B given as (k,n); band is rows of C.
+  void (*matmul_a_bt_rows_f64)(const real* a, const real* b, real* c,
+                               std::int64_t n, std::int64_t k,
+                               std::int64_t row_begin, std::int64_t row_end);
+  void (*matmul_a_bt_rows_f32)(const float* a, const float* b, float* c,
+                               std::int64_t n, std::int64_t k,
+                               std::int64_t row_begin, std::int64_t row_end);
+
+  void (*binary_f64)(BinaryOp op, const real* a, const real* b, real* out,
+                     std::int64_t n);
+  void (*binary_f32)(BinaryOp op, const real* a, const real* b, real* out,
+                     std::int64_t n);
+  void (*binary_scalar_l_f64)(BinaryOp op, real a, const real* b, real* out,
+                              std::int64_t n);
+  void (*binary_scalar_l_f32)(BinaryOp op, real a, const real* b, real* out,
+                              std::int64_t n);
+  void (*binary_scalar_r_f64)(BinaryOp op, const real* a, real b, real* out,
+                              std::int64_t n);
+  void (*binary_scalar_r_f32)(BinaryOp op, const real* a, real b, real* out,
+                              std::int64_t n);
+  // ga[i] = d(out)/da * g[i], gb[i] = d(out)/db * g[i] (same-shape inputs).
+  void (*binary_bwd_f64)(BinaryOp op, const real* a, const real* b,
+                         const real* g, real* ga, real* gb, std::int64_t n);
+  void (*binary_bwd_f32)(BinaryOp op, const real* a, const real* b,
+                         const real* g, real* ga, real* gb, std::int64_t n);
+
+  void (*unary_f64)(UnaryOp op, const real* x, real* out, real c,
+                    std::int64_t n);
+  void (*unary_f32)(UnaryOp op, const real* x, real* out, real c,
+                    std::int64_t n);
+  void (*unary_bwd_f64)(UnaryOp op, const real* x, const real* g, real* gx,
+                        real c, std::int64_t n);
+  void (*unary_bwd_f32)(UnaryOp op, const real* x, const real* g, real* gx,
+                        real c, std::int64_t n);
+
+  // Chunk sum with a fp64 accumulator (fp32 flavour rounds each input).
+  double (*sum_chunk_f64)(const real* x, std::int64_t n);
+  double (*sum_chunk_f32)(const real* x, std::int64_t n);
+  // dst[i] += src[i]; the ordered inner step of axis reductions.
+  void (*accumulate_f64)(const real* src, real* dst, std::int64_t n);
+  void (*accumulate_f32)(const real* src, real* dst, std::int64_t n);
+};
+
+/// The scalar reference table (always available).
+const KernelTable& scalar_table();
+
+/// The vectorized table. On targets compiled without AVX2/NEON support its
+/// entries alias the scalar reference implementations.
+const KernelTable& simd_table();
+
+/// True when the SIMD table is actually vectorized AND the running CPU
+/// supports the required ISA extensions (AVX2+FMA on x86-64).
+bool simd_available();
+
+/// The backend in effect for the next kernel launch: a ScopedBackend
+/// override if active, else the process-wide selection (SGNN_BACKEND env
+/// override, else SIMD when simd_available()). Resolved lazily once per
+/// process; an unknown SGNN_BACKEND value throws, and SGNN_BACKEND=simd on
+/// hardware without SIMD support logs a warning and falls back to scalar.
+Backend active_backend();
+
+/// The compute dtype in effect: a ScopedComputeDtype override if active,
+/// else SGNN_COMPUTE_DTYPE (float32|float64, default float64). Unknown
+/// values throw.
+ComputeDtype active_compute_dtype();
+
+const KernelTable& active_table();
+
+const char* backend_name(Backend backend);
+const char* dtype_name(ComputeDtype dtype);
+
+/// Element width (bytes) of the active compute dtype, for KernelScope byte
+/// accounting: 8 under fp64, 4 under fp32 compute.
+std::int64_t compute_element_size();
+
+/// Test/bench hook forcing the backend process-wide for the current scope.
+/// Not thread-safe against concurrently launching kernels from other
+/// threads; intended for single-threaded test setup.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend backend);
+  ~ScopedBackend();
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// Test/bench hook forcing the compute dtype, same caveats as ScopedBackend.
+class ScopedComputeDtype {
+ public:
+  explicit ScopedComputeDtype(ComputeDtype dtype);
+  ~ScopedComputeDtype();
+  ScopedComputeDtype(const ScopedComputeDtype&) = delete;
+  ScopedComputeDtype& operator=(const ScopedComputeDtype&) = delete;
+
+ private:
+  int previous_;
+};
+
+// ---------------------------------------------------------------------------
+// Threaded drivers. These resolve the active table/dtype, shard the work
+// across the process thread pool with the deterministic chunking, and (for
+// fp32 matmul) manage the float scratch buffers. The op layer calls these
+// inside its KernelScope.
+
+/// c(m,n) = a(m,k) @ b(k,n).
+void matmul(const real* a, const real* b, real* c, std::int64_t m,
+            std::int64_t k, std::int64_t n);
+
+/// c(k,n) = aᵀ @ b with a given as (m,k), b as (m,n).
+void matmul_at_b(const real* a, const real* b, real* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n);
+
+/// c(m,k) = a(m,n) @ bᵀ with b given as (k,n).
+void matmul_a_bt(const real* a, const real* b, real* c, std::int64_t m,
+                 std::int64_t n, std::int64_t k);
+
+void binary(BinaryOp op, const real* a, const real* b, real* out,
+            std::int64_t n);
+void binary_scalar_l(BinaryOp op, real a, const real* b, real* out,
+                     std::int64_t n);
+void binary_scalar_r(BinaryOp op, const real* a, real b, real* out,
+                     std::int64_t n);
+void binary_backward(BinaryOp op, const real* a, const real* b, const real* g,
+                     real* ga, real* gb, std::int64_t n);
+
+void unary(UnaryOp op, const real* x, real* out, real c, std::int64_t n);
+void unary_backward(UnaryOp op, const real* x, const real* g, real* gx,
+                    real c, std::int64_t n);
+
+/// Chunk-ordered full sum (deterministic across pool sizes).
+double reduce_sum(const real* x, std::int64_t n);
+
+/// dst[i] += src[i] over a caller-owned band (axis-reduction inner step).
+void accumulate(const real* src, real* dst, std::int64_t n);
+
+}  // namespace sgnn::kernels

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sgnn/tensor/tensor.hpp"
+
+namespace sgnn {
+
+/// Dynamic loss scaling for reduced-precision training (the classic AMP
+/// recipe). The loss is multiplied by a scale before backward so small
+/// gradients survive float32 rounding; gradients are divided by the same
+/// scale before the optimizer step. A step whose gradients contain Inf/NaN
+/// is skipped and the scale backs off; after `growth_interval` consecutive
+/// good steps the scale doubles again.
+///
+/// Master weights stay float64 throughout: the optimizers update `real`
+/// (double) parameter storage, and `SGNN_COMPUTE_DTYPE=float32` only rounds
+/// kernel operands (see docs/kernels.md), so no separate master copy is
+/// needed.
+class LossScaler {
+ public:
+  struct Options {
+    bool enabled = false;
+    double init_scale = 65536.0;  ///< 2^16, the usual AMP starting point
+    double growth_factor = 2.0;
+    double backoff_factor = 0.5;
+    /// Consecutive overflow-free steps before the scale grows.
+    std::int64_t growth_interval = 2000;
+    /// Floor under repeated backoff; also the fixed scale when dynamic
+    /// adjustment is pointless (growth_factor == 1).
+    double min_scale = 1.0;
+  };
+
+  explicit LossScaler(const Options& options);
+
+  bool enabled() const { return options_.enabled; }
+  double scale() const { return scale_; }
+  std::int64_t skipped_steps() const { return skipped_steps_; }
+  std::int64_t good_steps() const { return good_steps_; }
+
+  /// True when any defined parameter gradient holds a non-finite value.
+  static bool grads_overflowed(const std::vector<Tensor>& parameters);
+
+  /// Divides every defined gradient by the current scale, in place. Call
+  /// only on overflow-free steps, before clipping / the optimizer step.
+  void unscale(const std::vector<Tensor>& parameters) const;
+
+  /// Records one step's outcome and adjusts the scale: backoff (clamped to
+  /// min_scale) when `overflowed`, growth after `growth_interval` clean
+  /// steps otherwise. Returns true when the step should be applied.
+  bool update(bool overflowed);
+
+ private:
+  Options options_;
+  double scale_ = 1.0;
+  std::int64_t good_steps_ = 0;
+  std::int64_t skipped_steps_ = 0;
+};
+
+}  // namespace sgnn

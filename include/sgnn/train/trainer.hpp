@@ -9,6 +9,7 @@
 #include "sgnn/nn/egnn.hpp"
 #include "sgnn/train/baseline.hpp"
 #include "sgnn/train/loss.hpp"
+#include "sgnn/train/loss_scaler.hpp"
 #include "sgnn/train/optim.hpp"
 #include "sgnn/train/schedule.hpp"
 
@@ -33,6 +34,10 @@ struct TrainOptions {
   std::optional<LrSchedule> schedule;
   /// Joint L2 gradient-norm clip; 0 disables clipping.
   double max_grad_norm = 0.0;
+  /// Dynamic loss scaling for reduced-precision runs (single-process
+  /// Trainer only; the distributed trainers ignore it). Enable together
+  /// with SGNN_COMPUTE_DTYPE=float32 — harmless but pointless under fp64.
+  LossScaler::Options loss_scaling;
   /// Crash-safe training-state snapshots (see docs/fault-tolerance.md).
   ckpt::CheckpointOptions checkpoint;
 };
@@ -89,6 +94,7 @@ class Trainer {
   EGNNModel& model_;
   TrainOptions options_;
   Adam optimizer_;
+  LossScaler loss_scaler_;
   EnergyBaseline baseline_;
   bool use_baseline_ = false;
   std::int64_t global_step_ = 0;

@@ -1,0 +1,71 @@
+#pragma once
+
+// Locale-independent floating-point parsing and formatting. std::strtod and
+// plain ostream formatting honor the process locale: under e.g. de_DE a
+// telemetry line "loss":0.5 would parse as 0 (comma decimal separator) and
+// doubles would print as "0,5", silently corrupting every JSON artifact.
+// All numeric text the repo reads or writes goes through these helpers.
+
+#include <charconv>
+#include <cstddef>
+#include <iomanip>
+#include <locale>
+#include <sstream>
+#include <string>
+
+namespace sgnn::util {
+
+/// Parses a double from the character range [first, last) using the classic
+/// ("C") locale regardless of the process locale. On success returns true
+/// and sets `consumed` (when non-null) to the number of characters used; on
+/// failure returns false and leaves `out` untouched.
+inline bool parse_double(const char* first, const char* last, double& out,
+                         std::size_t* consumed = nullptr) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  double value = 0;
+  const auto result = std::from_chars(first, last, value);
+  if (result.ec != std::errc{} || result.ptr == first) return false;
+  out = value;
+  if (consumed != nullptr) {
+    *consumed = static_cast<std::size_t>(result.ptr - first);
+  }
+  return true;
+#else
+  // Fallback for standard libraries without FP from_chars: an istringstream
+  // pinned to the classic locale.
+  std::istringstream is(std::string(first, last));
+  is.imbue(std::locale::classic());
+  double value = 0;
+  is >> value;
+  if (is.fail()) return false;
+  out = value;
+  if (consumed != nullptr) {
+    *consumed = is.eof() ? static_cast<std::size_t>(last - first)
+                         : static_cast<std::size_t>(is.tellg());
+  }
+  return true;
+#endif
+}
+
+/// Null-terminated-string convenience overload.
+inline bool parse_double(const char* str, double& out,
+                         std::size_t* consumed = nullptr) {
+  return parse_double(str, str + std::char_traits<char>::length(str), out,
+                      consumed);
+}
+
+inline bool parse_double(const std::string& str, double& out,
+                         std::size_t* consumed = nullptr) {
+  return parse_double(str.data(), str.data() + str.size(), out, consumed);
+}
+
+/// Formats a double with enough digits to round-trip (classic locale, so
+/// the decimal separator is always '.').
+inline std::string format_double(double value, int precision = 17) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace sgnn::util

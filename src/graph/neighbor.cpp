@@ -231,9 +231,10 @@ EdgeList build_neighbors(const AtomicStructure& structure, double cutoff) {
                        ? brute_force_neighbors(structure, cutoff)
                        : cell_list_neighbors(structure, cutoff);
   const auto num_edges = static_cast<std::int64_t>(edges.src.size());
-  prof.cost(8 * num_edges,
-            3 * static_cast<std::int64_t>(sizeof(double)) *
-                (structure.num_atoms() + num_edges));
+  prof.cost(obs::prof::sat_mul(8, num_edges),
+            obs::prof::sat_mul(
+                3 * static_cast<std::int64_t>(sizeof(double)),
+                obs::prof::sat_add(structure.num_atoms(), num_edges)));
   if (span.active()) {
     span.arg("atoms", structure.num_atoms())
         .arg("edges", static_cast<std::int64_t>(edges.src.size()));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iomanip>
 #include <limits>
+#include <locale>
 #include <sstream>
 
 #include "sgnn/util/error.hpp"
@@ -35,6 +36,9 @@ void atomic_max(std::atomic<double>& target, double value) {
 
 std::string format_double(double value) {
   std::ostringstream os;
+  // Classic locale: JSON output must use '.' decimals whatever the process
+  // locale says.
+  os.imbue(std::locale::classic());
   os << std::setprecision(17) << value;
   return os.str();
 }

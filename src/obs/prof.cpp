@@ -6,8 +6,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <locale>
 #include <sstream>
 
+#include "sgnn/tensor/kernels.hpp"
 #include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn::obs::prof {
@@ -142,6 +144,9 @@ namespace {
 
 std::string format_double(double value) {
   std::ostringstream os;
+  // Classic locale: JSON output must use '.' decimals whatever the process
+  // locale says.
+  os.imbue(std::locale::classic());
   os << std::setprecision(17) << value;
   return os.str();
 }
@@ -276,22 +281,11 @@ double calibrate_gflops() {
   double* pc = c.data();
   const std::int64_t begin_ns = detail::now_ns();
   std::int64_t reps = 0;
-  // Run whole multiplications until ~25 ms of samples accumulated.
+  // Run whole multiplications until ~25 ms of samples accumulated. Routed
+  // through the active kernel backend so the roofline peak reflects what
+  // the dispatched matmul can actually reach.
   while (detail::now_ns() - begin_ns < 25'000'000) {
-    parallel_for(0, n, parallel_grain(n * n),
-                 [=](std::int64_t row_begin, std::int64_t row_end) {
-                   for (std::int64_t i = row_begin; i < row_end; ++i) {
-                     double* crow = pc + i * n;
-                     for (std::int64_t j = 0; j < n; ++j) crow[j] = 0;
-                     for (std::int64_t p = 0; p < n; ++p) {
-                       const double av = pa[i * n + p];
-                       const double* brow = pb + p * n;
-                       for (std::int64_t j = 0; j < n; ++j) {
-                         crow[j] += av * brow[j];
-                       }
-                     }
-                   }
-                 });
+    kernels::matmul(pa, pb, pc, n, n, n);
     ++reps;
   }
   const double seconds = ns_to_s(detail::now_ns() - begin_ns);

@@ -1,33 +1,42 @@
 #include "sgnn/obs/telemetry.hpp"
 
-#include <cstdlib>
-#include <iomanip>
-#include <sstream>
-
 #include "sgnn/obs/metrics.hpp"
 #include "sgnn/util/error.hpp"
+#include "sgnn/util/parse.hpp"
 
 namespace sgnn::obs {
 
 namespace {
 
-std::string format_double(double value) {
-  std::ostringstream os;
-  os << std::setprecision(17) << value;
-  return os.str();
-}
+std::string format_double(double value) { return util::format_double(value); }
 
 /// Extracts the numeric value of `"key":<number>` from a flat JSON line.
+/// Locale-independent: the telemetry format always uses '.' decimals.
 double numeric_field(const std::string& line, const char* key) {
   const std::string needle = std::string("\"") + key + "\":";
   const auto at = line.find(needle);
   SGNN_CHECK(at != std::string::npos,
              "telemetry line is missing field '" << key << "': " << line);
   const char* start = line.c_str() + at + needle.size();
-  char* end = nullptr;
-  const double value = std::strtod(start, &end);
-  SGNN_CHECK(end != start, "telemetry field '" << key << "' is not numeric");
+  const char* last = line.c_str() + line.size();
+  double value = 0;
+  SGNN_CHECK(util::parse_double(start, last, value),
+             "telemetry field '" << key << "' is not numeric");
   return value;
+}
+
+/// Extracts the value of `"key":"<string>"` from a flat JSON line; returns
+/// an empty string when the field is absent (older logs predate it). The
+/// emitted strings are plain identifiers, so no unescaping is needed.
+std::string string_field(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return {};
+  const auto start = at + needle.size();
+  const auto end = line.find('"', start);
+  SGNN_CHECK(end != std::string::npos,
+             "telemetry field '" << key << "' has an unterminated string");
+  return line.substr(start, end - start);
 }
 
 }  // namespace
@@ -57,6 +66,8 @@ std::string StepTelemetry::to_json() const {
   out += ",\"kernel_seconds\":" + format_double(kernel_seconds);
   out += ",\"kernel_flops\":" + std::to_string(kernel_flops);
   out += ",\"kernel_bytes\":" + std::to_string(kernel_bytes);
+  out += ",\"kernel_backend\":\"" + kernel_backend + "\"";
+  out += ",\"compute_dtype\":\"" + compute_dtype + "\"";
   out += "}";
   return out;
 }
@@ -91,6 +102,10 @@ StepTelemetry StepTelemetry::from_json(const std::string& line) {
       static_cast<std::int64_t>(numeric_field(line, "kernel_flops"));
   t.kernel_bytes =
       static_cast<std::int64_t>(numeric_field(line, "kernel_bytes"));
+  // Lenient: logs written before the kernel backend layer existed do not
+  // carry these fields; they read back as "".
+  t.kernel_backend = string_field(line, "kernel_backend");
+  t.compute_dtype = string_field(line, "compute_dtype");
   return t;
 }
 

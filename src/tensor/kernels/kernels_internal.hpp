@@ -1,0 +1,12 @@
+#pragma once
+
+// Internal glue between the kernel backend TUs and the dispatcher. Not
+// installed; the public surface is include/sgnn/tensor/kernels.hpp.
+
+namespace sgnn::kernels {
+
+/// True when kernels_simd.cpp was compiled with an actual vector ISA
+/// (AVX2+FMA or NEON); false when its table aliases the scalar reference.
+bool simd_table_vectorized();
+
+}  // namespace sgnn::kernels

@@ -1,0 +1,141 @@
+#pragma once
+
+// Portable SIMD wrapper for the vectorized kernel backend. This is the ONLY
+// file in the tree allowed to use raw SIMD intrinsics (sgnn_lint rule R6
+// flags `_mm*` / NEON intrinsics anywhere else); kernels_simd.cpp writes its
+// loops against the `vd` / `vw` vocabulary below, so adding an ISA means
+// adding one more branch here, not touching kernel code.
+//
+// Two vector types are exposed:
+//   vd — kVD double lanes (AVX2: 4, NEON: 2). All fp64 kernels and the
+//        fp32-compute elementwise kernels (which round double storage
+//        through float, see docs/kernels.md) use these.
+//   vw — kVW float lanes (AVX2: 8, NEON: 4), for the fp32 matmul kernels
+//        that run on float scratch panels.
+//
+// Semantics notes, load-bearing for cross-backend bit-identity:
+//   * There is deliberately NO fused-multiply-add helper: mul+add keeps each
+//     element's rounding sequence identical to the scalar reference.
+//   * vd_max_strict(a, b) is exactly the scalar ternary `a > b ? a : b`,
+//     including NaN (NaN > b is false → b) and signed-zero behavior; AVX2
+//     max_pd already has that definition, NEON needs compare+select.
+//   * vd_neg / vd_abs are sign-bit flips/clears, matching `-x` / std::abs
+//     on ±0 and NaN.
+
+#include <cstdint>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define SGNN_SIMD_AVX2 1
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#define SGNN_SIMD_NEON 1
+#endif
+
+#if defined(SGNN_SIMD_AVX2) || defined(SGNN_SIMD_NEON)
+#define SGNN_SIMD_ANY 1
+#endif
+
+namespace sgnn::kernels::simd {
+
+#if defined(SGNN_SIMD_AVX2)
+
+inline constexpr std::int64_t kVD = 4;
+inline constexpr std::int64_t kVW = 8;
+
+struct vd {
+  __m256d v;
+};
+struct vm {
+  __m256d v;  // lanewise all-ones/all-zeros compare result
+};
+struct vw {
+  __m256 v;
+};
+
+inline vd vd_load(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline void vd_store(double* p, vd x) { _mm256_storeu_pd(p, x.v); }
+inline vd vd_set1(double s) { return {_mm256_set1_pd(s)}; }
+inline vd vd_zero() { return {_mm256_setzero_pd()}; }
+inline vd vd_add(vd a, vd b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline vd vd_sub(vd a, vd b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline vd vd_mul(vd a, vd b) { return {_mm256_mul_pd(a.v, b.v)}; }
+inline vd vd_div(vd a, vd b) { return {_mm256_div_pd(a.v, b.v)}; }
+inline vd vd_sqrt(vd a) { return {_mm256_sqrt_pd(a.v)}; }
+inline vd vd_neg(vd a) {
+  return {_mm256_xor_pd(a.v, _mm256_set1_pd(-0.0))};
+}
+inline vd vd_abs(vd a) {
+  return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+}
+inline vm vd_gt(vd a, vd b) {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)};
+}
+inline vd vd_select(vm mask, vd a, vd b) {
+  return {_mm256_blendv_pd(b.v, a.v, mask.v)};
+}
+inline vd vd_max_strict(vd a, vd b) {
+  // max_pd is defined as (a > b) ? a : b, the scalar ternary semantics.
+  return {_mm256_max_pd(a.v, b.v)};
+}
+/// Rounds each double lane to float precision and back.
+inline vd vd_round_f32(vd a) {
+  return {_mm256_cvtps_pd(_mm256_cvtpd_ps(a.v))};
+}
+
+inline vw vw_load(const float* p) { return {_mm256_loadu_ps(p)}; }
+inline void vw_store(float* p, vw x) { _mm256_storeu_ps(p, x.v); }
+inline vw vw_set1(float s) { return {_mm256_set1_ps(s)}; }
+inline vw vw_zero() { return {_mm256_setzero_ps()}; }
+inline vw vw_add(vw a, vw b) { return {_mm256_add_ps(a.v, b.v)}; }
+inline vw vw_mul(vw a, vw b) { return {_mm256_mul_ps(a.v, b.v)}; }
+
+#elif defined(SGNN_SIMD_NEON)
+
+inline constexpr std::int64_t kVD = 2;
+inline constexpr std::int64_t kVW = 4;
+
+struct vd {
+  float64x2_t v;
+};
+struct vm {
+  uint64x2_t v;
+};
+struct vw {
+  float32x4_t v;
+};
+
+inline vd vd_load(const double* p) { return {vld1q_f64(p)}; }
+inline void vd_store(double* p, vd x) { vst1q_f64(p, x.v); }
+inline vd vd_set1(double s) { return {vdupq_n_f64(s)}; }
+inline vd vd_zero() { return {vdupq_n_f64(0.0)}; }
+inline vd vd_add(vd a, vd b) { return {vaddq_f64(a.v, b.v)}; }
+inline vd vd_sub(vd a, vd b) { return {vsubq_f64(a.v, b.v)}; }
+inline vd vd_mul(vd a, vd b) { return {vmulq_f64(a.v, b.v)}; }
+inline vd vd_div(vd a, vd b) { return {vdivq_f64(a.v, b.v)}; }
+inline vd vd_sqrt(vd a) { return {vsqrtq_f64(a.v)}; }
+inline vd vd_neg(vd a) { return {vnegq_f64(a.v)}; }
+inline vd vd_abs(vd a) { return {vabsq_f64(a.v)}; }
+inline vm vd_gt(vd a, vd b) { return {vcgtq_f64(a.v, b.v)}; }
+inline vd vd_select(vm mask, vd a, vd b) {
+  return {vbslq_f64(mask.v, a.v, b.v)};
+}
+inline vd vd_max_strict(vd a, vd b) {
+  // NEON's vmaxq returns NaN when either input is NaN; compare+select
+  // reproduces the scalar `a > b ? a : b` instead.
+  return vd_select(vd_gt(a, b), a, b);
+}
+inline vd vd_round_f32(vd a) {
+  return {vcvt_f64_f32(vcvt_f32_f64(a.v))};
+}
+
+inline vw vw_load(const float* p) { return {vld1q_f32(p)}; }
+inline void vw_store(float* p, vw x) { vst1q_f32(p, x.v); }
+inline vw vw_set1(float s) { return {vdupq_n_f32(s)}; }
+inline vw vw_zero() { return {vdupq_n_f32(0.0f)}; }
+inline vw vw_add(vw a, vw b) { return {vaddq_f32(a.v, b.v)}; }
+inline vw vw_mul(vw a, vw b) { return {vmulq_f32(a.v, b.v)}; }
+
+#endif
+
+}  // namespace sgnn::kernels::simd

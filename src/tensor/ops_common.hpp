@@ -98,8 +98,8 @@ inline Tensor reduce_to(const Tensor& grad, const Shape& target) {
                            << grad.shape().to_string());
   const obs::prof::KernelScope prof(
       "reduce_to", grad.numel(),
-      static_cast<std::int64_t>(sizeof(real)) *
-          (grad.numel() + target.numel()));
+      obs::prof::sat_mul(static_cast<std::int64_t>(sizeof(real)),
+                         obs::prof::sat_add(grad.numel(), target.numel())));
   Tensor out = Tensor::zeros(target);
   const auto st = broadcast_strides(target, grad.shape());
   const auto sg = grad.shape().strides();

@@ -2,21 +2,66 @@
 
 #include "ops_common.hpp"
 #include "sgnn/obs/prof.hpp"
+#include "sgnn/tensor/kernels.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn {
 
+using kernels::BinaryOp;
+using kernels::UnaryOp;
+using obs::prof::sat_mul;
 using ops_detail::binary_broadcast;
 using ops_detail::kElementwiseGrain;
 using ops_detail::reduce_to;
 
 namespace {
 
-/// Builds a broadcasting binary op with custom forward/backward kernels.
-template <typename Forward, typename BackwardA, typename BackwardB>
+/// Reference evaluation of a binary op, used only by the general strided
+/// broadcast path (which stays fp64 on every backend — see docs/kernels.md).
+real apply_binary(BinaryOp op, real x, real y) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return x + y;
+    case BinaryOp::kSub:
+      return x - y;
+    case BinaryOp::kMul:
+      return x * y;
+    case BinaryOp::kDiv:
+      return x / y;
+  }
+  return 0;
+}
+
+/// Forward of a broadcasting binary op. The contiguous fast paths
+/// (same-shape and scalar operands) dispatch through the kernel backend;
+/// the general strided path runs the fp64 reference loop on all backends.
+void binary_forward(BinaryOp op, const Tensor& ad, const Tensor& bd,
+                    Tensor& out) {
+  const std::int64_t n = out.numel();
+  if (ad.shape() == bd.shape()) {
+    kernels::binary(op, ad.data(), bd.data(), out.data(), n);
+    return;
+  }
+  if (ad.numel() == 1) {
+    kernels::binary_scalar_l(op, ad.data()[0], bd.data(), out.data(), n);
+    return;
+  }
+  if (bd.numel() == 1) {
+    kernels::binary_scalar_r(op, ad.data(), bd.data()[0], out.data(), n);
+    return;
+  }
+  binary_broadcast(ad, bd, out,
+                   [op](real x, real y) { return apply_binary(op, x, y); });
+}
+
+/// Builds a broadcasting binary op. The same-shape backward dispatches
+/// through the kernel backend; broadcasting backwards evaluate the strided
+/// fp64 loop with `bwd_a`/`bwd_b` (d(out)/d(input) at one element) and then
+/// sum-reduce to each input's shape.
+template <typename BackwardA, typename BackwardB>
 Tensor binary_op(const Tensor& a, const Tensor& b, const char* name,
-                 Forward fwd, BackwardA bwd_a, BackwardB bwd_b) {
+                 BinaryOp op, BackwardA bwd_a, BackwardB bwd_b) {
   const Shape out_shape = Shape::broadcast(a.shape(), b.shape());
   const Tensor ad = a.detach();
   const Tensor bd = b.detach();
@@ -31,39 +76,44 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name,
         {
           // Evaluate d(out)/d(a) * grad and d(out)/d(b) * grad pointwise.
           const obs::prof::KernelScope prof(
-              name, 4 * grad.numel(),
-              5 * static_cast<std::int64_t>(sizeof(real)) * grad.numel(),
+              name, sat_mul(4, grad.numel()),
+              sat_mul(5 * kernels::compute_element_size(), grad.numel()),
               ".bwd");
-          const auto sa =
-              ops_detail::broadcast_strides(a_shape, grad.shape());
-          const auto sb =
-              ops_detail::broadcast_strides(b_shape, grad.shape());
-          const auto so = grad.shape().strides();
-          const std::size_t rank = grad.rank();
-          const real* pa = ad.data();
-          const real* pb = bd.data();
-          const real* pg = grad.data();
-          real* pga = ga.data();
-          real* pgb = gb.data();
           const std::int64_t n = grad.numel();
-          parallel_for(
-              0, n, kElementwiseGrain,
-              [&, pa, pb, pg, pga, pgb](std::int64_t begin,
-                                        std::int64_t end) {
-                for (std::int64_t i = begin; i < end; ++i) {
-                  std::int64_t rem = i;
-                  std::int64_t oa = 0;
-                  std::int64_t ob = 0;
-                  for (std::size_t axis = 0; axis < rank; ++axis) {
-                    const std::int64_t coord = rem / so[axis];
-                    rem -= coord * so[axis];
-                    oa += coord * sa[axis];
-                    ob += coord * sb[axis];
+          if (a_shape == grad.shape() && b_shape == grad.shape()) {
+            kernels::binary_backward(op, ad.data(), bd.data(), grad.data(),
+                                     ga.data(), gb.data(), n);
+          } else {
+            const auto sa =
+                ops_detail::broadcast_strides(a_shape, grad.shape());
+            const auto sb =
+                ops_detail::broadcast_strides(b_shape, grad.shape());
+            const auto so = grad.shape().strides();
+            const std::size_t rank = grad.rank();
+            const real* pa = ad.data();
+            const real* pb = bd.data();
+            const real* pg = grad.data();
+            real* pga = ga.data();
+            real* pgb = gb.data();
+            parallel_for(
+                0, n, kElementwiseGrain,
+                [&, pa, pb, pg, pga, pgb](std::int64_t begin,
+                                          std::int64_t end) {
+                  for (std::int64_t i = begin; i < end; ++i) {
+                    std::int64_t rem = i;
+                    std::int64_t oa = 0;
+                    std::int64_t ob = 0;
+                    for (std::size_t axis = 0; axis < rank; ++axis) {
+                      const std::int64_t coord = rem / so[axis];
+                      rem -= coord * so[axis];
+                      oa += coord * sa[axis];
+                      ob += coord * sb[axis];
+                    }
+                    pga[i] = bwd_a(pa[oa], pb[ob]) * pg[i];
+                    pgb[i] = bwd_b(pa[oa], pb[ob]) * pg[i];
                   }
-                  pga[i] = bwd_a(pa[oa], pb[ob]) * pg[i];
-                  pgb[i] = bwd_b(pa[oa], pb[ob]) * pg[i];
-                }
-              });
+                });
+          }
         }
         return {reduce_to(ga, a_shape), reduce_to(gb, b_shape)};
       },
@@ -71,56 +121,39 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name,
   {
     const obs::prof::KernelScope prof(
         name, out.numel(),
-        3 * static_cast<std::int64_t>(sizeof(real)) * out.numel());
-    binary_broadcast(ad, bd, out, fwd);
+        sat_mul(3 * kernels::compute_element_size(), out.numel()));
+    binary_forward(op, ad, bd, out);
   }
   return out;
 }
 
-/// Builds an elementwise unary op. `dfdx` receives the input value.
-template <typename Forward, typename Derivative>
-Tensor unary_op(const Tensor& x, const char* name, Forward fwd,
-                Derivative dfdx) {
+/// Builds an elementwise unary op dispatched through the kernel backend.
+/// `c` is the op parameter (factor/addend/exponent/bound) where one exists.
+Tensor unary_op(const Tensor& x, const char* name, UnaryOp op, real c = 0) {
   const Tensor xd = x.detach();
   Tensor out = Tensor::make_result(
       x.shape(), {x},
       [=](const Tensor& grad) -> std::vector<Tensor> {
         Tensor gx = Tensor::zeros(grad.shape());
-        const real* px = xd.data();
-        const real* pg = grad.data();
-        real* pgx = gx.data();
         const std::int64_t n = grad.numel();
         {
           const obs::prof::KernelScope prof(
-              name, 2 * n, 3 * static_cast<std::int64_t>(sizeof(real)) * n,
-              ".bwd");
-          parallel_for(
-              0, n, kElementwiseGrain,
-              [&, px, pg, pgx](std::int64_t begin, std::int64_t end) {
-                for (std::int64_t i = begin; i < end; ++i) {
-                  pgx[i] = dfdx(px[i]) * pg[i];
-                }
-              });
+              name, sat_mul(2, n),
+              sat_mul(3 * kernels::compute_element_size(), n), ".bwd");
+          kernels::unary_backward(op, xd.data(), grad.data(), gx.data(), c,
+                                  n);
         }
         return {gx};
       },
       name);
-  const real* px = xd.data();
-  real* po = out.data();
   const std::int64_t n = out.numel();
   {
     const obs::prof::KernelScope prof(
-        name, n, 2 * static_cast<std::int64_t>(sizeof(real)) * n);
-    parallel_for(
-        0, n, kElementwiseGrain,
-        [&, px, po](std::int64_t begin, std::int64_t end) {
-          for (std::int64_t i = begin; i < end; ++i) po[i] = fwd(px[i]);
-        });
+        name, n, sat_mul(2 * kernels::compute_element_size(), n));
+    kernels::unary(op, xd.data(), out.data(), c, n);
   }
   return out;
 }
-
-real sigmoid_val(real v) { return real{1} / (real{1} + std::exp(-v)); }
 
 }  // namespace
 
@@ -137,9 +170,8 @@ Tensor add(const Tensor& a, const Tensor& b) {
   {
     const obs::prof::KernelScope prof(
         "add", out.numel(),
-        3 * static_cast<std::int64_t>(sizeof(real)) * out.numel());
-    binary_broadcast(a.detach(), b.detach(), out,
-                     [](real x, real y) { return x + y; });
+        sat_mul(3 * kernels::compute_element_size(), out.numel()));
+    binary_forward(BinaryOp::kAdd, a.detach(), b.detach(), out);
   }
   return out;
 }
@@ -152,19 +184,12 @@ Tensor sub(const Tensor& a, const Tensor& b) {
       Shape::broadcast(a_shape, b_shape), {a, b},
       [=](const Tensor& grad) -> std::vector<Tensor> {
         Tensor gneg = Tensor::zeros(grad.shape());
-        const real* pg = grad.data();
-        real* pn = gneg.data();
         const std::int64_t n = grad.numel();
         {
           const obs::prof::KernelScope prof(
-              "sub", n, 2 * static_cast<std::int64_t>(sizeof(real)) * n,
+              "sub", n, sat_mul(2 * kernels::compute_element_size(), n),
               ".bwd");
-          parallel_for(0, n, kElementwiseGrain,
-                       [=](std::int64_t begin, std::int64_t end) {
-                         for (std::int64_t i = begin; i < end; ++i) {
-                           pn[i] = -pg[i];
-                         }
-                       });
+          kernels::unary(UnaryOp::kNeg, grad.data(), gneg.data(), 0, n);
         }
         return {reduce_to(grad, a_shape), reduce_to(gneg, b_shape)};
       },
@@ -172,9 +197,8 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   {
     const obs::prof::KernelScope prof(
         "sub", out.numel(),
-        3 * static_cast<std::int64_t>(sizeof(real)) * out.numel());
-    binary_broadcast(a.detach(), b.detach(), out,
-                     [](real x, real y) { return x - y; });
+        sat_mul(3 * kernels::compute_element_size(), out.numel()));
+    binary_forward(BinaryOp::kSub, a.detach(), b.detach(), out);
   }
   return out;
 }
@@ -182,134 +206,91 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 Tensor mul(const Tensor& a, const Tensor& b) {
   SGNN_CHECK(a.defined() && b.defined(), "mul requires defined inputs");
   return binary_op(
-      a, b, "mul", [](real x, real y) { return x * y; },
-      [](real, real y) { return y; }, [](real x, real) { return x; });
+      a, b, "mul", BinaryOp::kMul, [](real, real y) { return y; },
+      [](real x, real) { return x; });
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
   SGNN_CHECK(a.defined() && b.defined(), "div requires defined inputs");
   return binary_op(
-      a, b, "div", [](real x, real y) { return x / y; },
+      a, b, "div", BinaryOp::kDiv,
       [](real, real y) { return real{1} / y; },
       [](real x, real y) { return -x / (y * y); });
 }
 
 Tensor neg(const Tensor& x) {
   SGNN_CHECK(x.defined(), "neg requires a defined input");
-  return unary_op(
-      x, "neg", [](real v) { return -v; }, [](real) { return real{-1}; });
+  return unary_op(x, "neg", UnaryOp::kNeg);
 }
 
 Tensor scale(const Tensor& x, real factor) {
   SGNN_CHECK(x.defined(), "scale requires a defined input");
-  return unary_op(
-      x, "scale", [factor](real v) { return factor * v; },
-      [factor](real) { return factor; });
+  return unary_op(x, "scale", UnaryOp::kScale, factor);
 }
 
 Tensor add_scalar(const Tensor& x, real value) {
   SGNN_CHECK(x.defined(), "add_scalar requires a defined input");
-  return unary_op(
-      x, "add_scalar", [value](real v) { return v + value; },
-      [](real) { return real{1}; });
+  return unary_op(x, "add_scalar", UnaryOp::kAddScalar, value);
 }
 
 Tensor pow_scalar(const Tensor& x, real exponent) {
   SGNN_CHECK(x.defined(), "pow_scalar requires a defined input");
-  return unary_op(
-      x, "pow_scalar",
-      [exponent](real v) { return std::pow(v, exponent); },
-      [exponent](real v) { return exponent * std::pow(v, exponent - 1); });
+  return unary_op(x, "pow_scalar", UnaryOp::kPow, exponent);
 }
 
 Tensor square(const Tensor& x) {
   SGNN_CHECK(x.defined(), "square requires a defined input");
-  return unary_op(
-      x, "square", [](real v) { return v * v; },
-      [](real v) { return 2 * v; });
+  return unary_op(x, "square", UnaryOp::kSquare);
 }
 
 Tensor sqrt_op(const Tensor& x) {
   SGNN_CHECK(x.defined(), "sqrt_op requires a defined input");
-  return unary_op(
-      x, "sqrt", [](real v) { return std::sqrt(v); },
-      [](real v) { return real{0.5} / std::sqrt(v); });
+  return unary_op(x, "sqrt", UnaryOp::kSqrt);
 }
 
 Tensor exp_op(const Tensor& x) {
   SGNN_CHECK(x.defined(), "exp_op requires a defined input");
-  return unary_op(
-      x, "exp", [](real v) { return std::exp(v); },
-      [](real v) { return std::exp(v); });
+  return unary_op(x, "exp", UnaryOp::kExp);
 }
 
 Tensor log_op(const Tensor& x) {
   SGNN_CHECK(x.defined(), "log_op requires a defined input");
-  return unary_op(
-      x, "log", [](real v) { return std::log(v); },
-      [](real v) { return real{1} / v; });
+  return unary_op(x, "log", UnaryOp::kLog);
 }
 
 Tensor abs_op(const Tensor& x) {
   SGNN_CHECK(x.defined(), "abs_op requires a defined input");
-  return unary_op(
-      x, "abs", [](real v) { return std::abs(v); },
-      [](real v) { return v > 0 ? real{1} : (v < 0 ? real{-1} : real{0}); });
+  return unary_op(x, "abs", UnaryOp::kAbs);
 }
 
 Tensor clamp_min(const Tensor& x, real bound) {
   SGNN_CHECK(x.defined(), "clamp_min requires a defined input");
-  return unary_op(
-      x, "clamp_min", [bound](real v) { return v > bound ? v : bound; },
-      [bound](real v) { return v > bound ? real{1} : real{0}; });
+  return unary_op(x, "clamp_min", UnaryOp::kClampMin, bound);
 }
 
 Tensor relu(const Tensor& x) {
   SGNN_CHECK(x.defined(), "relu requires a defined input");
-  return unary_op(
-      x, "relu", [](real v) { return v > 0 ? v : real{0}; },
-      [](real v) { return v > 0 ? real{1} : real{0}; });
+  return unary_op(x, "relu", UnaryOp::kRelu);
 }
 
 Tensor sigmoid(const Tensor& x) {
   SGNN_CHECK(x.defined(), "sigmoid requires a defined input");
-  return unary_op(
-      x, "sigmoid", [](real v) { return sigmoid_val(v); },
-      [](real v) {
-        const real s = sigmoid_val(v);
-        return s * (1 - s);
-      });
+  return unary_op(x, "sigmoid", UnaryOp::kSigmoid);
 }
 
 Tensor tanh_op(const Tensor& x) {
   SGNN_CHECK(x.defined(), "tanh_op requires a defined input");
-  return unary_op(
-      x, "tanh", [](real v) { return std::tanh(v); },
-      [](real v) {
-        const real t = std::tanh(v);
-        return 1 - t * t;
-      });
+  return unary_op(x, "tanh", UnaryOp::kTanh);
 }
 
 Tensor silu(const Tensor& x) {
   SGNN_CHECK(x.defined(), "silu requires a defined input");
-  return unary_op(
-      x, "silu", [](real v) { return v * sigmoid_val(v); },
-      [](real v) {
-        const real s = sigmoid_val(v);
-        return s * (1 + v * (1 - s));
-      });
+  return unary_op(x, "silu", UnaryOp::kSilu);
 }
 
 Tensor softplus(const Tensor& x) {
   SGNN_CHECK(x.defined(), "softplus requires a defined input");
-  return unary_op(
-      x, "softplus",
-      [](real v) {
-        // Stable softplus: max(v, 0) + log1p(exp(-|v|)).
-        return (v > 0 ? v : real{0}) + std::log1p(std::exp(-std::abs(v)));
-      },
-      [](real v) { return sigmoid_val(v); });
+  return unary_op(x, "softplus", UnaryOp::kSoftplus);
 }
 
 Tensor row_norm_squared(const Tensor& x) {

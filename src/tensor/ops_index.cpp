@@ -55,8 +55,9 @@ Tensor index_select_rows(const Tensor& x,
         // Rows gathered multiple times accumulate their gradients; the
         // scatter is receiver-sharded to keep that accumulation ordered.
         const obs::prof::KernelScope prof(
-            "index_select", out_rows * cols,
-            3 * static_cast<std::int64_t>(sizeof(real)) * out_rows * cols,
+            "index_select", obs::prof::sat_mul(out_rows, cols),
+            obs::prof::sat_mul(3 * static_cast<std::int64_t>(sizeof(real)),
+                               out_rows, cols),
             ".bwd");
         Tensor gx = Tensor::zeros(Shape{rows, cols});
         scatter_rows_into(grad.data(), index, gx.data(), rows, cols);
@@ -65,7 +66,8 @@ Tensor index_select_rows(const Tensor& x,
       "index_select_rows");
   const obs::prof::KernelScope prof(
       "index_select", 0,
-      2 * static_cast<std::int64_t>(sizeof(real)) * out_rows * cols);
+      obs::prof::sat_mul(2 * static_cast<std::int64_t>(sizeof(real)),
+                         out_rows, cols));
   const real* px = xd.data();
   real* po = out.data();
   parallel_for(0, out_rows, parallel_grain(cols),
@@ -100,7 +102,8 @@ Tensor scatter_add_rows(const Tensor& src,
         // d(out[idx[i]])/d(src[i]) = I, so the gradient is a row gather.
         const obs::prof::KernelScope prof(
             "scatter_add", 0,
-            2 * static_cast<std::int64_t>(sizeof(real)) * in_rows * cols,
+            obs::prof::sat_mul(2 * static_cast<std::int64_t>(sizeof(real)),
+                               in_rows, cols),
             ".bwd");
         Tensor gs = Tensor::zeros(Shape{in_rows, cols});
         real* pgs = gs.data();
@@ -118,8 +121,9 @@ Tensor scatter_add_rows(const Tensor& src,
       },
       "scatter_add_rows");
   const obs::prof::KernelScope prof(
-      "scatter_add", in_rows * cols,
-      3 * static_cast<std::int64_t>(sizeof(real)) * in_rows * cols);
+      "scatter_add", obs::prof::sat_mul(in_rows, cols),
+      obs::prof::sat_mul(3 * static_cast<std::int64_t>(sizeof(real)), in_rows,
+                         cols));
   scatter_rows_into(sd.data(), index, out.data(), num_rows, cols);
   return out;
 }

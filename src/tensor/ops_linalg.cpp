@@ -1,74 +1,10 @@
 #include "ops_common.hpp"
 #include "sgnn/obs/prof.hpp"
+#include "sgnn/tensor/kernels.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn {
-
-namespace {
-
-/// C = A(m,k) @ B(k,n) into pre-allocated C. ikj loop order keeps the inner
-/// loop contiguous in both B and C. Row-partitioned across the pool: each
-/// chunk owns a disjoint band of C, and each C element accumulates over p in
-/// ascending order regardless of thread count.
-void matmul_into(const real* a, const real* b, real* c, std::int64_t m,
-                 std::int64_t k, std::int64_t n) {
-  parallel_for(0, m, parallel_grain(k * n), [=](std::int64_t row_begin,
-                                                std::int64_t row_end) {
-    for (std::int64_t i = row_begin; i < row_end; ++i) {
-      real* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] = 0;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const real av = a[i * k + p];
-        if (av == 0) continue;
-        const real* brow = b + p * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
-}
-
-/// C = Aᵀ(k,m) @ B(m,n): accumulates without materializing the transpose.
-/// Sharded over the k output rows; within a shard the p loop stays outermost
-/// so B rows stream contiguously and the accumulation order over p matches
-/// the serial kernel exactly.
-void matmul_at_b(const real* a, const real* b, real* c, std::int64_t m,
-                 std::int64_t k, std::int64_t n) {
-  parallel_for(0, k, parallel_grain(m * n), [=](std::int64_t row_begin,
-                                                std::int64_t row_end) {
-    for (std::int64_t i = row_begin * n; i < row_end * n; ++i) c[i] = 0;
-    for (std::int64_t p = 0; p < m; ++p) {
-      const real* arow = a + p * k;
-      const real* brow = b + p * n;
-      for (std::int64_t i = row_begin; i < row_end; ++i) {
-        const real av = arow[i];
-        if (av == 0) continue;
-        real* crow = c + i * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
-}
-
-/// C = A(m,n) @ Bᵀ(n,k): B given as (k,n). Row-partitioned over m.
-void matmul_a_bt(const real* a, const real* b, real* c, std::int64_t m,
-                 std::int64_t n, std::int64_t k) {
-  parallel_for(0, m, parallel_grain(n * k), [=](std::int64_t row_begin,
-                                                std::int64_t row_end) {
-    for (std::int64_t i = row_begin; i < row_end; ++i) {
-      const real* arow = a + i * n;
-      real* crow = c + i * k;
-      for (std::int64_t j = 0; j < k; ++j) {
-        const real* brow = b + j * n;
-        real acc = 0;
-        for (std::int64_t p = 0; p < n; ++p) acc += arow[p] * brow[p];
-        crow[j] = acc;
-      }
-    }
-  });
-}
-
-}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   SGNN_CHECK(a.rank() == 2 && b.rank() == 2,
@@ -82,28 +18,32 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                 << b.shape().to_string());
   const Tensor ad = a.detach();
   const Tensor bd = b.detach();
+  using obs::prof::sat_add;
+  using obs::prof::sat_mul;
   Tensor out = Tensor::make_result(
       Shape{m, n}, {a, b},
       [=](const Tensor& grad) -> std::vector<Tensor> {
         // dA = G @ Bᵀ, dB = Aᵀ @ G: two products, each priced like the
         // forward one (see the kernel cost model in docs/observability.md).
+        const std::int64_t w = kernels::compute_element_size();
         const obs::prof::KernelScope prof(
-            "matmul", 4 * m * k * n,
-            2 * static_cast<std::int64_t>(sizeof(real)) *
-                (m * k + k * n + m * n),
+            "matmul", sat_mul(4, m, k, n),
+            sat_mul(2 * w, sat_add(sat_mul(m, k), sat_mul(k, n),
+                                   sat_mul(m, n))),
             ".bwd");
         Tensor ga = Tensor::zeros(Shape{m, k});
         Tensor gb = Tensor::zeros(Shape{k, n});
-        matmul_a_bt(grad.data(), bd.data(), ga.data(), m, n, k);
-        matmul_at_b(ad.data(), grad.data(), gb.data(), m, k, n);
+        kernels::matmul_a_bt(grad.data(), bd.data(), ga.data(), m, n, k);
+        kernels::matmul_at_b(ad.data(), grad.data(), gb.data(), m, k, n);
         return {ga, gb};
       },
       "matmul");
   {
+    const std::int64_t w = kernels::compute_element_size();
     const obs::prof::KernelScope prof(
-        "matmul", 2 * m * k * n,
-        static_cast<std::int64_t>(sizeof(real)) * (m * k + k * n + m * n));
-    matmul_into(ad.data(), bd.data(), out.data(), m, k, n);
+        "matmul", sat_mul(2, m, k, n),
+        sat_mul(w, sat_add(sat_mul(m, k), sat_mul(k, n), sat_mul(m, n))));
+    kernels::matmul(ad.data(), bd.data(), out.data(), m, k, n);
   }
   return out;
 }
@@ -114,12 +54,13 @@ Tensor transpose(const Tensor& x) {
   const std::int64_t rows = x.dim(0);
   const std::int64_t cols = x.dim(1);
   const Tensor xd = x.detach();
+  using obs::prof::sat_mul;
   Tensor out = Tensor::make_result(
       Shape{cols, rows}, {x},
       [=](const Tensor& grad) -> std::vector<Tensor> {
         const obs::prof::KernelScope prof(
             "transpose", 0,
-            2 * static_cast<std::int64_t>(sizeof(real)) * rows * cols,
+            sat_mul(2 * static_cast<std::int64_t>(sizeof(real)), rows, cols),
             ".bwd");
         Tensor gx = Tensor::zeros(Shape{rows, cols});
         const real* pg = grad.data();
@@ -137,7 +78,7 @@ Tensor transpose(const Tensor& x) {
       "transpose");
   const obs::prof::KernelScope prof(
       "transpose", 0,
-      2 * static_cast<std::int64_t>(sizeof(real)) * rows * cols);
+      sat_mul(2 * static_cast<std::int64_t>(sizeof(real)), rows, cols));
   const real* px = xd.data();
   real* po = out.data();
   parallel_for(0, rows, parallel_grain(cols),

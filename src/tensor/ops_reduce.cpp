@@ -1,10 +1,13 @@
 #include "ops_common.hpp"
 #include "sgnn/obs/prof.hpp"
+#include "sgnn/tensor/kernels.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/thread_pool.hpp"
 
 namespace sgnn {
 
+using obs::prof::sat_add;
+using obs::prof::sat_mul;
 using ops_detail::kElementwiseGrain;
 
 Tensor sum(const Tensor& x) {
@@ -15,27 +18,22 @@ Tensor sum(const Tensor& x) {
       [=](const Tensor& grad) -> std::vector<Tensor> {
         const obs::prof::KernelScope prof(
             "sum", 0,
-            static_cast<std::int64_t>(sizeof(real)) * x_shape.numel(),
+            sat_mul(static_cast<std::int64_t>(sizeof(real)),
+                    x_shape.numel()),
             ".bwd");
         const real g = grad.item();
         Tensor gx = Tensor::full(x_shape, g);
         return {gx};
       },
       "sum");
-  const real* px = x.data();
   const std::int64_t n = x.numel();
   const obs::prof::KernelScope prof(
-      "sum", n, static_cast<std::int64_t>(sizeof(real)) * (n + 1));
+      "sum", n, sat_mul(kernels::compute_element_size(), sat_add(n, 1)));
   // Order-deterministic chunked reduction: per-chunk partials combined in
-  // chunk order, so the value is identical for every pool size.
-  out.data()[0] = static_cast<real>(parallel_reduce_sum(
-      0, n, kElementwiseGrain, [px](std::int64_t begin, std::int64_t end) {
-        double acc = 0;
-        for (std::int64_t i = begin; i < end; ++i) {
-          acc += static_cast<double>(px[i]);
-        }
-        return acc;
-      }));
+  // chunk order, so the value is identical for every pool size. The SIMD
+  // backend splits each chunk across vector lanes, which changes the
+  // reduction order relative to scalar (documented tolerance).
+  out.data()[0] = static_cast<real>(kernels::reduce_sum(x.data(), n));
   return out;
 }
 
@@ -89,8 +87,8 @@ Tensor sum(const Tensor& x, std::size_t axis, bool keepdim) {
         // Broadcast grad back along the reduced axis.
         const obs::prof::KernelScope prof(
             "sum_axis", 0,
-            static_cast<std::int64_t>(sizeof(real)) *
-                (grad.numel() + x_shape.numel()),
+            sat_mul(static_cast<std::int64_t>(sizeof(real)),
+                    sat_add(grad.numel(), x_shape.numel())),
             ".bwd");
         Tensor gx = Tensor::zeros(x_shape);
         const real* pg = grad.data();
@@ -112,7 +110,8 @@ Tensor sum(const Tensor& x, std::size_t axis, bool keepdim) {
       "sum_axis");
   const obs::prof::KernelScope prof(
       "sum_axis", x.numel(),
-      static_cast<std::int64_t>(sizeof(real)) * (x.numel() + out.numel()));
+      sat_mul(kernels::compute_element_size(),
+              sat_add(x.numel(), out.numel())));
   const real* px = x.data();
   real* po = out.data();
   // Each output slice accumulates over the reduced axis in ascending order,
@@ -120,20 +119,30 @@ Tensor sum(const Tensor& x, std::size_t axis, bool keepdim) {
   // the outer extent carries no parallelism (e.g. axis-0 reductions) shard
   // the inner axis instead; both strategies visit `a` in the same order.
   if (s.outer > 1 || s.inner == 1) {
-    parallel_for(
-        0, s.outer, parallel_grain(s.axis_len * s.inner),
-        [=](std::int64_t outer_begin, std::int64_t outer_end) {
-          for (std::int64_t o = outer_begin; o < outer_end; ++o) {
-            for (std::int64_t in = 0; in < s.inner; ++in) {
-              po[o * s.inner + in] = 0;
-            }
-            for (std::int64_t a = 0; a < s.axis_len; ++a) {
-              const real* src = px + (o * s.axis_len + a) * s.inner;
+    if (s.inner == 1) {
+      // Contiguous rows: each output element is a chunk sum (the nested
+      // reduce runs inline inside the pool lambda).
+      parallel_for(0, s.outer, parallel_grain(s.axis_len),
+                   [=](std::int64_t outer_begin, std::int64_t outer_end) {
+                     for (std::int64_t o = outer_begin; o < outer_end; ++o) {
+                       po[o] = static_cast<real>(kernels::reduce_sum(
+                           px + o * s.axis_len, s.axis_len));
+                     }
+                   });
+    } else {
+      parallel_for(
+          0, s.outer, parallel_grain(s.axis_len * s.inner),
+          [=](std::int64_t outer_begin, std::int64_t outer_end) {
+            for (std::int64_t o = outer_begin; o < outer_end; ++o) {
               real* dst = po + o * s.inner;
-              for (std::int64_t in = 0; in < s.inner; ++in) dst[in] += src[in];
+              for (std::int64_t in = 0; in < s.inner; ++in) dst[in] = 0;
+              for (std::int64_t a = 0; a < s.axis_len; ++a) {
+                kernels::accumulate(px + (o * s.axis_len + a) * s.inner, dst,
+                                    s.inner);
+              }
             }
-          }
-        });
+          });
+    }
   } else {
     parallel_for(
         0, s.inner, parallel_grain(s.axis_len),
@@ -142,10 +151,8 @@ Tensor sum(const Tensor& x, std::size_t axis, bool keepdim) {
             po[in] = 0;
           }
           for (std::int64_t a = 0; a < s.axis_len; ++a) {
-            const real* src = px + a * s.inner;
-            for (std::int64_t in = inner_begin; in < inner_end; ++in) {
-              po[in] += src[in];
-            }
+            kernels::accumulate(px + a * s.inner + inner_begin,
+                                po + inner_begin, inner_end - inner_begin);
           }
         });
   }

@@ -17,7 +17,8 @@ Tensor reshape(const Tensor& x, const Shape& shape) {
       [=](const Tensor& grad) -> std::vector<Tensor> {
         const obs::prof::KernelScope prof(
             "reshape", 0,
-            2 * static_cast<std::int64_t>(sizeof(real)) * x_shape.numel(),
+            obs::prof::sat_mul(2 * static_cast<std::int64_t>(sizeof(real)),
+                               x_shape.numel()),
             ".bwd");
         Tensor gx = Tensor::zeros(x_shape);
         std::copy_n(grad.data(), static_cast<std::size_t>(grad.numel()),
@@ -27,7 +28,8 @@ Tensor reshape(const Tensor& x, const Shape& shape) {
       "reshape");
   const obs::prof::KernelScope prof(
       "reshape", 0,
-      2 * static_cast<std::int64_t>(sizeof(real)) * xd.numel());
+      obs::prof::sat_mul(2 * static_cast<std::int64_t>(sizeof(real)),
+                         xd.numel()));
   std::copy_n(xd.data(), static_cast<std::size_t>(xd.numel()), out.data());
   return out;
 }
@@ -84,7 +86,8 @@ Tensor concat(const std::vector<Tensor>& parts, std::size_t axis) {
       [=](const Tensor& grad) -> std::vector<Tensor> {
         const obs::prof::KernelScope prof(
             "concat", 0,
-            2 * static_cast<std::int64_t>(sizeof(real)) * grad.numel(),
+            obs::prof::sat_mul(2 * static_cast<std::int64_t>(sizeof(real)),
+                               grad.numel()),
             ".bwd");
         std::vector<Tensor> grads;
         grads.reserve(part_shapes.size());
@@ -109,7 +112,8 @@ Tensor concat(const std::vector<Tensor>& parts, std::size_t axis) {
 
   const obs::prof::KernelScope prof(
       "concat", 0,
-      2 * static_cast<std::int64_t>(sizeof(real)) * out.numel());
+      obs::prof::sat_mul(2 * static_cast<std::int64_t>(sizeof(real)),
+                         out.numel()));
   real* po = out.data();
   std::int64_t axis_offset = 0;
   for (const auto& p : parts) {
@@ -148,8 +152,9 @@ Tensor narrow(const Tensor& x, std::size_t axis, std::int64_t start,
         // Zero-fill of the full input extent plus the copied slice.
         const obs::prof::KernelScope prof(
             "narrow", 0,
-            static_cast<std::int64_t>(sizeof(real)) *
-                (x_shape.numel() + grad.numel()),
+            obs::prof::sat_mul(
+                static_cast<std::int64_t>(sizeof(real)),
+                obs::prof::sat_add(x_shape.numel(), grad.numel())),
             ".bwd");
         Tensor gx = Tensor::zeros(x_shape);
         real* pgx = gx.data();
@@ -165,7 +170,8 @@ Tensor narrow(const Tensor& x, std::size_t axis, std::int64_t start,
 
   const obs::prof::KernelScope prof(
       "narrow", 0,
-      2 * static_cast<std::int64_t>(sizeof(real)) * out.numel());
+      obs::prof::sat_mul(2 * static_cast<std::int64_t>(sizeof(real)),
+                         out.numel()));
   const real* px = xd.data();
   real* po = out.data();
   for (std::int64_t o = 0; o < s.outer; ++o) {

@@ -12,6 +12,7 @@
 #include "sgnn/obs/prof.hpp"
 #include "sgnn/obs/telemetry.hpp"
 #include "sgnn/obs/trace.hpp"
+#include "sgnn/tensor/kernels.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/train/schedule.hpp"
 #include "sgnn/train/zero.hpp"
@@ -391,6 +392,10 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
           telemetry.kernel_flops = prof_after.flops - prof_before.flops;
           telemetry.kernel_bytes = prof_after.bytes - prof_before.bytes;
         }
+        telemetry.kernel_backend =
+            kernels::backend_name(kernels::active_backend());
+        telemetry.compute_dtype =
+            kernels::dtype_name(kernels::active_compute_dtype());
         obs::record_step_metrics(telemetry);
         if (options_.telemetry != nullptr) {
           options_.telemetry->on_step(telemetry);

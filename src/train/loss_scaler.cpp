@@ -1,0 +1,72 @@
+#include "sgnn/train/loss_scaler.hpp"
+
+#include <cmath>
+
+#include "sgnn/util/error.hpp"
+#include "sgnn/util/logging.hpp"
+#include "sgnn/util/thread_pool.hpp"
+
+namespace sgnn {
+
+LossScaler::LossScaler(const Options& options) : options_(options) {
+  SGNN_CHECK(options.init_scale > 0, "init_scale must be positive");
+  SGNN_CHECK(options.growth_factor >= 1, "growth_factor must be >= 1");
+  SGNN_CHECK(options.backoff_factor > 0 && options.backoff_factor <= 1,
+             "backoff_factor must be in (0, 1]");
+  SGNN_CHECK(options.growth_interval > 0, "growth_interval must be positive");
+  SGNN_CHECK(options.min_scale > 0, "min_scale must be positive");
+  scale_ = options.enabled ? options.init_scale : 1.0;
+}
+
+bool LossScaler::grads_overflowed(const std::vector<Tensor>& parameters) {
+  for (const auto& p : parameters) {
+    const Tensor grad = p.grad();
+    if (!grad.defined()) continue;
+    const real* g = grad.data();
+    const std::int64_t n = grad.numel();
+    // Serial scan with early exit: overflow checks run once per step over
+    // parameter-sized (not activation-sized) data.
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!std::isfinite(g[i])) return true;
+    }
+  }
+  return false;
+}
+
+void LossScaler::unscale(const std::vector<Tensor>& parameters) const {
+  if (scale_ == 1.0) return;
+  const real inv = static_cast<real>(1.0 / scale_);
+  for (const auto& p : parameters) {
+    Tensor grad = p.grad();
+    if (!grad.defined()) continue;
+    real* g = grad.data();
+    parallel_for(0, grad.numel(), std::int64_t{1} << 15,
+                 [=](std::int64_t begin, std::int64_t end) {
+                   for (std::int64_t i = begin; i < end; ++i) {
+                     g[i] *= inv;
+                   }
+                 });
+  }
+}
+
+bool LossScaler::update(bool overflowed) {
+  if (!options_.enabled) return !overflowed;
+  if (overflowed) {
+    const double next =
+        std::max(options_.min_scale, scale_ * options_.backoff_factor);
+    SGNN_LOG_DEBUG << "loss scale overflow: backing off " << scale_ << " -> "
+                   << next;
+    scale_ = next;
+    good_steps_ = 0;
+    ++skipped_steps_;
+    return false;
+  }
+  ++good_steps_;
+  if (good_steps_ >= options_.growth_interval) {
+    scale_ *= options_.growth_factor;
+    good_steps_ = 0;
+  }
+  return true;
+}
+
+}  // namespace sgnn

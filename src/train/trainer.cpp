@@ -4,6 +4,7 @@
 #include "sgnn/obs/prof.hpp"
 #include "sgnn/obs/telemetry.hpp"
 #include "sgnn/obs/trace.hpp"
+#include "sgnn/tensor/kernels.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/train/zero.hpp"
 #include "sgnn/util/error.hpp"
@@ -13,8 +14,10 @@
 namespace sgnn {
 
 Trainer::Trainer(EGNNModel& model, const TrainOptions& options)
-    : model_(model), options_(options), optimizer_(model.parameters(),
-                                                   options.adam) {
+    : model_(model),
+      options_(options),
+      optimizer_(model.parameters(), options.adam),
+      loss_scaler_(options.loss_scaling) {
   SGNN_CHECK(options.epochs > 0, "epochs must be positive");
   SGNN_CHECK(options.checkpoint.every_steps <= 0 ||
                  !options.checkpoint.directory.empty(),
@@ -117,9 +120,14 @@ Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
       const ScopedTrainPhase phase(TrainPhase::kForward);
       const auto out = model_.forward(batch, forward_options);
       LossTerms terms = multitask_loss(out, batch, options_.loss_weights);
+      // The reported loss stays unscaled; only the backward graph sees the
+      // loss-scale factor.
       step_loss = terms.total.item();
       loss_sum += step_loss;
-      total = terms.total;
+      total = loss_scaler_.enabled()
+                  ? scale(terms.total,
+                          static_cast<real>(loss_scaler_.scale()))
+                  : terms.total;
     }
     {
       const obs::TraceSpan span("backward", "train");
@@ -135,12 +143,24 @@ Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
       if (options_.schedule) {
         optimizer_.set_learning_rate(options_.schedule->at_step(global_step_));
       }
-      if (options_.max_grad_norm > 0) {
-        grad_norm = clip_grad_norm(model_.parameters(), options_.max_grad_norm);
-      } else if (telemetry_ != nullptr) {
-        grad_norm = grad_l2_norm(model_.parameters());
+      const bool overflowed =
+          loss_scaler_.enabled() &&
+          LossScaler::grads_overflowed(model_.parameters());
+      if (loss_scaler_.update(overflowed)) {
+        loss_scaler_.unscale(model_.parameters());
+        if (options_.max_grad_norm > 0) {
+          grad_norm =
+              clip_grad_norm(model_.parameters(), options_.max_grad_norm);
+        } else if (telemetry_ != nullptr) {
+          grad_norm = grad_l2_norm(model_.parameters());
+        }
+        optimizer_.step();
+      } else {
+        // Overflow: skip the parameter update, keep the step count moving
+        // (AMP semantics) so schedules and checkpoints stay aligned.
+        SGNN_LOG_DEBUG << "step " << global_step_
+                       << ": non-finite gradients, optimizer step skipped";
       }
-      optimizer_.step();
       ++global_step_;
     }
 
@@ -166,6 +186,8 @@ Trainer::EpochResult Trainer::train_epoch(DataLoader& loader) {
     step.kernel_seconds = prof_after.kernel_seconds - prof_before.kernel_seconds;
     step.kernel_flops = prof_after.flops - prof_before.flops;
     step.kernel_bytes = prof_after.bytes - prof_before.bytes;
+    step.kernel_backend = kernels::backend_name(kernels::active_backend());
+    step.compute_dtype = kernels::dtype_name(kernels::active_compute_dtype());
     obs::record_step_metrics(step);
     if (telemetry_ != nullptr) telemetry_->on_step(step);
 

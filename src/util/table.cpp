@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <locale>
 #include <sstream>
 
 #include "sgnn/util/error.hpp"
@@ -72,12 +73,14 @@ std::string Table::to_csv() const {
 
 std::string Table::fixed(double value, int precision) {
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::fixed << std::setprecision(precision) << value;
   return os.str();
 }
 
 std::string Table::scientific(double value, int precision) {
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::scientific << std::setprecision(precision) << value;
   return os.str();
 }
@@ -90,6 +93,7 @@ std::string Table::human_bytes(double bytes) {
     ++unit;
   }
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::fixed << std::setprecision(bytes < 10 ? 2 : (bytes < 100 ? 1 : 0))
      << bytes << " " << kUnits[unit];
   return os.str();
@@ -103,6 +107,7 @@ std::string Table::human_count(double count) {
     ++unit;
   }
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::fixed
      << std::setprecision(std::abs(count) < 10 ? 2 : (std::abs(count) < 100 ? 1 : 0))
      << count;

@@ -1,0 +1,16 @@
+// Vector code written against the portable wrapper API: no vendor headers,
+// no raw intrinsics. Identifiers that merely *contain* an intrinsic-like
+// substring (comm_mm_bytes) must not fire.
+
+namespace sd {
+struct vd {};
+inline vd load(const double*) { return {}; }
+inline vd vadd(vd, vd) { return {}; }
+inline void store(double*, vd) {}
+}  // namespace sd
+
+void add4(const double* a, const double* b, double* out) {
+  sd::store(out, sd::vadd(sd::load(a), sd::load(b)));
+}
+
+long comm_mm_bytes = 0;

@@ -169,6 +169,26 @@ TEST(LintR3, MemcpyAndTaggedCastPass) {
   EXPECT_TRUE(findings.empty()) << describe(findings);
 }
 
+// -- R6: raw SIMD intrinsics ------------------------------------------------
+
+TEST(LintR6, RawIntrinsicsOutsideWrapperFire) {
+  const auto findings = lint_fixture("intrinsics_bad.cpp", "src/x/y.cpp");
+  EXPECT_TRUE(fired(findings, "intrinsics")) << describe(findings);
+  // The include, the __m256d/__m128d types and the _mm* calls all report.
+  EXPECT_GE(findings.size(), 4u) << describe(findings);
+}
+
+TEST(LintR6, WrapperHeaderIsExempt) {
+  const auto findings = lint_fixture("intrinsics_bad.cpp",
+                                     "src/tensor/kernels/simd_wrapper.hpp");
+  EXPECT_FALSE(fired(findings, "intrinsics")) << describe(findings);
+}
+
+TEST(LintR6, WrapperApiUsagePasses) {
+  const auto findings = lint_fixture("intrinsics_good.cpp", "src/x/y.cpp");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
 // -- R4: include hygiene ----------------------------------------------------
 
 TEST(LintR4, MissingPragmaOnceFires) {

@@ -1,0 +1,143 @@
+// Locale independence of every serialization path: telemetry JSONL, bench
+// numbers and CLI argument parsing previously went through std::strtod /
+// stream defaults, which read "3.14" as 3 under a comma-decimal locale.
+// These tests flip the process into such a locale and round-trip.
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdio>
+#include <locale>
+#include <string>
+
+#include "sgnn/obs/telemetry.hpp"
+#include "sgnn/util/parse.hpp"
+
+namespace sgnn {
+namespace {
+
+/// Switches the global C and C++ locales to a comma-decimal one for the
+/// test body; restores in TearDown. Skips when the container has no such
+/// locale installed (CI installs de_DE.UTF-8 — see .github/workflows).
+class CommaLocaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_c_ = std::setlocale(LC_ALL, nullptr);
+    const char* candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                                "fr_FR.utf8"};
+    for (const char* name : candidates) {
+      if (std::setlocale(LC_ALL, name) != nullptr) {
+        try {
+          previous_cpp_ = std::locale::global(std::locale(name));
+        } catch (const std::runtime_error&) {
+          continue;  // C locale exists but the C++ one does not
+        }
+        active_ = true;
+        return;
+      }
+    }
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+
+  void TearDown() override {
+    if (active_) {
+      std::locale::global(previous_cpp_);
+      std::setlocale(LC_ALL, previous_c_.c_str());
+    }
+  }
+
+  std::string previous_c_;
+  std::locale previous_cpp_;
+  bool active_ = false;
+};
+
+TEST_F(CommaLocaleTest, LocaleActuallyUsesCommas) {
+  // Sanity: the fixture really changed number formatting, otherwise the
+  // tests below prove nothing.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", 1.5);
+  ASSERT_STREQ(buf, "1,5");
+}
+
+TEST_F(CommaLocaleTest, FormatDoubleEmitsPointDecimals) {
+  const std::string text = util::format_double(1234.5678);
+  EXPECT_NE(text.find('.'), std::string::npos) << text;
+  EXPECT_EQ(text.find(','), std::string::npos) << text;
+}
+
+TEST_F(CommaLocaleTest, ParseDoubleReadsPointDecimals) {
+  double value = 0;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(util::parse_double("3.14159", value, &consumed));
+  EXPECT_EQ(consumed, 7u);
+  EXPECT_DOUBLE_EQ(value, 3.14159);
+  // Scientific notation and negatives too.
+  ASSERT_TRUE(util::parse_double("-2.5e-3", value));
+  EXPECT_DOUBLE_EQ(value, -2.5e-3);
+}
+
+TEST_F(CommaLocaleTest, FormatParseRoundTripIsExact) {
+  for (const double v : {0.1, -1234.5678, 2.718281828459045, 1e-300,
+                         6.02214076e23}) {
+    double back = 0;
+    ASSERT_TRUE(util::parse_double(util::format_double(v), back));
+    EXPECT_EQ(back, v);  // 17 significant digits round-trip doubles exactly
+  }
+}
+
+TEST_F(CommaLocaleTest, TelemetryRoundTripsUnderCommaLocale) {
+  obs::StepTelemetry step;
+  step.step = 41;
+  step.loss = 0.12345678901234567;
+  step.grad_norm = 3.5;
+  step.learning_rate = 2e-3;
+  step.step_seconds = 0.25;
+  step.kernel_seconds = 1.5e-4;
+  step.kernel_backend = "simd";
+  step.compute_dtype = "float32";
+
+  const std::string line = step.to_json();
+  // A locale leak would render 0.123... as "0,123...": the fractional loss
+  // value must appear with a point decimal separator.
+  EXPECT_NE(line.find("\"loss\":0.123"), std::string::npos) << line;
+  EXPECT_EQ(line.find("0,123"), std::string::npos) << line;
+  const obs::StepTelemetry back = obs::StepTelemetry::from_json(line);
+  EXPECT_EQ(back.step, step.step);
+  EXPECT_DOUBLE_EQ(back.loss, step.loss);
+  EXPECT_DOUBLE_EQ(back.grad_norm, step.grad_norm);
+  EXPECT_DOUBLE_EQ(back.learning_rate, step.learning_rate);
+  EXPECT_DOUBLE_EQ(back.step_seconds, step.step_seconds);
+  EXPECT_DOUBLE_EQ(back.kernel_seconds, step.kernel_seconds);
+  EXPECT_EQ(back.kernel_backend, "simd");
+  EXPECT_EQ(back.compute_dtype, "float32");
+}
+
+// -- behaviour independent of installed locales -----------------------------
+
+TEST(ParseDoubleTest, RejectsGarbageAndReportsConsumption) {
+  double value = 0;
+  EXPECT_FALSE(util::parse_double("", value));
+  EXPECT_FALSE(util::parse_double("abc", value));
+  std::size_t consumed = 0;
+  ASSERT_TRUE(util::parse_double("1.5x", value, &consumed));
+  EXPECT_EQ(consumed, 3u);  // caller decides whether trailing junk is fatal
+  EXPECT_DOUBLE_EQ(value, 1.5);
+}
+
+TEST(TelemetryCompatTest, LinesWithoutBackendFieldsStillParse) {
+  // Logs written before the kernel backend layer lack the two string
+  // fields; from_json must stay lenient and default them to "".
+  obs::StepTelemetry step;
+  step.loss = 1.25;
+  std::string line = step.to_json();
+  const auto at = line.find(",\"kernel_backend\"");
+  ASSERT_NE(at, std::string::npos);
+  line.erase(at, line.size() - at - 1);  // drop both fields, keep the '}'
+  const obs::StepTelemetry back = obs::StepTelemetry::from_json(line);
+  EXPECT_DOUBLE_EQ(back.loss, 1.25);
+  EXPECT_TRUE(back.kernel_backend.empty());
+  EXPECT_TRUE(back.compute_dtype.empty());
+}
+
+}  // namespace
+}  // namespace sgnn

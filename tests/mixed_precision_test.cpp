@@ -1,0 +1,236 @@
+// Mixed-precision training: the float32 compute path must carry gradcheck
+// (at float-sized tolerances) and land within tolerance of the fp64 loss
+// trajectory, and the dynamic loss scaler must implement the AMP recipe —
+// backoff on overflow, growth after clean intervals, exact no-op under fp64
+// because every scale is a power of two.
+
+#include "sgnn/train/loss_scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sgnn/data/dataset.hpp"
+#include "sgnn/tensor/gradcheck.hpp"
+#include "sgnn/tensor/kernels.hpp"
+#include "sgnn/tensor/ops.hpp"
+#include "sgnn/train/trainer.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// -- LossScaler unit behaviour ----------------------------------------------
+
+LossScaler::Options small_options() {
+  LossScaler::Options options;
+  options.enabled = true;
+  options.init_scale = 8.0;
+  options.growth_factor = 2.0;
+  options.backoff_factor = 0.5;
+  options.growth_interval = 2;
+  options.min_scale = 1.0;
+  return options;
+}
+
+TEST(LossScalerTest, BacksOffOnOverflowAndSkipsTheStep) {
+  LossScaler scaler(small_options());
+  EXPECT_DOUBLE_EQ(scaler.scale(), 8.0);
+  EXPECT_FALSE(scaler.update(/*overflowed=*/true));
+  EXPECT_DOUBLE_EQ(scaler.scale(), 4.0);
+  EXPECT_EQ(scaler.skipped_steps(), 1);
+  EXPECT_EQ(scaler.good_steps(), 0);
+}
+
+TEST(LossScalerTest, GrowsAfterCleanInterval) {
+  LossScaler scaler(small_options());
+  EXPECT_TRUE(scaler.update(false));
+  EXPECT_DOUBLE_EQ(scaler.scale(), 8.0);  // interval not reached yet
+  EXPECT_TRUE(scaler.update(false));
+  EXPECT_DOUBLE_EQ(scaler.scale(), 16.0);
+  EXPECT_EQ(scaler.good_steps(), 0);  // counter resets on growth
+}
+
+TEST(LossScalerTest, OverflowResetsTheGrowthCounter) {
+  LossScaler scaler(small_options());
+  EXPECT_TRUE(scaler.update(false));
+  EXPECT_FALSE(scaler.update(true));
+  // The clean step before the overflow no longer counts toward growth.
+  EXPECT_TRUE(scaler.update(false));
+  EXPECT_DOUBLE_EQ(scaler.scale(), 4.0);
+}
+
+TEST(LossScalerTest, BackoffClampsAtMinScale) {
+  auto options = small_options();
+  options.init_scale = 2.0;
+  LossScaler scaler(options);
+  EXPECT_FALSE(scaler.update(true));
+  EXPECT_DOUBLE_EQ(scaler.scale(), 1.0);
+  EXPECT_FALSE(scaler.update(true));
+  EXPECT_DOUBLE_EQ(scaler.scale(), 1.0);  // floor holds
+}
+
+TEST(LossScalerTest, DisabledScalerOnlyVetoesNonFiniteSteps) {
+  LossScaler scaler(LossScaler::Options{});
+  EXPECT_FALSE(scaler.enabled());
+  EXPECT_DOUBLE_EQ(scaler.scale(), 1.0);
+  EXPECT_TRUE(scaler.update(false));
+  EXPECT_FALSE(scaler.update(true));
+  EXPECT_DOUBLE_EQ(scaler.scale(), 1.0);
+}
+
+TEST(LossScalerTest, RejectsBadOptions) {
+  auto options = small_options();
+  options.backoff_factor = 1.5;
+  EXPECT_THROW(LossScaler{options}, Error);
+  options = small_options();
+  options.init_scale = 0;
+  EXPECT_THROW(LossScaler{options}, Error);
+}
+
+TEST(LossScalerTest, DetectsNonFiniteGradients) {
+  Tensor w = Tensor::from_vector({1.0, 2.0}, Shape{2});
+  w.set_requires_grad(true);
+  Tensor no_grad = Tensor::from_vector({3.0}, Shape{1});
+  no_grad.set_requires_grad(true);  // leaf with no backward yet
+
+  sum(w * 2.0).backward();
+  EXPECT_FALSE(LossScaler::grads_overflowed({w, no_grad}));
+
+  Tensor v = Tensor::from_vector({1.0, 2.0}, Shape{2});
+  v.set_requires_grad(true);
+  sum(v * kInf).backward();
+  EXPECT_TRUE(LossScaler::grads_overflowed({v}));
+}
+
+TEST(LossScalerTest, UnscaleDividesGradientsInPlace) {
+  auto options = small_options();
+  options.init_scale = 4.0;
+  const LossScaler scaler(options);
+
+  Tensor w = Tensor::from_vector({1.0, -1.0, 0.5}, Shape{3});
+  w.set_requires_grad(true);
+  sum(w * 8.0).backward();  // grad == 8 everywhere
+  scaler.unscale({w});
+  for (const double g : w.grad().to_vector()) {
+    EXPECT_DOUBLE_EQ(g, 2.0);
+  }
+}
+
+// -- training integration ---------------------------------------------------
+
+const AggregatedDataset& tiny_dataset() {
+  static const AggregatedDataset dataset = [] {
+    const ReferencePotential potential;
+    DatasetOptions options;
+    options.target_bytes = 400 << 10;
+    options.seed = 31;
+    return AggregatedDataset::generate(options, potential);
+  }();
+  return dataset;
+}
+
+std::vector<Trainer::EpochResult> run_training(
+    const LossScaler::Options& scaling) {
+  const auto& dataset = tiny_dataset();
+  const auto split = dataset.split(0.25, 7);
+
+  ModelConfig config;
+  config.hidden_dim = 16;
+  config.num_layers = 2;
+  EGNNModel model(config);
+
+  TrainOptions options;
+  options.epochs = 5;
+  options.batch_size = 4;
+  options.adam.learning_rate = 2e-3;
+  options.loss_scaling = scaling;
+  Trainer trainer(model, options);
+  trainer.set_energy_baseline(EnergyBaseline::fit(dataset.view(split.train)));
+  DataLoader loader(dataset.view(split.train), options.batch_size, 99);
+  return trainer.fit(loader);
+}
+
+TEST(MixedPrecisionTest, LossScalingIsExactUnderFp64) {
+  // Every scale the scaler ever uses is a power of two, so scaling the loss
+  // and dividing the gradients back is exact in binary floating point: the
+  // scaled fp64 run must reproduce the plain trajectory bit-for-bit.
+  const auto plain = run_training(LossScaler::Options{});
+  auto scaling = LossScaler::Options{};
+  scaling.enabled = true;
+  const auto scaled = run_training(scaling);
+  ASSERT_EQ(plain.size(), scaled.size());
+  for (std::size_t e = 0; e < plain.size(); ++e) {
+    EXPECT_DOUBLE_EQ(plain[e].mean_train_loss, scaled[e].mean_train_loss)
+        << "epoch " << e;
+  }
+}
+
+TEST(MixedPrecisionTest, Fp32TrainingTracksFp64LossWithinTolerance) {
+  const auto fp64 = run_training(LossScaler::Options{});
+  std::vector<Trainer::EpochResult> fp32;
+  {
+    kernels::ScopedComputeDtype scope(kernels::ComputeDtype::kFloat32);
+    auto scaling = LossScaler::Options{};
+    scaling.enabled = true;
+    fp32 = run_training(scaling);
+  }
+  ASSERT_EQ(fp64.size(), fp32.size());
+  // Both runs must make real progress...
+  EXPECT_LT(fp64.back().mean_train_loss, fp64.front().mean_train_loss);
+  EXPECT_LT(fp32.back().mean_train_loss, fp32.front().mean_train_loss);
+  // ...and the fp32 trajectory stays within a few percent of fp64: float
+  // rounding perturbs each step by ~1e-7 relative, and five epochs of a
+  // stable optimizer do not amplify that into a divergent path.
+  for (std::size_t e = 0; e < fp64.size(); ++e) {
+    const double a = fp64[e].mean_train_loss;
+    const double b = fp32[e].mean_train_loss;
+    EXPECT_TRUE(std::isfinite(b)) << "epoch " << e;
+    EXPECT_LE(std::abs(a - b) / std::max(std::abs(a), 1e-6), 0.05)
+        << "epoch " << e << ": fp64 " << a << " vs fp32 " << b;
+  }
+}
+
+// -- fp32 gradcheck ---------------------------------------------------------
+//
+// The gradcheck matrix over backends runs the full gradcheck_test binary
+// under SGNN_BACKEND={scalar,simd} (tests/CMakeLists.txt); here we pin the
+// dtype axis with float-sized steps and tolerances.
+
+TEST(MixedPrecisionTest, GradcheckPassesUnderFp32Compute) {
+  kernels::ScopedComputeDtype scope(kernels::ComputeDtype::kFloat32);
+  Rng rng(0xF32F32ULL);
+
+  const auto check = [&](const char* name, auto fn,
+                         std::vector<Tensor> inputs) {
+    for (auto& t : inputs) t.set_requires_grad(true);
+    // eps 1e-3: big enough that f(x+eps)-f(x-eps) survives float rounding,
+    // small enough for the central-difference truncation term; tol 2e-2
+    // absorbs the fp32 noise floor of eps^-1 * 2^-24.
+    const GradcheckResult r = gradcheck(fn, inputs, 1e-3, 2e-2);
+    EXPECT_TRUE(r.ok) << name << ": max rel err " << r.max_rel_error << " ("
+                      << r.detail << ")";
+  };
+
+  check("matmul",
+        [](const std::vector<Tensor>& in) { return matmul(in[0], in[1]); },
+        {Tensor::uniform(Shape{3, 4}, rng, -1.0, 1.0),
+         Tensor::uniform(Shape{4, 2}, rng, -1.0, 1.0)});
+  check("mul",
+        [](const std::vector<Tensor>& in) { return in[0] * in[1]; },
+        {Tensor::uniform(Shape{5}, rng, 0.5, 2.0),
+         Tensor::uniform(Shape{5}, rng, 0.5, 2.0)});
+  check("sigmoid",
+        [](const std::vector<Tensor>& in) { return sigmoid(in[0]); },
+        {Tensor::uniform(Shape{7}, rng, -2.0, 2.0)});
+  check("sum_axis",
+        [](const std::vector<Tensor>& in) { return sum(in[0], 0, false); },
+        {Tensor::uniform(Shape{4, 3}, rng, -1.0, 1.0)});
+}
+
+}  // namespace
+}  // namespace sgnn

@@ -245,7 +245,9 @@ TEST_F(ProfTest, ResetZeroesCounts) {
 TEST_F(ProfTest, CollapsedStackExport) {
   {
     const prof::ProfRegion step("step");
-    const Tensor a = Tensor::full(Shape{8, 8}, 1.0);
+    // Large enough that the kernel takes >= 1 us on any backend; rows whose
+    // exclusive time rounds to zero are dropped from the collapsed output.
+    const Tensor a = Tensor::full(Shape{96, 96}, 1.0);
     (void)matmul(a, a);
   }
   const prof::Report report = prof::report(/*with_calibration=*/false);

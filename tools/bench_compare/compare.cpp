@@ -4,12 +4,13 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "sgnn/util/parse.hpp"
+
 namespace sgnn::bench_compare {
 namespace {
 
-/// Recursive-descent parser for the JSON subset our reports use (which is
-/// all of JSON except that numbers are parsed with strtod, so the usual
-/// double rounding applies).
+/// Recursive-descent parser for the JSON subset our reports use. Numbers
+/// go through util::parse_double, so parsing is locale-independent.
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
@@ -204,9 +205,10 @@ class Parser {
     }
     if (pos_ == start) fail("expected a value");
     const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) {
+    double value = 0;
+    std::size_t consumed = 0;
+    if (!sgnn::util::parse_double(token, value, &consumed) ||
+        consumed != token.size()) {
       pos_ = start;
       fail("malformed number '" + token + "'");
     }

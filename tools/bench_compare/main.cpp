@@ -16,6 +16,7 @@
 #include <string>
 
 #include "compare.hpp"
+#include "sgnn/util/parse.hpp"
 
 namespace {
 
@@ -46,9 +47,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      threshold = std::strtod(argv[++i], &end);
-      if (end == argv[i] || *end != '\0' || threshold < 0) {
+      ++i;
+      std::size_t consumed = 0;
+      if (!sgnn::util::parse_double(argv[i], threshold, &consumed) ||
+          consumed != std::strlen(argv[i]) || threshold < 0) {
         std::cerr << "sgnn_bench_compare: bad --threshold '" << argv[i]
                   << "'\n";
         return 2;

@@ -420,6 +420,51 @@ void rule_trace_balance(const SourceFile& file,
   }
 }
 
+// -- R6: raw SIMD intrinsics ------------------------------------------------
+
+/// All platform intrinsics live behind src/tensor/kernels/simd_wrapper.hpp;
+/// everywhere else uses the wrapper's portable vd/vw API. This keeps the
+/// AVX2/NEON split in one reviewed file and stops `-mavx2`-only code from
+/// leaking into TUs compiled for the baseline ISA.
+void rule_intrinsics(const SourceFile& file, std::vector<Finding>& findings) {
+  if (file.path == "src/tensor/kernels/simd_wrapper.hpp") return;
+  // Identifier prefixes that only appear in vendor intrinsic headers:
+  // x86 `_mm*` calls and `__m128/256/512*` vector types; NEON load/store/
+  // lane calls and `float32x4_t`-style types.
+  static const char* kPrefixes[] = {"_mm",      "__m128",   "__m256",
+                                    "__m512",   "vld1",     "vst1",
+                                    "float32x", "float64x", "int32x"};
+  for (const auto* prefix : kPrefixes) {
+    const std::string p(prefix);
+    std::size_t pos = 0;
+    while ((pos = file.code.find(p, pos)) != std::string::npos) {
+      const bool word_start = pos == 0 || !is_word(file.code[pos - 1]);
+      if (word_start) {
+        report(findings, file, line_of(file.code, pos), "intrinsics",
+               "raw SIMD intrinsic `" + p +
+                   "...` outside src/tensor/kernels/simd_wrapper.hpp; use "
+                   "the portable wrapper API instead");
+      }
+      pos += p.size();
+    }
+  }
+  for (std::size_t i = 0; i < file.raw_lines.size(); ++i) {
+    const std::string line = trim(file.raw_lines[i]);
+    if (!starts_with(line, "#include") && !starts_with(line, "# include")) {
+      continue;
+    }
+    for (const auto* header : {"immintrin.h", "arm_neon.h", "xmmintrin.h",
+                               "emmintrin.h", "x86intrin.h"}) {
+      if (line.find(header) != std::string::npos) {
+        report(findings, file, static_cast<int>(i) + 1, "intrinsics",
+               std::string("#include <") + header +
+                   "> outside src/tensor/kernels/simd_wrapper.hpp; include "
+                   "the wrapper header instead");
+      }
+    }
+  }
+}
+
 // -- suppression hygiene ----------------------------------------------------
 
 void rule_suppressions(const SourceFile& file,
@@ -778,6 +823,7 @@ std::vector<Finding> lint_file(const SourceFile& file) {
   rule_include_path(file, findings);
   rule_trace_span(file, findings);
   rule_trace_balance(file, findings);
+  rule_intrinsics(file, findings);
   rule_suppressions(file, findings);
   return findings;
 }
