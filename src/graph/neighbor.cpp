@@ -25,12 +25,27 @@ void check_cutoff(const AtomicStructure& structure, double cutoff) {
   }
 }
 
+/// Post-hoc roofline cost of one neighbor search: the displacement math per
+/// emitted edge plus streaming the positions and the edge arrays (the
+/// `neighbor_search` row of the cost-model table in docs/observability.md).
+void attribute_search_cost(obs::prof::KernelScope& prof, std::int64_t atoms,
+                           const EdgeList& edges) {
+  const auto num_edges = static_cast<std::int64_t>(edges.src.size());
+  prof.cost(obs::prof::sat_mul(8, num_edges),
+            obs::prof::sat_mul(
+                3 * static_cast<std::int64_t>(sizeof(double)),
+                obs::prof::sat_add(atoms, num_edges)));
+}
+
 }  // namespace
 
 EdgeList brute_force_neighbors(const AtomicStructure& structure,
                                double cutoff) {
   structure.validate();
   check_cutoff(structure, cutoff);
+  // Edge count is unknown until the search ran, so the cost is attributed
+  // post-hoc (see the cost-model table in docs/observability.md).
+  obs::prof::KernelScope prof("neighbor_search", 0, 0);
   const double cutoff_sq = cutoff * cutoff;
   const std::int64_t n = structure.num_atoms();
   EdgeList edges;
@@ -47,12 +62,16 @@ EdgeList brute_force_neighbors(const AtomicStructure& structure,
       }
     }
   }
+  attribute_search_cost(prof, n, edges);
   return edges;
 }
 
 EdgeList cell_list_neighbors(const AtomicStructure& structure, double cutoff) {
   structure.validate();
   check_cutoff(structure, cutoff);
+  // Opened before the empty-structure early return so even no-op searches
+  // land in the profile; cost is attributed post-hoc as above.
+  obs::prof::KernelScope prof("neighbor_search", 0, 0);
   const std::int64_t n = structure.num_atoms();
   if (n == 0) return {};
 
@@ -217,24 +236,19 @@ EdgeList cell_list_neighbors(const AtomicStructure& structure, double cutoff) {
                               local.displacement.begin(),
                               local.displacement.end());
   }
+  attribute_search_cost(prof, n, edges);
   return edges;
 }
 
 EdgeList build_neighbors(const AtomicStructure& structure, double cutoff) {
   obs::TraceSpan span("neighbor_build", "graph");
-  // Edge count is unknown until the search ran, so the cost is attributed
-  // post-hoc (see the cost-model note in docs/observability.md).
-  obs::prof::KernelScope prof("neighbor_search", 0, 0);
+  // The KernelScope lives in the search kernels themselves (they are public
+  // entry points in their own right); this wrapper only picks the algorithm.
   // Cell lists win once the bookkeeping amortizes; ~100 atoms in practice.
   constexpr std::int64_t kBruteForceMax = 100;
   EdgeList edges = structure.num_atoms() <= kBruteForceMax
                        ? brute_force_neighbors(structure, cutoff)
                        : cell_list_neighbors(structure, cutoff);
-  const auto num_edges = static_cast<std::int64_t>(edges.src.size());
-  prof.cost(obs::prof::sat_mul(8, num_edges),
-            obs::prof::sat_mul(
-                3 * static_cast<std::int64_t>(sizeof(double)),
-                obs::prof::sat_add(structure.num_atoms(), num_edges)));
   if (span.active()) {
     span.arg("atoms", structure.num_atoms())
         .arg("edges", static_cast<std::int64_t>(edges.src.size()));

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "kernels_internal.hpp"
+// sgnn-lint: allow(layering): metrics is the any-layer instrumentation sink;
+// dispatch only publishes the selected-backend gauge through it.
 #include "sgnn/obs/metrics.hpp"
 #include "sgnn/tensor/kernels.hpp"
 #include "sgnn/util/error.hpp"
@@ -179,6 +181,9 @@ inline std::int64_t matmul_grain(std::int64_t work_per_row) {
   return grain < kMatmulRowGrain ? kMatmulRowGrain : grain;
 }
 
+// sgnn-lint: allow(kernel-prof): backend-dispatch alias of the public op;
+// the ops-layer matmul (ops_linalg.cpp) owns the KernelScope, and opening a
+// second one here would double-book every matmul in the roofline report.
 void matmul(const real* a, const real* b, real* c, std::int64_t m,
             std::int64_t k, std::int64_t n) {
   SGNN_CHECK(m >= 0 && k >= 0 && n >= 0,

@@ -9,6 +9,8 @@
 #include <string>
 #include <thread>
 
+// sgnn-lint: allow(layering): metrics is the any-layer instrumentation sink;
+// the pool reports queue depth/steals as counters and takes nothing back.
 #include "sgnn/obs/metrics.hpp"
 #include "sgnn/util/error.hpp"
 

@@ -1,0 +1,9 @@
+namespace sgnn {
+int after_the_soup() {
+  const int big = 1'000'000;
+  const char* r = R"(a raw
+string spanning
+lines)";
+  return big + std::rand();
+}
+}  // namespace sgnn

@@ -1,0 +1,15 @@
+namespace sgnn {
+int literal_soup(int* p, int* q) {
+  const int big = 1'000'000;
+  const int mask = 0xFF'FF;
+  const unsigned bits = 0b1010'0101u;
+  const double tiny = 1'000.000'1;
+  const char c = 'a';
+  const wchar_t w = L'a';
+  // Raw-string contents must be invisible to every rule:
+  const char* r = R"(std::rand(); comm.barrier(); if (rank == 0) {)";
+  const char* r2 = u8R"tag(new int[3]; reinterpret_cast<int*>(p))tag";
+  return big + mask + static_cast<int>(bits + tiny) + c +
+         static_cast<int>(w) + (r == r2 ? 1 : 0) + (p == q ? 1 : 0);
+}
+}  // namespace sgnn

@@ -1,0 +1,7 @@
+#include "sgnn/util/payload_decl.hpp"
+
+namespace sgnn {
+void progress_checked(bool ok) {
+  if (!ok) throw Error("typed error is the sanctioned channel");
+}
+}  // namespace sgnn

@@ -1,0 +1,7 @@
+#include "sgnn/util/payload_decl.hpp"
+
+namespace sgnn {
+// Comm-layer root: everything it reaches must route failures through
+// SGNN_CHECK / sgnn::Error.
+void progress_once() { deliver_payload(); }
+}  // namespace sgnn

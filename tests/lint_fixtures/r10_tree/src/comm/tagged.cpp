@@ -1,0 +1,8 @@
+#include "sgnn/util/payload_decl.hpp"
+
+namespace sgnn {
+void progress_tagged(bool ok) {
+  // sgnn-lint: allow(check-throw): fixture suppression case.
+  if (!ok) throw std::runtime_error("tagged escape");
+}
+}  // namespace sgnn

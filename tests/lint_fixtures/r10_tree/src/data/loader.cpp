@@ -1,0 +1,6 @@
+#include "sgnn/util/payload_decl.hpp"
+
+namespace sgnn {
+// Not reachable from any src/comm/ definition: out of R10's scope.
+void load_shard() { throw std::runtime_error("data-layer throw"); }
+}  // namespace sgnn

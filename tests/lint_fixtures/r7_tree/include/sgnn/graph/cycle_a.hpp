@@ -1,0 +1,8 @@
+#pragma once
+
+// Half of a same-level cycle: graph (L2) <-> obs (L2).
+#include "sgnn/obs/cycle_b.hpp"
+
+namespace sgnn {
+int cycle_a();
+}  // namespace sgnn

@@ -1,0 +1,8 @@
+#pragma once
+
+// The other half of the cycle.
+#include "sgnn/graph/cycle_a.hpp"
+
+namespace sgnn {
+int cycle_b();
+}  // namespace sgnn

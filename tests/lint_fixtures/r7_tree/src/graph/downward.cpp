@@ -1,0 +1,6 @@
+// Downward include: graph (L2) over tensor (L1) — always legal.
+#include "sgnn/tensor/shape_decl.hpp"
+
+namespace sgnn {
+int graph_uses_tensor() { return 2; }
+}  // namespace sgnn

@@ -1,0 +1,7 @@
+// The same upward edge, but with a reasoned escape hatch.
+// sgnn-lint: allow(layering): fixture exercising the suppression path.
+#include "sgnn/train/loop.hpp"
+
+namespace sgnn {
+int tensor_peeks_with_permission() { return 3; }
+}  // namespace sgnn

@@ -1,0 +1,6 @@
+// Upward include: tensor (L1) reaching into train (L4).
+#include "sgnn/train/loop.hpp"
+
+namespace sgnn {
+int tensor_peeks_at_trainer() { return 1; }
+}  // namespace sgnn

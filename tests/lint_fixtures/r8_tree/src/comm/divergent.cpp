@@ -1,0 +1,9 @@
+#include "sgnn/comm/communicator_decl.hpp"
+
+namespace sgnn {
+void sync_on_root_only(Communicator& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();  // only rank 0 arrives: deadlock
+  }
+}
+}  // namespace sgnn

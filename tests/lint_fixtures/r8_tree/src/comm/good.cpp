@@ -1,0 +1,18 @@
+#include "sgnn/comm/communicator_decl.hpp"
+
+namespace sgnn {
+void rank_branch_then_sync(Communicator& comm, std::mutex& mu) {
+  if (comm.rank() == 0) {
+    log_line("root writes the report");  // no collective in the branch
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    update_counters();  // lock released before the collective
+  }
+  comm.barrier();
+  // A lambda body runs later: neither the lock nor a rank condition
+  // taken here leaks into it.
+  const std::lock_guard<std::mutex> lock(mu);
+  enqueue([&comm] { comm.barrier(); });
+}
+}  // namespace sgnn

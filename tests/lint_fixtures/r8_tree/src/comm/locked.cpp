@@ -1,0 +1,8 @@
+#include "sgnn/comm/communicator_decl.hpp"
+
+namespace sgnn {
+void reduce_under_lock(Communicator& comm, std::mutex& mu, double* x) {
+  const std::lock_guard<std::mutex> lock(mu);
+  comm.all_reduce_sum(x, 1);  // blocks while holding mu
+}
+}  // namespace sgnn

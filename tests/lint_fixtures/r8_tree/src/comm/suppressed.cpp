@@ -1,0 +1,10 @@
+#include "sgnn/comm/communicator_decl.hpp"
+
+namespace sgnn {
+void deliberate_split(Communicator& comm) {
+  if (comm.rank() == 0) {
+    // sgnn-lint: allow(spmd-divergence): fixture suppression case.
+    comm.barrier();
+  }
+}
+}  // namespace sgnn

@@ -1,0 +1,11 @@
+#include "sgnn/comm/communicator_decl.hpp"
+
+namespace sgnn {
+void sync_everyone(Communicator& comm);
+
+void finalize_epoch(Communicator& comm, int world_rank) {
+  if (world_rank == 0) {
+    sync_everyone(comm);  // reaches barrier() defined in helper.cpp
+  }
+}
+}  // namespace sgnn

@@ -1,0 +1,7 @@
+#include "sgnn/comm/communicator_decl.hpp"
+
+namespace sgnn {
+// Blocks, but is itself unconditioned — clean in isolation. Only the
+// cross-TU call graph connects it to the rank branch in caller.cpp.
+void sync_everyone(Communicator& comm) { comm.barrier(); }
+}  // namespace sgnn

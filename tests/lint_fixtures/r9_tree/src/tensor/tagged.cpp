@@ -1,0 +1,8 @@
+#include "sgnn/tensor/ops.hpp"
+
+namespace sgnn {
+// sgnn-lint: allow(kernel-prof): fixture suppression case.
+void tagged_apply(double* x, long n) {
+  for (long i = 0; i < n; ++i) x[i] -= 1.0;
+}
+}  // namespace sgnn

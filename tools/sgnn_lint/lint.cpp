@@ -2,48 +2,25 @@
 
 #include <algorithm>
 #include <cctype>
-#include <fstream>
 #include <sstream>
+
+#include "text_util.hpp"
 
 namespace sgnn::lint {
 
 namespace {
 
-bool is_word(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (const char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  lines.push_back(current);
-  return lines;
-}
+using text::ends_with;
+using text::find_words;
+using text::is_word;
+using text::line_of;
+using text::prev_significant;
+using text::prev_significant_index;
+using text::skip_space;
+using text::split_lines;
+using text::starts_with;
+using text::trim;
+using text::word_at;
 
 /// Parses an `sgnn-lint: allow(<rule>)[: reason]` tag out of a comment.
 /// Returns true when a tag was found.
@@ -71,60 +48,6 @@ bool parse_tag(const std::string& comment, Suppression& out) {
   }
   out.has_reason = !trim(comment.substr(r)).empty();
   return !out.rule.empty();
-}
-
-/// Matches `pattern` as a whole word at `pos` in `text`.
-bool word_at(const std::string& text, std::size_t pos,
-             const std::string& pattern) {
-  if (text.compare(pos, pattern.size(), pattern) != 0) return false;
-  if (pos > 0 && is_word(text[pos - 1])) return false;
-  const std::size_t end = pos + pattern.size();
-  if (end < text.size() && is_word(text[end])) return false;
-  return true;
-}
-
-/// All whole-word occurrences of `pattern` in `text` (column positions).
-std::vector<std::size_t> find_words(const std::string& text,
-                                    const std::string& pattern) {
-  std::vector<std::size_t> hits;
-  std::size_t pos = 0;
-  while ((pos = text.find(pattern, pos)) != std::string::npos) {
-    if (word_at(text, pos, pattern)) hits.push_back(pos);
-    pos += 1;
-  }
-  return hits;
-}
-
-/// Index of the first non-space character before `pos`, or npos.
-std::size_t prev_significant_index(const std::string& text, std::size_t pos) {
-  while (pos > 0) {
-    --pos;
-    if (!std::isspace(static_cast<unsigned char>(text[pos]))) {
-      return pos;
-    }
-  }
-  return std::string::npos;
-}
-
-/// First non-space character before `pos`, or '\0'.
-char prev_significant(const std::string& text, std::size_t pos) {
-  const auto at = prev_significant_index(text, pos);
-  return at == std::string::npos ? '\0' : text[at];
-}
-
-/// Skips whitespace forward from `pos`; returns text.size() at the end.
-std::size_t skip_space(const std::string& text, std::size_t pos) {
-  while (pos < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[pos]))) {
-    ++pos;
-  }
-  return pos;
-}
-
-int line_of(const std::string& text, std::size_t pos) {
-  return 1 + static_cast<int>(std::count(text.begin(), text.begin() +
-                                             static_cast<std::ptrdiff_t>(pos),
-                                         '\n'));
 }
 
 struct PathInfo {
@@ -484,11 +407,11 @@ void rule_suppressions(const SourceFile& file,
   }
 }
 
-// -- R2: precondition coverage ----------------------------------------------
+}  // namespace
 
-/// Function names declared (terminated by `;`, not defined inline) at any
-/// scope of a header's code view. Operators and macro-style ALL_CAPS names
-/// are skipped.
+// Function names declared (terminated by `;`, not defined inline) at any
+// scope of a header's code view. Operators and macro-style ALL_CAPS names
+// are skipped.
 std::vector<std::pair<std::string, int>> declared_functions(
     const std::string& code) {
   static const char* kKeywords[] = {"if",     "for",    "while", "switch",
@@ -553,6 +476,8 @@ std::vector<std::pair<std::string, int>> declared_functions(
   return names;
 }
 
+namespace {
+
 /// Positions (offset of the opening `{`) of out-of-line definitions of
 /// `name` in `code` — `name(...)` or `Qualifier::name(...)` followed by an
 /// optional const/noexcept and a brace.
@@ -604,43 +529,6 @@ std::size_t block_end(const std::string& code, std::size_t brace) {
     }
   }
   return code.size();
-}
-
-std::string read_file(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-std::string display_path(const std::filesystem::path& root,
-                         const std::filesystem::path& path) {
-  return std::filesystem::relative(path, root).generic_string();
-}
-
-std::vector<std::filesystem::path> sources_under(
-    const std::filesystem::path& dir) {
-  std::vector<std::filesystem::path> files;
-  if (!std::filesystem::exists(dir)) return files;
-  for (auto it = std::filesystem::recursive_directory_iterator(dir);
-       it != std::filesystem::recursive_directory_iterator(); ++it) {
-    if (it->is_directory()) {
-      const auto name = it->path().filename().string();
-      // Fixture trees deliberately violate every rule; build output and VCS
-      // metadata are not ours to lint.
-      if (name == "lint_fixtures" || name == ".git" ||
-          starts_with(name, "build")) {
-        it.disable_recursion_pending();
-      }
-      continue;
-    }
-    const auto ext = it->path().extension().string();
-    if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h") {
-      files.push_back(it->path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  return files;
 }
 
 }  // namespace
@@ -700,9 +588,20 @@ SourceFile parse_source(std::string path, std::string content) {
           file.code += "  ";
           ++i;
         } else if (c == '"') {
-          // Raw strings: R"delim( … )delim".
-          if (i > 0 && file.raw[i - 1] == 'R' &&
-              (i < 2 || !is_word(file.raw[i - 2]))) {
+          // Raw strings: R"delim( … )delim", with the optional encoding
+          // prefixes (u8R, uR, UR, LR). The prefix must be the whole
+          // preceding word — an identifier merely ending in R (`FooR"x"`
+          // never parses anyway) does not start a raw string.
+          std::size_t word_begin = i;
+          while (word_begin > 0 && is_word(file.raw[word_begin - 1])) {
+            --word_begin;
+          }
+          const std::string prefix =
+              file.raw.substr(word_begin, i - word_begin);
+          const bool raw_string = prefix == "R" || prefix == "u8R" ||
+                                  prefix == "uR" || prefix == "UR" ||
+                                  prefix == "LR";
+          if (raw_string) {
             std::size_t d = i + 1;
             while (d < file.raw.size() && file.raw[d] != '(') ++d;
             const std::string delim =
@@ -723,8 +622,27 @@ SourceFile parse_source(std::string path, std::string content) {
             file.code += '"';
           }
         } else if (c == '\'') {
-          state = State::kChar;
-          file.code += '\'';
+          // Digit separators (1'000'000, 0xFF'FF) are part of a numeric
+          // literal, not the start of a char literal: the `'` sits inside a
+          // pp-number, i.e. the word run it interrupts starts with a digit.
+          // Char-literal encoding prefixes (L'a', u8'x') start with a
+          // letter, so they still enter kChar below.
+          std::size_t word_begin = i;
+          while (word_begin > 0 && is_word(file.raw[word_begin - 1])) {
+            --word_begin;
+          }
+          const bool in_number =
+              word_begin < i &&
+              std::isdigit(static_cast<unsigned char>(file.raw[word_begin])) !=
+                  0 &&
+              next != '\0' && is_word(next);
+          if (in_number) {
+            file.code += '\'';
+            line_code += '\'';
+          } else {
+            state = State::kChar;
+            file.code += '\'';
+          }
         } else {
           file.code += c;
           if (c != '\n') line_code += c;
@@ -836,14 +754,12 @@ const std::vector<std::string>& precondition_headers() {
   return headers;
 }
 
-std::vector<Finding> check_preconditions(const std::filesystem::path& root,
+std::vector<Finding> check_preconditions(const ProjectIndex& index,
                                          const std::string& header_rel) {
   std::vector<Finding> findings;
-  const auto header_path = root / header_rel;
-  if (!std::filesystem::exists(header_path)) return findings;
-  const SourceFile header =
-      parse_source(header_rel, read_file(header_path));
-  const auto declared = declared_functions(header.code);
+  const SourceFile* header = index.find_file(header_rel);
+  if (header == nullptr) return findings;
+  const auto declared = declared_functions(header->code);
 
   // include/sgnn/<module>/x.hpp -> src/<module>/.
   std::string src_rel = header_rel;
@@ -852,13 +768,15 @@ std::vector<Finding> check_preconditions(const std::filesystem::path& root,
     src_rel = "src/" + src_rel.substr(prefix.size());
   }
   const auto slash = src_rel.find_last_of('/');
-  const auto src_dir = root / src_rel.substr(0, slash);
+  const std::string src_dir = src_rel.substr(0, slash) + "/";
 
-  std::vector<SourceFile> sources;
-  for (const auto& path : sources_under(src_dir)) {
-    if (path.extension() != ".cpp" && path.extension() != ".cc") continue;
-    sources.push_back(
-        parse_source(display_path(root, path), read_file(path)));
+  std::vector<const SourceFile*> sources;
+  for (const auto& file : index.files) {
+    if (!starts_with(file.path, src_dir)) continue;
+    if (!ends_with(file.path, ".cpp") && !ends_with(file.path, ".cc")) {
+      continue;
+    }
+    sources.push_back(&file);
   }
 
   std::vector<std::string> seen;
@@ -866,20 +784,20 @@ std::vector<Finding> check_preconditions(const std::filesystem::path& root,
     if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
     seen.push_back(name);
     bool defined = false;
-    for (const auto& source : sources) {
+    for (const auto* source : sources) {
       for (const auto& [name_pos, brace] :
-           find_definitions(source.code, name)) {
+           find_definitions(source->code, name)) {
         defined = true;
-        const std::size_t end = block_end(source.code, brace);
-        const std::string body = source.code.substr(brace, end - brace);
+        const std::size_t end = block_end(source->code, brace);
+        const std::string body = source->code.substr(brace, end - brace);
         if (body.find("SGNN_CHECK") != std::string::npos ||
             body.find("SGNN_DCHECK") != std::string::npos) {
           continue;
         }
-        const int line = line_of(source.code, name_pos);
-        if (source.allows(line, "precondition")) continue;
+        const int line = line_of(source->code, name_pos);
+        if (source->allows(line, "precondition")) continue;
         findings.push_back(
-            {source.path, line, "precondition",
+            {source->path, line, "precondition",
              "`" + name + "` is public API (declared in " + header_rel +
                  ") but its definition carries no SGNN_CHECK "
                  "precondition"});
@@ -889,36 +807,16 @@ std::vector<Finding> check_preconditions(const std::filesystem::path& root,
       findings.push_back(
           {header_rel, decl_line, "precondition",
            "`" + name + "` is declared here but no definition was found "
-           "under " + src_dir.generic_string() +
+           "under " + src_dir +
                " — rename drift breaks the precondition audit"});
     }
   }
   return findings;
 }
 
-std::vector<Finding> lint_tree(const std::filesystem::path& root) {
-  std::vector<Finding> findings;
-  for (const auto* top : {"src", "include", "tests"}) {
-    for (const auto& path : sources_under(root / top)) {
-      const SourceFile file =
-          parse_source(display_path(root, path), read_file(path));
-      auto file_findings = lint_file(file);
-      findings.insert(findings.end(), file_findings.begin(),
-                      file_findings.end());
-    }
-  }
-  for (const auto& header : precondition_headers()) {
-    auto header_findings = check_preconditions(root, header);
-    findings.insert(findings.end(), header_findings.begin(),
-                    header_findings.end());
-  }
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
-  return findings;
+std::vector<Finding> check_preconditions(const std::filesystem::path& root,
+                                         const std::string& header_rel) {
+  return check_preconditions(build_index(root), header_rel);
 }
 
 }  // namespace sgnn::lint

@@ -1,41 +1,101 @@
-// sgnn_lint CLI: `sgnn_lint [--root <dir>]`.
+// sgnn_lint CLI:
+//   sgnn_lint [--root <dir>] [--format=text|json|github]
+//             [--json-out <path>] [--stats] [--print-dag]
 //
-// Walks src/, include/ and tests/ under the root, prints one line per
-// finding (`path:line: [rule] message`), and exits non-zero when the tree
-// is not clean. Run by the `lint_tree` ctest and the CI lint job.
+// Builds the cross-TU index once, applies every rule family (R1-R10), and
+// prints findings in the selected format (`path:line: [rule] message` by
+// default, `::error ...` workflow annotations for --format=github, the
+// sgnn.lint_report.v1 document for --format=json). --json-out additionally
+// writes the JSON report to a file regardless of the stdout format — the
+// `lint_tree` ctest uses it so CI can attach the report as an artifact.
+// Exit codes: 0 clean, 1 findings, 2 usage error. Run by the `lint_tree`
+// ctest and the CI lint job.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "lint.hpp"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: sgnn_lint [--root <dir>] [--format=text|json|github]\n"
+    "                 [--json-out <path>] [--stats] [--print-dag]\n"
+    "Project-specific static analysis; rules are documented in\n"
+    "docs/static-analysis.md.\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string format = "text";
+  std::string json_out;
+  bool stats = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
-    } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::cout << "usage: sgnn_lint [--root <dir>]\n"
-                   "Project-specific static analysis; rules are documented "
-                   "in docs/static-analysis.md.\n";
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "github") {
+        std::cerr << "sgnn_lint: unknown format '" << format << "'\n";
+        return 2;
+      }
+    } else if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--print-dag") {
+      std::cout << sgnn::lint::print_dag();
+      return 0;
+    } else if (arg == "--help") {
+      std::cout << kUsage;
       return 0;
     } else {
-      std::cerr << "sgnn_lint: unknown argument '" << argv[i] << "'\n";
+      std::cerr << "sgnn_lint: unknown argument '" << arg << "'\n" << kUsage;
       return 2;
     }
   }
 
-  const auto findings = sgnn::lint::lint_tree(root);
-  for (const auto& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
+  const auto result = sgnn::lint::lint_tree_stats(root);
+  const auto& findings = result.findings;
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "sgnn_lint: cannot write '" << json_out << "'\n";
+      return 2;
+    }
+    out << sgnn::lint::format_json(result, root);
   }
-  if (findings.empty()) {
-    std::cout << "sgnn_lint: clean\n";
-    return 0;
+
+  if (format == "json") {
+    std::cout << sgnn::lint::format_json(result, root);
+  } else if (format == "github") {
+    std::cout << sgnn::lint::format_github(findings);
+  } else {
+    std::cout << sgnn::lint::format_text(findings);
+    if (findings.empty()) {
+      std::cout << "sgnn_lint: clean\n";
+    } else {
+      std::cout << "sgnn_lint: " << findings.size() << " finding"
+                << (findings.size() == 1 ? "" : "s") << "\n";
+    }
   }
-  std::cout << "sgnn_lint: " << findings.size() << " finding"
-            << (findings.size() == 1 ? "" : "s") << "\n";
-  return 1;
+
+  if (stats) {
+    const auto& s = result.stats;
+    const auto ms = [](double seconds) {
+      return static_cast<long long>(seconds * 1000.0 + 0.5);
+    };
+    std::cerr << "sgnn_lint: " << s.files << " files, " << s.bytes
+              << " bytes, " << s.functions << " functions, "
+              << s.include_edges << " include edges\n"
+              << "sgnn_lint: wall " << ms(s.total_seconds) << " ms (index "
+              << ms(s.index_seconds) << " ms, rules " << ms(s.rule_seconds)
+              << " ms)\n";
+  }
+  return findings.empty() ? 0 : 1;
 }

@@ -1,0 +1,156 @@
+#pragma once
+
+// Token-level text helpers shared by the linter's per-file rules
+// (lint.cpp), the project index (index.cpp), and the semantic rule
+// families R7-R10 (semantic.cpp). Everything operates on the "code view"
+// produced by parse_source — comments and literal contents blanked,
+// structure and line numbers preserved — so callers never have to worry
+// about matches inside strings or comments.
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sgnn::lint::text {
+
+inline bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+inline bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+inline std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+inline std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// Matches `pattern` as a whole word at `pos` in `content`.
+inline bool word_at(const std::string& content, std::size_t pos,
+                    const std::string& pattern) {
+  if (content.compare(pos, pattern.size(), pattern) != 0) return false;
+  if (pos > 0 && is_word(content[pos - 1])) return false;
+  const std::size_t end = pos + pattern.size();
+  if (end < content.size() && is_word(content[end])) return false;
+  return true;
+}
+
+/// All whole-word occurrences of `pattern` in `content` (offsets).
+inline std::vector<std::size_t> find_words(const std::string& content,
+                                           const std::string& pattern) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = content.find(pattern, pos)) != std::string::npos) {
+    if (word_at(content, pos, pattern)) hits.push_back(pos);
+    pos += 1;
+  }
+  return hits;
+}
+
+/// Index of the first non-space character before `pos`, or npos.
+inline std::size_t prev_significant_index(const std::string& content,
+                                          std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(content[pos]))) {
+      return pos;
+    }
+  }
+  return std::string::npos;
+}
+
+/// First non-space character before `pos`, or '\0'.
+inline char prev_significant(const std::string& content, std::size_t pos) {
+  const auto at = prev_significant_index(content, pos);
+  return at == std::string::npos ? '\0' : content[at];
+}
+
+/// Skips whitespace forward from `pos`; returns content.size() at the end.
+inline std::size_t skip_space(const std::string& content, std::size_t pos) {
+  while (pos < content.size() &&
+         std::isspace(static_cast<unsigned char>(content[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// 1-based line number of offset `pos`.
+inline int line_of(const std::string& content, std::size_t pos) {
+  return 1 +
+         static_cast<int>(std::count(
+             content.begin(),
+             content.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+}
+
+/// The word ending just before `pos` (skipping trailing spaces), or "".
+inline std::string word_before(const std::string& content, std::size_t pos) {
+  const auto end_at = prev_significant_index(content, pos);
+  if (end_at == std::string::npos || !is_word(content[end_at])) return "";
+  std::size_t begin = end_at + 1;
+  while (begin > 0 && is_word(content[begin - 1])) --begin;
+  return content.substr(begin, end_at + 1 - begin);
+}
+
+/// Offset of the `)` matching the `(` at `open`, or npos when unbalanced.
+inline std::size_t match_paren(const std::string& content, std::size_t open) {
+  int depth = 0;
+  for (std::size_t p = open; p < content.size(); ++p) {
+    if (content[p] == '(') ++depth;
+    if (content[p] == ')') {
+      --depth;
+      if (depth == 0) return p;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Offset of the `}` matching the `{` at `brace` (content.size() when the
+/// block never closes).
+inline std::size_t match_brace(const std::string& content,
+                               std::size_t brace) {
+  int depth = 0;
+  for (std::size_t p = brace; p < content.size(); ++p) {
+    if (content[p] == '{') ++depth;
+    if (content[p] == '}') {
+      --depth;
+      if (depth == 0) return p;
+    }
+  }
+  return content.size();
+}
+
+/// True when `name` is spelled in macro style (ALL_CAPS_WITH_DIGITS).
+inline bool is_all_caps(const std::string& name) {
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return std::isupper(static_cast<unsigned char>(c)) != 0 ||
+           std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '_';
+  });
+}
+
+}  // namespace sgnn::lint::text
