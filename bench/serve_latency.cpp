@@ -1,0 +1,318 @@
+// Closed-loop load generation against sgnn::serve. Four phases:
+//
+//   1. Sustained load: concurrent closed-loop clients drive >= 1e5 requests
+//      (scaled by SGNN_BENCH_SCALE) over a structure pool, with one
+//      zero-downtime weight swap mid-stream. Headline numbers — throughput
+//      and latency p50/p95/p99 — are read back from the sgnn::obs metrics
+//      registry (serve.requests.completed, serve.latency_seconds), not from
+//      bench-local stopwatches, so the report also validates the
+//      instrumentation the server ships with.
+//   2. Cache hit vs recompute: per-request latency of a resident structure
+//      versus a fresh one (the cache-design target is >= 10x).
+//   3. Dynamic batching vs batch-size-1: same offered load, two servers
+//      differing only in max_batch_graphs.
+//   4. Admission control under a burst that overflows a tiny queue.
+//
+// Every phase's numbers land in BENCH_serve_latency.json for the
+// sgnn_bench_compare regression gate.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "bench_common.hpp"
+#include "sgnn/nn/model_io.hpp"
+#include "sgnn/serve/server.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace {
+
+using namespace sgnn;
+using namespace sgnn::bench;
+using namespace sgnn::serve;
+using Clock = std::chrono::steady_clock;
+
+AtomicStructure synthetic_structure(std::int64_t atoms, Rng& rng) {
+  AtomicStructure s;
+  const int palette[] = {elements::kH, elements::kC, elements::kN,
+                         elements::kO, elements::kSi};
+  const double box = 3.0 + 0.4 * static_cast<double>(atoms);
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    s.species.push_back(palette[rng.uniform_index(5)]);
+    s.positions.push_back(
+        {rng.uniform(0, box), rng.uniform(0, box), rng.uniform(0, box)});
+  }
+  return s;
+}
+
+std::vector<AtomicStructure> structure_pool(std::size_t count,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AtomicStructure> pool;
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.push_back(synthetic_structure(8 + static_cast<std::int64_t>(i % 12), rng));
+  }
+  return pool;
+}
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Closed-loop clients: each thread keeps exactly one request in flight,
+/// drawing round-robin from the pool. Returns {completed, failed}.
+std::pair<std::int64_t, std::int64_t> drive(Server& server,
+                                            const std::vector<AtomicStructure>& pool,
+                                            int clients, std::int64_t total,
+                                            double force_share) {
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<std::int64_t> failed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      const std::int64_t share = total / clients + (t < total % clients);
+      for (std::int64_t i = 0; i < share; ++i) {
+        const std::size_t pick =
+            (static_cast<std::size_t>(t) * 131 + static_cast<std::size_t>(i)) %
+            pool.size();
+        const bool forces =
+            force_share > 0 &&
+            static_cast<double>(i % 100) < 100 * force_share;
+        try {
+          server.submit({pool[pick], forces}).get();
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  return {completed.load(), failed.load()};
+}
+
+}  // namespace
+
+int main() {
+  BenchReport report("serve_latency");
+  const double scale = bench_scale();
+
+  ModelConfig config;
+  config.hidden_dim = 16;
+  config.num_layers = 2;
+  config.seed = 31;
+  const EGNNModel reference(config);
+  const std::string payload = model_payload_bytes(reference);
+
+  ModelConfig swapped_config = config;
+  swapped_config.seed = 32;
+  const std::string swapped_payload =
+      model_payload_bytes(EGNNModel(swapped_config));
+
+  auto& registry = obs::MetricsRegistry::instance();
+
+  // -------------------------------------------------------------- phase 1
+  // Sustained closed-loop load over a pool small enough that steady state
+  // is cache-dominated (the serving regime: repeated structures), with one
+  // weight swap mid-stream. Failures (torn swaps, shed requests) would
+  // surface as failed futures; the closed loop never overruns the queue.
+  const auto total_requests =
+      static_cast<std::int64_t>(100000 * scale);
+  const int clients = 4;
+  std::cerr << "[bench] phase 1: " << total_requests
+            << " closed-loop requests...\n";
+  const std::vector<AtomicStructure> pool = structure_pool(48, 101);
+  std::int64_t load_completed = 0;
+  std::int64_t load_failed = 0;
+  double load_seconds = 0;
+  {
+    ServerOptions options;
+    options.num_workers = 2;
+    Server server(config, payload, options);
+    registry.reset();  // isolate this phase in the registry
+
+    std::atomic<bool> swapped{false};
+    std::thread swapper([&] {
+      // Swap once the load is demonstrably in flight, then keep serving.
+      while (!swapped.load()) {
+        if (registry.counter("serve.requests.completed").value() >=
+            total_requests / 2) {
+          server.swap_weights(swapped_payload);
+          swapped.store(true);
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+
+    const Clock::time_point begin = Clock::now();
+    const auto [completed, failed] =
+        drive(server, pool, clients, total_requests, /*force_share=*/0.2);
+    load_seconds = seconds_between(begin, Clock::now());
+    swapped.store(true);  // in case the load finished before the trigger
+    swapper.join();
+    load_completed = completed;
+    load_failed = failed;
+  }
+
+  // Headline latency/throughput read back from the server's own metrics.
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  const obs::Histogram::Snapshot latency =
+      snapshot.histograms.at("serve.latency_seconds");
+  const double completed_by_registry =
+      static_cast<double>(snapshot.counters.at("serve.requests.completed"));
+  const double throughput = completed_by_registry / load_seconds;
+  const auto cache_hits =
+      static_cast<double>(snapshot.counters.at("serve.cache.hits"));
+
+  Table load_table({"Requests", "Failed", "Throughput req/s", "p50 us",
+                    "p95 us", "p99 us", "Cache hit %"});
+  load_table.add_row(
+      {std::to_string(load_completed), std::to_string(load_failed),
+       Table::fixed(throughput, 0), Table::fixed(1e6 * latency.quantile(0.50), 1),
+       Table::fixed(1e6 * latency.quantile(0.95), 1),
+       Table::fixed(1e6 * latency.quantile(0.99), 1),
+       Table::fixed(100 * cache_hits / completed_by_registry, 1)});
+  std::cout << load_table.to_ascii("Serve — sustained closed-loop load (" +
+                                   std::to_string(clients) +
+                                   " clients, 1 weight swap mid-stream)");
+
+  report.add_value("requests_total", static_cast<double>(load_completed),
+                   BenchReport::Better::kHigher);
+  report.add_value("failed_requests", static_cast<double>(load_failed),
+                   BenchReport::Better::kLower);
+  report.add_value("throughput_rps", throughput, BenchReport::Better::kHigher);
+  report.add_value("latency_p50_s", latency.quantile(0.50),
+                   BenchReport::Better::kLower);
+  report.add_value("latency_p95_s", latency.quantile(0.95),
+                   BenchReport::Better::kLower);
+  report.add_value("latency_p99_s", latency.quantile(0.99),
+                   BenchReport::Better::kLower);
+
+  // -------------------------------------------------------------- phase 2
+  // Cache hit vs recompute, measured per request on one server: the same
+  // structure repeatedly (every request after the first is a hit) versus a
+  // fresh structure each time.
+  const auto probe_requests =
+      std::max<std::int64_t>(64, static_cast<std::int64_t>(2000 * scale));
+  std::cerr << "[bench] phase 2: hit vs recompute (" << probe_requests
+            << " each)...\n";
+  double hit_seconds = 0;
+  double miss_seconds = 0;
+  {
+    ServerOptions options;
+    options.num_workers = 1;
+    options.cache_capacity = 1u << 20;  // never evict during the probe
+    Server server(config, payload, options);
+
+    const std::vector<AtomicStructure> fresh =
+        structure_pool(static_cast<std::size_t>(probe_requests), 202);
+    Clock::time_point begin = Clock::now();
+    for (const auto& structure : fresh) {
+      server.submit({structure, false}).get();
+    }
+    miss_seconds = seconds_between(begin, Clock::now());
+
+    const AtomicStructure resident = fresh.front();
+    begin = Clock::now();
+    for (std::int64_t i = 0; i < probe_requests; ++i) {
+      server.submit({resident, false}).get();
+    }
+    hit_seconds = seconds_between(begin, Clock::now());
+  }
+  const double hit_us = 1e6 * hit_seconds / static_cast<double>(probe_requests);
+  const double miss_us =
+      1e6 * miss_seconds / static_cast<double>(probe_requests);
+  const double hit_speedup = miss_us / hit_us;
+
+  Table cache_table({"Path", "Mean us/request"});
+  cache_table.add_row({"recompute (miss)", Table::fixed(miss_us, 1)});
+  cache_table.add_row({"cache hit", Table::fixed(hit_us, 1)});
+  std::cout << cache_table.to_ascii("Serve — cache hit vs recompute (" +
+                                    Table::fixed(hit_speedup, 1) + "x)");
+  report.add_value("cache_hit_speedup", hit_speedup,
+                   BenchReport::Better::kHigher);
+  report.add_info("cache_hit_us", hit_us);
+  report.add_info("cache_miss_us", miss_us);
+
+  // -------------------------------------------------------------- phase 3
+  // Dynamic batching vs batch-size-1: identical offered load (8 closed-loop
+  // clients, cache off so every request is computed), one worker, only
+  // max_batch_graphs differs.
+  const auto batch_requests =
+      std::max<std::int64_t>(256, static_cast<std::int64_t>(4000 * scale));
+  std::cerr << "[bench] phase 3: batched vs batch-1 (" << batch_requests
+            << " each)...\n";
+  const auto batch_throughput = [&](std::int64_t max_batch_graphs) {
+    ServerOptions options;
+    options.num_workers = 1;
+    options.max_batch_graphs = max_batch_graphs;
+    options.cache_capacity = 0;
+    Server server(config, payload, options);
+    const Clock::time_point begin = Clock::now();
+    const auto [completed, failed] =
+        drive(server, pool, /*clients=*/8, batch_requests, /*force_share=*/0);
+    const double seconds = seconds_between(begin, Clock::now());
+    return std::make_pair(static_cast<double>(completed - failed) / seconds,
+                          failed);
+  };
+  const auto [batched_rps, batched_failed] = batch_throughput(16);
+  const auto [single_rps, single_failed] = batch_throughput(1);
+  const double batching_speedup = batched_rps / single_rps;
+
+  Table batch_table({"Mode", "Throughput req/s", "Failed"});
+  batch_table.add_row({"dynamic batching (<=16)", Table::fixed(batched_rps, 0),
+                       std::to_string(batched_failed)});
+  batch_table.add_row({"batch size 1", Table::fixed(single_rps, 0),
+                       std::to_string(single_failed)});
+  std::cout << batch_table.to_ascii("Serve — dynamic batching vs batch-1 (" +
+                                    Table::fixed(batching_speedup, 2) + "x)");
+  report.add_value("batched_throughput_rps", batched_rps,
+                   BenchReport::Better::kHigher);
+  report.add_value("batch1_throughput_rps", single_rps,
+                   BenchReport::Better::kHigher);
+  report.add_value("batching_speedup", batching_speedup,
+                   BenchReport::Better::kHigher);
+
+  // -------------------------------------------------------------- phase 4
+  // Admission control: open-loop burst into a 4-deep queue. The shed share
+  // is workload-dependent; what the gate pins is that shedding happens
+  // (bounded memory) and nothing admitted is lost.
+  std::cerr << "[bench] phase 4: admission control burst...\n";
+  std::int64_t shed = 0;
+  std::int64_t admitted = 0;
+  {
+    ServerOptions options;
+    options.num_workers = 1;
+    options.max_queue = 4;
+    options.max_batch_graphs = 1;
+    options.cache_capacity = 0;
+    Server server(config, payload, options);
+    std::vector<std::future<InferenceResult>> futures;
+    const std::vector<AtomicStructure> burst = structure_pool(128, 303);
+    for (const auto& structure : burst) {
+      try {
+        futures.push_back(server.submit({structure, true}));
+      } catch (const RejectedError&) {
+        ++shed;
+      }
+    }
+    for (auto& future : futures) future.get();
+    admitted = static_cast<std::int64_t>(futures.size());
+  }
+  std::cout << "\nAdmission control: " << admitted << " admitted, " << shed
+            << " shed (queue depth 4, burst 128); all admitted completed.\n";
+  report.add_info("burst_admitted", static_cast<double>(admitted));
+  report.add_info("burst_shed", static_cast<double>(shed));
+
+  report.add_info("scale", scale);
+  report.add_info("clients", static_cast<double>(clients));
+  report.add_info("pool_structures", static_cast<double>(pool.size()));
+  report.add_info("hidden_dim", static_cast<double>(config.hidden_dim));
+  report.write();
+  return load_failed == 0 && hit_speedup >= 10.0 && batching_speedup > 1.0
+             ? 0
+             : 1;
+}

@@ -49,9 +49,19 @@ class EnableGradGuard {
   bool previous_;
 };
 
+/// Number of autograd Nodes currently alive across all threads. Inference
+/// paths that promise "no tape" (serve, evaluation) pin that promise in
+/// tests by asserting this stays flat across a guarded forward.
+std::int64_t live_node_count();
+
 /// One recorded operation. `inputs` keeps the producing subgraph (and thus
 /// its activations) alive until backward consumes this node.
 struct Node {
+  Node();
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
   std::string op_name;
   std::vector<Tensor> inputs;
   /// Maps the gradient w.r.t. this node's output to gradients w.r.t. each

@@ -6,7 +6,9 @@ namespace sgnn {
 
 GraphBatch GraphBatch::from_graphs(
     const std::vector<const MolecularGraph*>& graphs) {
-  SGNN_CHECK(!graphs.empty(), "cannot batch zero graphs");
+  // An empty request list is a valid (if useless) batch: every array comes
+  // out zero-length and num_graphs == 0, so callers can uniformly test
+  // `batch.num_graphs` instead of guarding the constructor.
   // Batch buffers are transient training data, not retained activations.
   const ScopedMemCategory scope(MemCategory::kWorkspace);
 

@@ -20,7 +20,13 @@ std::string symbol(int atomic_number) {
     case kNi: return "Ni";
     case kCu: return "Cu";
     case kPt: return "Pt";
-    default: return "X" + std::to_string(atomic_number);
+    default: {
+      // Built up in two steps: operator+(const char*, std::string&&)
+      // trips a GCC 12 -Werror=restrict false positive here.
+      std::string name = "X";
+      name += std::to_string(atomic_number);
+      return name;
+    }
   }
 }
 

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <type_traits>
+#include <vector>
 
 #include "sgnn/store/serialize.hpp"
 #include "sgnn/util/error.hpp"
@@ -103,7 +104,13 @@ void restore_parameters(std::istream& in, EGNNModel& model) {
   SGNN_CHECK(count == params.size(),
              "model file has " << count << " parameter tensors, model needs "
                                << params.size());
-  for (auto& p : params) {
+  // Two-phase restore: stage every tensor's data first, so a truncation or
+  // shape mismatch discovered at parameter k cannot leave the model torn
+  // (parameters 0..k-1 new, the rest old). Live weights are only touched
+  // after the whole payload has validated.
+  std::vector<std::vector<real>> staged;
+  staged.reserve(params.size());
+  for (const auto& p : params) {
     const auto rank = read_raw<std::uint64_t>(in);
     SGNN_CHECK(rank == p.rank(), "parameter rank mismatch");
     for (std::size_t axis = 0; axis < rank; ++axis) {
@@ -112,12 +119,17 @@ void restore_parameters(std::istream& in, EGNNModel& model) {
                                          << axis << ": file has " << dim
                                          << ", model has " << p.dim(axis));
     }
-    // sgnn-lint: allow(aliasing): byte view of a trivially-copyable tensor
-    // buffer for bulk stream IO, mirroring serialize_payload's writer.
-    in.read(reinterpret_cast<char*>(p.data()),
-            static_cast<std::streamsize>(
-                static_cast<std::size_t>(p.numel()) * sizeof(real)));
+    std::vector<real> data(static_cast<std::size_t>(p.numel()));
+    // sgnn-lint: allow(aliasing): byte view of a trivially-copyable buffer
+    // for bulk stream IO, mirroring serialize_payload's writer.
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(real)));
     SGNN_CHECK(in.good(), "truncated parameter data");
+    staged.push_back(std::move(data));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::memcpy(params[i].data(), staged[i].data(),
+                staged[i].size() * sizeof(real));
   }
 }
 

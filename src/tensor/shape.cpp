@@ -15,7 +15,10 @@ Shape Shape::broadcast(const Shape& a, const Shape& b) {
     SGNN_CHECK(da == db || da == 1 || db == 1,
                "shapes " << a.to_string() << " and " << b.to_string()
                          << " are not broadcastable");
-    out[rank - 1 - i] = std::max(da, db);
+    // A dim of 1 yields to the other side even when the other side is 0:
+    // (0, h) + (1, h) -> (0, h). max() would resurrect the empty extent and
+    // make downstream kernels index into storage that was never allocated.
+    out[rank - 1 - i] = (da == 1) ? db : da;
   }
   return Shape(std::move(out));
 }

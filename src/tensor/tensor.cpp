@@ -1,6 +1,7 @@
 #include "sgnn/tensor/tensor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +13,9 @@ namespace sgnn {
 namespace autograd {
 namespace {
 thread_local bool t_grad_enabled = true;
+// Alive across all threads: serve workers forward concurrently, and the
+// zero-tape pin must see every node regardless of which thread made it.
+std::atomic<std::int64_t> g_live_nodes{0};
 // Installed leaf-grad observer and the backward() nesting depth on this
 // thread; only the outermost pass (depth 1) fires the hook — see the
 // LeafGradHook contract in tensor.hpp.
@@ -20,6 +24,13 @@ thread_local int t_backward_depth = 0;
 }  // namespace
 
 bool grad_enabled() { return t_grad_enabled; }
+
+std::int64_t live_node_count() {
+  return g_live_nodes.load(std::memory_order_relaxed);
+}
+
+Node::Node() { g_live_nodes.fetch_add(1, std::memory_order_relaxed); }
+Node::~Node() { g_live_nodes.fetch_sub(1, std::memory_order_relaxed); }
 
 ScopedLeafGradHook::ScopedLeafGradHook(LeafGradHook hook)
     : previous_(std::move(t_leaf_grad_hook)) {

@@ -262,9 +262,54 @@ TEST(BatchTest, ShiftReconstructsMinimumImage) {
   }
 }
 
-TEST(BatchTest, EmptyBatchThrows) {
-  EXPECT_THROW(GraphBatch::from_graphs(std::vector<const MolecularGraph*>{}),
-               Error);
+TEST(BatchTest, EmptyBatchIsWellFormed) {
+  // Zero graphs is a valid degenerate batch (a serving queue can drain to
+  // nothing): all counts zero, all tensors zero-length, nothing to index.
+  const GraphBatch batch =
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{});
+  EXPECT_EQ(batch.num_graphs, 0);
+  EXPECT_EQ(batch.num_nodes, 0);
+  EXPECT_EQ(batch.num_edges, 0);
+  EXPECT_TRUE(batch.species.empty());
+  EXPECT_TRUE(batch.edge_src.empty());
+  EXPECT_TRUE(batch.node_to_graph.empty());
+  EXPECT_EQ(batch.positions.shape(), Shape({0, 3}));
+  EXPECT_EQ(batch.energy.shape(), Shape({0, 1}));
+  EXPECT_TRUE(batch.nodes_per_graph().empty());
+}
+
+TEST(BatchTest, SingleAtomGraphPacksWithZeroEdges) {
+  // One atom, no neighbors: a legal request shape the forward path must
+  // survive (zero-row edge tensors, not out-of-range indexing).
+  AtomicStructure s;
+  s.species = {elements::kCu};
+  s.positions = {{0.0, 0.0, 0.0}};
+  MolecularGraph g = MolecularGraph::from_structure(s, 3.0);
+  const GraphBatch batch =
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&g});
+  EXPECT_EQ(batch.num_nodes, 1);
+  EXPECT_EQ(batch.num_edges, 0);
+  EXPECT_EQ(batch.edge_shift.shape(), Shape({0, 3}));
+}
+
+TEST(BatchTest, MixedZeroEdgeAndNormalGraphsPack) {
+  Rng rng(23);
+  AtomicStructure lone;
+  lone.species = {elements::kCu};
+  lone.positions = {{0.0, 0.0, 0.0}};
+  MolecularGraph a = MolecularGraph::from_structure(lone, 3.0);
+  MolecularGraph b =
+      MolecularGraph::from_structure(random_cluster(5, 4.0, rng), 3.0);
+  const GraphBatch batch =
+      GraphBatch::from_graphs(std::vector<const MolecularGraph*>{&a, &b});
+  EXPECT_EQ(batch.num_nodes, 6);
+  EXPECT_EQ(batch.num_edges, b.num_edges());
+  // All edges belong to graph b, so every endpoint is offset past atom 0.
+  for (std::size_t k = 0; k < batch.edge_src.size(); ++k) {
+    EXPECT_GE(batch.edge_src[k], 1);
+    EXPECT_GE(batch.edge_dst[k], 1);
+  }
+  EXPECT_EQ(batch.nodes_per_graph(), (std::vector<std::int64_t>{1, 5}));
 }
 
 TEST(BatchTest, NodesPerGraphCounts) {

@@ -13,6 +13,7 @@
 #include "sgnn/graph/batch.hpp"
 #include "sgnn/nn/egnn.hpp"
 #include "sgnn/nn/transformer.hpp"
+#include "sgnn/tensor/ops.hpp"
 #include "sgnn/train/loss.hpp"
 #include "sgnn/util/rng.hpp"
 
@@ -131,6 +132,44 @@ TEST(ModelGradcheckTest, TransformerLossGradientsMatchFiniteDifferences) {
     return terms.total;
   };
   check_model_gradients(model, loss_fn);
+}
+
+TEST(ModelGradcheckTest, FrozenParameterPositionGradientsMatchFiniteDifferences) {
+  // The serving force path: every parameter frozen, positions the only
+  // leaf. Backward must produce a correct dE/dx and accumulate nothing
+  // into the weights.
+  ModelConfig config;
+  config.hidden_dim = 5;
+  config.num_layers = 2;
+  const EGNNModel model(config);
+  for (auto& p : model.parameters()) p.set_requires_grad(false);
+
+  GraphBatch batch = tiny_batch();
+  batch.positions.set_requires_grad(true);
+  sum(model.forward(batch).energy).backward();
+
+  const Tensor grad = batch.positions.grad();
+  ASSERT_TRUE(grad.defined());
+  for (const auto& p : model.parameters()) {
+    EXPECT_FALSE(p.grad().defined()) << "frozen parameter accumulated grad";
+  }
+
+  const double eps = 1e-6;
+  for (std::int64_t i = 0; i < batch.positions.numel(); ++i) {
+    const real original = batch.positions.data()[i];
+    const auto energy_at = [&](double x) {
+      batch.positions.data()[i] = static_cast<real>(x);
+      const autograd::NoGradGuard no_grad;
+      return sum(model.forward(batch).energy).item();
+    };
+    const double plus = energy_at(original + eps);
+    const double minus = energy_at(original - eps);
+    batch.positions.data()[i] = original;
+    const double numeric = (plus - minus) / (2 * eps);
+    const double g = grad.data()[i];
+    const double scale = std::max({std::abs(numeric), std::abs(g), 1.0});
+    ASSERT_NEAR(g / scale, numeric / scale, 2e-5) << "coordinate " << i;
+  }
 }
 
 TEST(ModelGradcheckTest, CheckpointedForwardHasIdenticalGradients) {

@@ -120,6 +120,23 @@ TEST(ModelIoTest, TruncatedFileIsRejected) {
   EXPECT_THROW(load_model(file.path()), Error);
 }
 
+TEST(ModelIoTest, TruncatedPayloadLeavesModelUnchanged) {
+  // Restore is two-phase (stage everything, then commit): a payload that
+  // fails validation partway through must not tear the target model.
+  const GraphBatch batch = test_batch();
+  const EGNNModel source(small_config());
+  std::string payload = model_payload_bytes(source);
+
+  ModelConfig other = small_config();
+  other.seed = 4242;
+  EGNNModel target(other);
+  const auto before = target.forward(batch).energy.to_vector();
+
+  payload.resize(payload.size() / 2);
+  EXPECT_THROW(load_model_payload(target, payload), Error);
+  EXPECT_EQ(target.forward(batch).energy.to_vector(), before);
+}
+
 TEST(ModelIoTest, MissingFileIsRejected) {
   EXPECT_THROW(load_model("/nonexistent/sgnn_model.sgmd"), Error);
 }

@@ -68,6 +68,15 @@ TEST(ShapeTest, BroadcastRankExtension) {
   EXPECT_EQ(Shape::broadcast(Shape{3}, Shape{4, 3}), Shape({4, 3}));
 }
 
+TEST(ShapeTest, BroadcastZeroAgainstOneKeepsZero) {
+  // NumPy semantics: a 0-extent dim broadcasts against 1 and wins — an
+  // empty batch stays empty instead of being resurrected to size 1.
+  EXPECT_EQ(Shape::broadcast(Shape{0, 3}, Shape{1, 3}), Shape({0, 3}));
+  EXPECT_EQ(Shape::broadcast(Shape{1, 3}, Shape{0, 3}), Shape({0, 3}));
+  EXPECT_EQ(Shape::broadcast(Shape{0, 1}, Shape{1, 5}), Shape({0, 5}));
+  EXPECT_THROW(Shape::broadcast(Shape{0, 3}, Shape{2, 3}), Error);
+}
+
 TEST(ShapeTest, BroadcastIncompatibleThrows) {
   EXPECT_THROW(Shape::broadcast(Shape{2, 3}, Shape{2, 4}), Error);
 }

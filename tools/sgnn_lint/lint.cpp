@@ -72,8 +72,13 @@ bool in_kernel_dir(const std::string& path) {
 }
 
 bool thread_allowed(const std::string& path) {
+  // comm (simulated ranks) and serve (long-lived worker replicas) are the
+  // two subsystems whose concurrency parallel_for's fork-join lanes cannot
+  // express; everything else routes through the pool.
   return starts_with(path, "src/comm/") ||
          starts_with(path, "include/sgnn/comm/") ||
+         starts_with(path, "src/serve/") ||
+         starts_with(path, "include/sgnn/serve/") ||
          path == "src/util/thread_pool.cpp" ||
          path == "include/sgnn/util/thread_pool.hpp";
 }

@@ -484,6 +484,11 @@ const std::vector<KernelSurface>& kernel_surfaces() {
   static const std::vector<KernelSurface> surfaces = {
       {"include/sgnn/tensor/ops.hpp", {"src/tensor/"}},
       {"include/sgnn/graph/neighbor.hpp", {"src/graph/neighbor.cpp"}},
+      // Serving hot paths must stay visible to the profiler: every request
+      // crosses submit/process_batch/run_group, so a regression there
+      // escaping the roofline and bench accounting would blind the latency
+      // work the ROADMAP's serving target depends on.
+      {"include/sgnn/serve/server.hpp", {"src/serve/"}},
   };
   return surfaces;
 }
@@ -590,6 +595,7 @@ const std::vector<LayerEntry>& layer_table() {
       {"ckpt", 4},
       {"scaling", 4},
       {"potential", 4},
+      {"serve", 5},
   };
   return table;
 }
