@@ -94,6 +94,90 @@ int main() {
   report.add_table("projection", table);
   report.add_value("single_rank_compute_s", single_compute,
                    BenchReport::Better::kLower);
+
+  // -- measured graph-parallel axis (sgnn::gpar) ---------------------------
+  // Unlike the projection above, this axis RUNS the ranks: every step the
+  // same global batch is spatially partitioned, one-hop halo rows are
+  // exchanged through the Communicator, and ghost gradients fold back to
+  // their owners. Atoms per rank SHRINK as ranks grow — the graph-parallel
+  // strong-scaling axis the projection cannot model — while the halo
+  // payload and its exposed/overlapped split are measured, not projected.
+  // Training is bit-identical to the single-rank run at every rank count
+  // (the partition-parity test wall), so the only thing that varies along
+  // this axis is cost.
+  std::cerr << "[bench] measuring graph-parallel halo axis...\n";
+  std::vector<MolecularGraph> gp_graphs;
+  double total_atoms = 0;
+  for (const auto* g : experiment.dataset.view(subset)) {
+    total_atoms += static_cast<double>(g->num_nodes());
+    gp_graphs.push_back(*g);
+  }
+  const double atoms_per_graph =
+      gp_graphs.empty() ? 0.0
+                        : total_atoms / static_cast<double>(gp_graphs.size());
+
+  Table gp_table({"Ranks", "Atoms/rank/step", "Halo KB/step", "Exch/step",
+                  "Halo exposed s", "Halo overlapped s", "Hidden %"});
+  for (const int ranks : {1, 2, 4}) {
+    DistTrainOptions gp;
+    gp.num_ranks = ranks;
+    gp.epochs = 1;
+    gp.per_rank_batch_size = 4;  // the GLOBAL batch under graph_parallel
+    gp.strategy = DistStrategy::kDDP;
+    gp.graph_parallel = true;
+    gp.max_grad_norm = 0.0;
+    DistributedTrainer gp_trainer(config, gp);
+    DDStore gp_store(ranks);
+    {
+      std::vector<MolecularGraph> copy = gp_graphs;
+      gp_store.insert(std::move(copy));
+    }
+    const DistTrainReport run = gp_trainer.train(gp_store);
+    const double steps_d = std::max(1.0, static_cast<double>(run.steps));
+    const double atoms_per_rank = 4.0 * atoms_per_graph / ranks;
+    const double bytes_per_step =
+        static_cast<double>(run.halo_bytes) / steps_d;
+    const double exch_per_step =
+        static_cast<double>(run.halo_exchanges) / steps_d;
+    const double halo_total =
+        run.halo_exposed_seconds + run.halo_overlapped_seconds;
+    const double hidden =
+        halo_total > 0 ? 100.0 * run.halo_overlapped_seconds / halo_total
+                       : 0.0;
+    gp_table.add_row({std::to_string(ranks), Table::fixed(atoms_per_rank, 1),
+                      Table::fixed(bytes_per_step / 1024.0, 2),
+                      Table::fixed(exch_per_step, 1),
+                      Table::scientific(run.halo_exposed_seconds, 2),
+                      Table::scientific(run.halo_overlapped_seconds, 2),
+                      Table::fixed(hidden, 1) + "%"});
+    const std::string prefix = "gp.r" + std::to_string(ranks) + ".";
+    // Payload and exchange counts are pure functions of the (seeded)
+    // dataset and the partition — deterministic, so the committed baseline
+    // gates them hard: traffic growth is a partitioner regression.
+    report.add_value(prefix + "halo_bytes_per_step", bytes_per_step,
+                     BenchReport::Better::kLower);
+    report.add_value(prefix + "halo_exchanges_per_step", exch_per_step,
+                     BenchReport::Better::kLower);
+    // Timing split is machine-noisy: informational only.
+    report.add_value(prefix + "halo_exposed_s", run.halo_exposed_seconds,
+                     BenchReport::Better::kNone);
+    report.add_value(prefix + "halo_overlapped_s",
+                     run.halo_overlapped_seconds,
+                     BenchReport::Better::kNone);
+    report.add_info(prefix + "atoms_per_rank_per_step", atoms_per_rank);
+  }
+  std::cout << "\n"
+            << gp_table.to_ascii(
+                   "Extension — graph-parallel halo axis (measured: spatial "
+                   "partition + one-hop halo exchange, global batch 4)");
+  std::cout << "\nContext: under sgnn::gpar the ranks cooperate on ONE "
+               "batch, so per-rank atoms\nfall as 1/R while the halo "
+               "payload the boundary exchange moves grows with the\ncut "
+               "surface. The overlapped column is the share of modeled "
+               "fabric time hidden\nbehind the distance/RBF compute window "
+               "that separates the x and h waits.\n";
+  report.add_table("graph_parallel", gp_table);
+
   report.write();
   return 0;
 }

@@ -10,6 +10,14 @@ namespace sgnn {
 /// Directed edge list with per-edge displacement vectors (r_dst - r_src,
 /// minimum image). Both (i, j) and (j, i) are present — message passing is
 /// directional.
+///
+/// Ordering contract: every search returns edges sorted by (dst, src)
+/// ascending ("dst-major"). This makes the edge order a pure function of the
+/// structure (brute-force and cell-list agree edge-for-edge), and it is what
+/// the spatial partitioner relies on for bit-identical distributed training:
+/// the edges owned by a contiguous node range form a contiguous slice of the
+/// global list, so per-receiver scatter folds are reproduced exactly when a
+/// graph is split across ranks (see docs/graph-parallelism.md).
 struct EdgeList {
   std::vector<std::int64_t> src;
   std::vector<std::int64_t> dst;

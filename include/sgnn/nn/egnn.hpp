@@ -77,6 +77,9 @@ struct ModelConfig {
                                           std::int64_t num_layers);
 };
 
+class GraphParallelHook;
+class ShardedGradReducer;
+
 /// One E(n)-equivariant message-passing layer (Satorras et al., ICML'21):
 ///   m_ij   = phi_e(h_i, h_j, rbf(|x_i - x_j|))
 ///   x_i'   = x_i + (1/deg_i) * sum_j (x_i - x_j) * phi_x(m_ij)
@@ -90,13 +93,20 @@ class EGNNLayer : public Module {
  public:
   EGNNLayer(const ModelConfig& config, Rng& rng);
 
-  /// Static per-batch edge context (no autograd participation).
+  /// Static per-batch edge context (no autograd participation). Under graph
+  /// parallelism (sgnn::gpar) the arrays are LOCAL: num_nodes counts this
+  /// rank's owned nodes, edge_* span its edge slice, and `halo` supplies
+  /// the ghost rows that edge_src values >= num_nodes refer to.
   struct EdgeContext {
     const std::vector<std::int64_t>* edge_src = nullptr;
     const std::vector<std::int64_t>* edge_dst = nullptr;
     Tensor edge_shift;    ///< (E, 3)
     Tensor inv_degree;    ///< (N, 1), 1/max(deg, 1)
     std::int64_t num_nodes = 0;
+    /// Non-null when this context describes one rank's partition: the layer
+    /// sources src-side rows through the hook (which exchanges boundary
+    /// rows with the other ranks) instead of a local gather.
+    GraphParallelHook* halo = nullptr;
   };
 
   /// `state` packs [h | x | F] as (N, hidden + 6); returns the new state.
@@ -117,6 +127,45 @@ class EGNNLayer : public Module {
   std::unique_ptr<MLP> phi_w_;  ///< filter generator (SchNet)
 };
 
+/// Rank-local services a graph-parallel forward needs from the partition /
+/// communication layer (implemented by sgnn::gpar::HaloExchanger, which
+/// lives in the train module — this interface keeps nn free of comm).
+///
+/// The contract every method shares: inputs are this rank's OWNED node rows
+/// (global order restricted to the owned range), and anything returned is
+/// bit-identical to what the unpartitioned forward would have produced for
+/// the same rows — see docs/graph-parallelism.md for the argument.
+class GraphParallelHook {
+ public:
+  virtual ~GraphParallelHook() = default;
+
+  /// Owned-node count / inputs of this rank's shard.
+  virtual std::int64_t num_owned() const = 0;
+  virtual const std::vector<int>& owned_species() const = 0;
+  virtual const Tensor& owned_positions() const = 0;
+  /// Local edge context (edge_src/edge_dst in local ids, halo == this).
+  virtual const EGNNLayer::EdgeContext& edge_context() const = 0;
+
+  /// Per-edge src-side coordinate rows (E_local, 3). Posts the boundary
+  /// exchange for BOTH x and h, waits only for x; the h rows keep flying
+  /// while the layer computes distances and radial features, and
+  /// select_src_h collects them (that compute window is what hides the
+  /// halo latency).
+  virtual Tensor select_src_x(const Tensor& x, const Tensor& h) = 0;
+  /// Per-edge src-side feature rows (E_local, hidden); waits the h
+  /// exchange posted by the preceding select_src_x.
+  virtual Tensor select_src_h(const Tensor& h) = 0;
+
+  /// Replicates a sharded per-node tensor: rank-order all-gather of owned
+  /// rows = the full (num_nodes, cols) tensor in global node order. Its
+  /// backward slices the rank's own rows back out (no communication).
+  virtual Tensor all_gather_rows(const Tensor& owned) = 0;
+
+  /// Fold-continuation reducer armed around the sharded backbone so leaf
+  /// parameter gradients come out replicated and bit-exact.
+  virtual ShardedGradReducer* reducer() = 0;
+};
+
 /// The full model: species embedding, EGNN backbone, and the two HydraGNN
 /// output heads (graph-level energy, node-level forces).
 class EGNNModel : public Module {
@@ -132,6 +181,12 @@ class EGNNModel : public Module {
   struct ForwardOptions {
     /// Wrap each EGNN layer in an activation checkpoint (Sec. V-B).
     bool activation_checkpointing = false;
+    /// Non-null runs the graph-parallel forward: the backbone processes
+    /// only this rank's owned nodes (ghost rows arriving through the
+    /// hook's halo exchange), then the readout replicates the final node
+    /// features so energies/forces/loss come out FULL and bit-identical
+    /// to the unpartitioned forward on every rank.
+    GraphParallelHook* graph_parallel = nullptr;
   };
 
   Output forward(const GraphBatch& batch) const {
@@ -147,6 +202,9 @@ class EGNNModel : public Module {
   double last_feature_spread() const { return last_feature_spread_; }
 
  private:
+  Output forward_graph_parallel(const GraphBatch& batch,
+                                const ForwardOptions& options) const;
+
   ModelConfig config_;
   std::unique_ptr<Embedding> embedding_;
   std::vector<std::unique_ptr<EGNNLayer>> layers_;

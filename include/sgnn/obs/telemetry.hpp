@@ -46,6 +46,17 @@ struct StepTelemetry {
   /// Non-blocking bucket collectives posted during this step.
   std::int64_t comm_buckets = 0;
 
+  /// Graph-parallel halo traffic for this step: payload bytes moved by the
+  /// halo exchanges, how many logical halo collectives ran, and the modeled
+  /// fabric-time split into the stall the rank feels vs. the part hidden
+  /// behind the distance/RBF compute window (exposed + overlapped == the
+  /// halo share of comm_seconds_modeled). All zero outside graph-parallel
+  /// runs; filled by rank 0 only, like the comm_* fields above.
+  std::uint64_t halo_bytes = 0;
+  std::int64_t halo_exchanges = 0;
+  double halo_exposed_seconds = 0;
+  double halo_overlapped_seconds = 0;
+
   /// Live and peak tracked allocation totals (MemoryTracker), bytes.
   std::int64_t live_bytes = 0;
   std::int64_t peak_bytes = 0;

@@ -33,6 +33,21 @@ struct DistTrainOptions {
   int num_ranks = 4;  ///< the paper's four A100s per node
   DistStrategy strategy = DistStrategy::kDDP;
   bool activation_checkpointing = false;
+  /// Graph parallelism (sgnn::gpar): instead of replicating every graph,
+  /// the ranks COOPERATE on one shared global batch per step — each owns a
+  /// contiguous spatial slab of the batch (GraphPartition) and exchanges
+  /// one-hop halo rows through a HaloExchanger before each EGNN layer, with
+  /// the exchange overlapped against the distance/RBF compute window.
+  /// Gradients replicate exactly (ghost rows per edge in global edge order,
+  /// parameter gradients by fold continuation), so every rank's update —
+  /// and therefore the whole run — is BIT-IDENTICAL to the single-rank
+  /// unpartitioned run (the partition-parity test wall enforces this).
+  /// In this mode per_rank_batch_size is reinterpreted as the GLOBAL batch
+  /// size (all ranks fetch the same samples), optimizer state is plain
+  /// per-rank Adam (no all-reduce; see docs/graph-parallelism.md for why
+  /// DDP averaging would break bit-identity), and the run requires kDDP
+  /// strategy, float64 compute, and max_grad_norm == 0.
+  bool graph_parallel = false;
   std::int64_t epochs = 2;
   std::int64_t per_rank_batch_size = 4;
   Adam::Options adam;
@@ -77,6 +92,15 @@ struct DistTrainReport {
   double comm_overlapped_seconds = 0;
   /// Non-blocking bucket collectives posted across the run.
   std::int64_t comm_buckets = 0;
+  /// Graph-parallel halo accounting (zero outside graph_parallel runs):
+  /// payload bytes the halo exchanges moved, how many logical halo
+  /// collectives ran, and the split of their modeled fabric time into the
+  /// part a rank stalls on vs. the part hidden behind the distance/RBF
+  /// compute window (rank 0's accounting, summed over steps).
+  std::uint64_t halo_bytes = 0;
+  std::int64_t halo_exchanges = 0;
+  double halo_exposed_seconds = 0;
+  double halo_overlapped_seconds = 0;
   /// DDStore data-loading traffic implied time is negligible and reported
   /// as raw bytes instead.
   Communicator::Traffic collective_traffic;

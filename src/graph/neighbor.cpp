@@ -37,6 +37,29 @@ void attribute_search_cost(obs::prof::KernelScope& prof, std::int64_t atoms,
                 obs::prof::sat_add(atoms, num_edges)));
 }
 
+/// Reorder into the canonical (dst, src) ascending order promised by the
+/// EdgeList contract. (dst, src) pairs are unique (one minimum-image edge per
+/// directed pair), so the order is total and the permutation deterministic.
+void canonicalize_edges(EdgeList& edges) {
+  const std::size_t e = edges.src.size();
+  std::vector<std::size_t> perm(e);
+  for (std::size_t i = 0; i < e; ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    if (edges.dst[a] != edges.dst[b]) return edges.dst[a] < edges.dst[b];
+    return edges.src[a] < edges.src[b];
+  });
+  EdgeList sorted;
+  sorted.src.reserve(e);
+  sorted.dst.reserve(e);
+  sorted.displacement.reserve(e);
+  for (const std::size_t i : perm) {
+    sorted.src.push_back(edges.src[i]);
+    sorted.dst.push_back(edges.dst[i]);
+    sorted.displacement.push_back(edges.displacement[i]);
+  }
+  edges = std::move(sorted);
+}
+
 }  // namespace
 
 EdgeList brute_force_neighbors(const AtomicStructure& structure,
@@ -62,6 +85,7 @@ EdgeList brute_force_neighbors(const AtomicStructure& structure,
       }
     }
   }
+  canonicalize_edges(edges);
   attribute_search_cost(prof, n, edges);
   return edges;
 }
@@ -236,6 +260,7 @@ EdgeList cell_list_neighbors(const AtomicStructure& structure, double cutoff) {
                               local.displacement.begin(),
                               local.displacement.end());
   }
+  canonicalize_edges(edges);
   attribute_search_cost(prof, n, edges);
   return edges;
 }

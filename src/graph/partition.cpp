@@ -1,0 +1,191 @@
+#include "sgnn/graph/partition.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "sgnn/obs/prof.hpp"
+#include "sgnn/util/error.hpp"
+
+namespace sgnn::gpar {
+
+GraphPartition GraphPartition::build(const GraphBatch& batch, int num_ranks) {
+  SGNN_CHECK(num_ranks >= 1, "partition needs >= 1 rank, got " << num_ranks);
+  obs::prof::KernelScope prof(
+      "partition_build", 0,
+      obs::prof::sat_mul(
+          2 * static_cast<std::int64_t>(sizeof(std::int64_t)),
+          obs::prof::sat_add(batch.num_nodes, batch.num_edges)));
+
+  GraphPartition part;
+  part.num_ranks = num_ranks;
+  part.num_nodes = batch.num_nodes;
+  part.num_edges = batch.num_edges;
+  part.ranks.resize(static_cast<std::size_t>(num_ranks));
+
+  for (int r = 0; r < num_ranks; ++r) {
+    RankPartition& rp = part.ranks[static_cast<std::size_t>(r)];
+    std::tie(rp.owned_begin, rp.owned_end) =
+        owned_range(batch.num_nodes, r, num_ranks);
+    rp.inbound.resize(static_cast<std::size_t>(num_ranks));
+  }
+  SGNN_CHECK(part.ranks.front().owned_begin == 0 &&
+                 part.ranks.back().owned_end == batch.num_nodes,
+             "owned ranges do not cover the batch");
+
+  // Edges are in canonical (dst, src) order, so each rank's edges (dst in
+  // its owned range) are one contiguous slice found by binary search.
+  SGNN_CHECK(std::is_sorted(batch.edge_dst.begin(), batch.edge_dst.end()),
+             "edge list is not in canonical dst-major order; the partition "
+             "requires the neighbor-search ordering contract");
+  for (int r = 0; r < num_ranks; ++r) {
+    RankPartition& rp = part.ranks[static_cast<std::size_t>(r)];
+    rp.edge_begin = std::lower_bound(batch.edge_dst.begin(),
+                                     batch.edge_dst.end(), rp.owned_begin) -
+                    batch.edge_dst.begin();
+    rp.edge_end = std::lower_bound(batch.edge_dst.begin(),
+                                   batch.edge_dst.end(), rp.owned_end) -
+                  batch.edge_dst.begin();
+
+    // Halo = sorted unique non-owned sources of the slice.
+    for (std::int64_t e = rp.edge_begin; e < rp.edge_end; ++e) {
+      const std::int64_t src = batch.edge_src[static_cast<std::size_t>(e)];
+      if (src < rp.owned_begin || src >= rp.owned_end) {
+        rp.halo.push_back(src);
+      }
+    }
+    std::sort(rp.halo.begin(), rp.halo.end());
+    rp.halo.erase(std::unique(rp.halo.begin(), rp.halo.end()),
+                  rp.halo.end());
+
+    // Local endpoints and the ghost-edge schedule, in slice order.
+    const std::int64_t owned = rp.num_owned();
+    rp.local_src.reserve(static_cast<std::size_t>(rp.num_local_edges()));
+    rp.local_dst.reserve(static_cast<std::size_t>(rp.num_local_edges()));
+    for (std::int64_t e = rp.edge_begin; e < rp.edge_end; ++e) {
+      const std::int64_t src = batch.edge_src[static_cast<std::size_t>(e)];
+      const std::int64_t dst = batch.edge_dst[static_cast<std::size_t>(e)];
+      rp.local_dst.push_back(dst - rp.owned_begin);
+      if (src >= rp.owned_begin && src < rp.owned_end) {
+        rp.local_src.push_back(src - rp.owned_begin);
+      } else {
+        const auto it =
+            std::lower_bound(rp.halo.begin(), rp.halo.end(), src);
+        rp.local_src.push_back(
+            owned + (it - rp.halo.begin()));
+        rp.ghost_edges.push_back(e - rp.edge_begin);
+      }
+    }
+  }
+  SGNN_CHECK(part.ranks.front().edge_begin == 0 &&
+                 part.ranks.back().edge_end == batch.num_edges,
+             "edge slices do not cover the batch");
+
+  // Boundary of rank o = sorted union of owned ids appearing in any other
+  // rank's halo (what o posts each exchange).
+  for (int r = 0; r < num_ranks; ++r) {
+    const RankPartition& rp = part.ranks[static_cast<std::size_t>(r)];
+    for (const std::int64_t g : rp.halo) {
+      part.ranks[static_cast<std::size_t>(part.owner(g))].boundary.push_back(
+          g);
+    }
+  }
+  for (int r = 0; r < num_ranks; ++r) {
+    auto& boundary = part.ranks[static_cast<std::size_t>(r)].boundary;
+    std::sort(boundary.begin(), boundary.end());
+    boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                   boundary.end());
+  }
+
+  // halo_fetch: row of each halo id in the rank-order concatenation of the
+  // boundary lists.
+  std::vector<std::int64_t> boundary_offset(
+      static_cast<std::size_t>(num_ranks) + 1, 0);
+  for (int r = 0; r < num_ranks; ++r) {
+    boundary_offset[static_cast<std::size_t>(r) + 1] =
+        boundary_offset[static_cast<std::size_t>(r)] +
+        static_cast<std::int64_t>(
+            part.ranks[static_cast<std::size_t>(r)].boundary.size());
+  }
+  for (int r = 0; r < num_ranks; ++r) {
+    RankPartition& rp = part.ranks[static_cast<std::size_t>(r)];
+    rp.halo_fetch.reserve(rp.halo.size());
+    for (const std::int64_t g : rp.halo) {
+      const auto o = static_cast<std::size_t>(part.owner(g));
+      const auto& boundary = part.ranks[o].boundary;
+      const auto it = std::lower_bound(boundary.begin(), boundary.end(), g);
+      SGNN_CHECK(it != boundary.end() && *it == g,
+                 "halo node " << g << " missing from owner boundary");
+      rp.halo_fetch.push_back(boundary_offset[o] + (it - boundary.begin()));
+    }
+  }
+
+  // Backward merge schedules: walking rank r's edge slice in order, ghost
+  // edge g targets owner(src); the owner folds those rows in (r, position)
+  // order, which continues the global per-receiver fold exactly.
+  for (int r = 0; r < num_ranks; ++r) {
+    const RankPartition& rp = part.ranks[static_cast<std::size_t>(r)];
+    std::int64_t g = 0;
+    for (std::int64_t e = rp.edge_begin; e < rp.edge_end; ++e) {
+      const std::int64_t src = batch.edge_src[static_cast<std::size_t>(e)];
+      if (src >= rp.owned_begin && src < rp.owned_end) continue;
+      RankPartition& owner_rp =
+          part.ranks[static_cast<std::size_t>(part.owner(src))];
+      owner_rp.inbound[static_cast<std::size_t>(r)].push_back(
+          {g, src - owner_rp.owned_begin});
+      ++g;
+    }
+    SGNN_CHECK(g == static_cast<std::int64_t>(rp.ghost_edges.size()),
+               "ghost-edge count mismatch while building merge schedules");
+  }
+  return part;
+}
+
+std::vector<std::int64_t> spatial_order(const AtomicStructure& structure) {
+  obs::prof::KernelScope prof(
+      "spatial_order", 0,
+      obs::prof::sat_mul(3 * static_cast<std::int64_t>(sizeof(double)),
+                         structure.num_atoms()));
+  const std::int64_t n = structure.num_atoms();
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  if (n == 0) return order;
+
+  // Rank the axes by extent, longest first; zero-extent axes (planar slabs,
+  // wires, coincident atoms) still participate but compare equal, so the
+  // original index breaks every remaining tie deterministically.
+  Vec3 lo = structure.positions.front();
+  Vec3 hi = lo;
+  for (const auto& p : structure.positions) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  const double extent[3] = {hi.x - lo.x, hi.y - lo.y, hi.z - lo.z};
+  int axes[3] = {0, 1, 2};
+  std::sort(axes, axes + 3, [&](int a, int b) {
+    if (extent[a] != extent[b]) return extent[a] > extent[b];
+    return a < b;
+  });
+
+  const auto coord = [&](std::int64_t i, int axis) {
+    const Vec3& p = structure.positions[static_cast<std::size_t>(i)];
+    return axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
+  };
+  std::sort(order.begin(), order.end(),
+            [&](std::int64_t a, std::int64_t b) {
+              for (const int axis : axes) {
+                const double ca = coord(a, axis);
+                const double cb = coord(b, axis);
+                if (ca != cb) return ca < cb;
+              }
+              return a < b;
+            });
+  return order;
+}
+
+}  // namespace sgnn::gpar

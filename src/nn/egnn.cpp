@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sgnn/tensor/checkpoint.hpp"
+#include "sgnn/tensor/grad_reducer.hpp"
 #include "sgnn/util/error.hpp"
 
 namespace sgnn {
@@ -166,9 +167,14 @@ Tensor EGNNLayer::forward(const Tensor& state,
   const Tensor x = narrow(state, 1, hidden_, 3);
   const Tensor force_acc = narrow(state, 1, hidden_ + 3, 3);
 
-  // Relative geometry per directed edge (dst receives from src).
+  // Relative geometry per directed edge (dst receives from src). Under
+  // graph parallelism the src side may live on another rank: the hook
+  // posts the boundary exchange for x AND h here, delivers x, and lets h
+  // overlap the distance/RBF compute below (collected at h_src).
   const Tensor x_dst = index_select_rows(x, *context.edge_dst);
-  const Tensor x_src = index_select_rows(x, *context.edge_src);
+  const Tensor x_src = context.halo != nullptr
+                           ? context.halo->select_src_x(x, h)
+                           : index_select_rows(x, *context.edge_src);
   const Tensor rel = (x_dst - x_src) + context.edge_shift;  // x_i - x_j + S
   const Tensor dist_sq = row_norm_squared(rel);             // (E, 1)
   const Tensor dist = sqrt_op(dist_sq + real{1e-12});       // (E, 1)
@@ -188,7 +194,9 @@ Tensor EGNNLayer::forward(const Tensor& state,
   // invariant pair features, so the model's symmetry properties are
   // kernel-independent.
   const Tensor h_dst = index_select_rows(h, *context.edge_dst);
-  const Tensor h_src = index_select_rows(h, *context.edge_src);
+  const Tensor h_src = context.halo != nullptr
+                           ? context.halo->select_src_h(h)
+                           : index_select_rows(h, *context.edge_src);
   const Tensor rbf_features = concat(rbf, 1);  // (E, K)
 
   Tensor message;     // (E, hidden)
@@ -279,6 +287,9 @@ EGNNModel::EGNNModel(const ModelConfig& config) : config_(config) {
 
 EGNNModel::Output EGNNModel::forward(const GraphBatch& batch,
                                      const ForwardOptions& options) const {
+  if (options.graph_parallel != nullptr) {
+    return forward_graph_parallel(batch, options);
+  }
   SGNN_CHECK(batch.num_nodes > 0, "forward on empty batch");
   for (const auto z : batch.species) {
     SGNN_CHECK(z >= 0 && z < config_.num_species,
@@ -347,6 +358,85 @@ EGNNModel::Output EGNNModel::forward(const GraphBatch& batch,
   if (dipole_head_) {
     // Dipole magnitude is non-negative: softplus keeps the head in range.
     const Tensor node_dipole = softplus(dipole_head_->forward(h_final));
+    out.dipole = scatter_add_rows(node_dipole, batch.node_to_graph,
+                                  batch.num_graphs);
+  }
+  return out;
+}
+
+EGNNModel::Output EGNNModel::forward_graph_parallel(
+    const GraphBatch& batch, const ForwardOptions& options) const {
+  SGNN_CHECK(batch.num_nodes > 0, "forward on empty batch");
+  GraphParallelHook* const hook = options.graph_parallel;
+  const std::int64_t owned = hook->num_owned();
+  // Each rank vets its own shard; the owned ranges cover the batch, so the
+  // union of these checks equals the unpartitioned vocabulary check.
+  for (const auto z : hook->owned_species()) {
+    SGNN_CHECK(z >= 0 && z < config_.num_species,
+               "species " << z << " outside model vocabulary ["
+                          << config_.num_species << ")");
+  }
+  const EGNNLayer::EdgeContext& context = hook->edge_context();
+  SGNN_CHECK(context.halo == hook && context.num_nodes == owned,
+             "graph-parallel hook edge context is inconsistent");
+
+  // Sharded backbone. The reducer stays armed across it so every leaf
+  // parameter gradient recorded here (embedding scatter, weight and bias
+  // folds inside the MLPs) is continued rank to rank instead of computed
+  // from local rows only — that is what keeps parameter gradients
+  // replicated AND bit-identical to the single-rank fold.
+  Tensor h_final;
+  Tensor force_acc;
+  ShardedGradReducer* const reducer = hook->reducer();
+  {
+    const ScopedShardedGradReducer armed(reducer);
+    const Tensor h0 = embedding_->forward(hook->owned_species());
+    Tensor state =
+        concat({h0, hook->owned_positions(), Tensor::zeros(Shape{owned, 3})},
+               1);
+    for (const auto& layer : layers_) {
+      if (options.activation_checkpointing) {
+        const EGNNLayer* raw = layer.get();
+        const EGNNLayer::EdgeContext ctx = context;  // copied into closure
+        // Recompute-on-backward runs outside the forward's arming scope,
+        // so the closure re-arms the reducer itself: the ops re-recorded
+        // during recompute must capture it exactly like the originals.
+        state = checkpoint(
+            [raw, ctx, reducer](const std::vector<Tensor>& in) {
+              const ScopedShardedGradReducer rearmed(reducer);
+              return raw->forward(in[0], ctx);
+            },
+            {state});
+      } else {
+        state = layer->forward(state, context);
+      }
+    }
+    h_final = narrow(state, 1, 0, config_.hidden_dim);
+    force_acc = narrow(state, 1, config_.hidden_dim + 3, 3);
+  }
+
+  // Replicated readout: gather the final node features (and the force
+  // accumulator) to every rank, then run the heads on FULL tensors with
+  // the reducer disarmed — head activations are replicated, so their
+  // parameter gradients are already the single-rank fold.
+  const Tensor h_full = hook->all_gather_rows(h_final);
+  const Tensor forces = config_.force_head == ForceHead::kNodeMLP
+                            ? force_head_->forward(h_full)
+                            : hook->all_gather_rows(force_acc);
+
+  {
+    const autograd::NoGradGuard no_grad;
+    const Tensor centered = h_full - mean(h_full, 0, true);
+    last_feature_spread_ = mean(square(centered)).item();
+  }
+
+  const Tensor node_energy = energy_head_->forward(h_full);
+  Output out;
+  out.energy =
+      scatter_add_rows(node_energy, batch.node_to_graph, batch.num_graphs);
+  out.forces = forces;
+  if (dipole_head_) {
+    const Tensor node_dipole = softplus(dipole_head_->forward(h_full));
     out.dipole = scatter_add_rows(node_dipole, batch.node_to_graph,
                                   batch.num_graphs);
   }

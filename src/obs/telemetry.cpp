@@ -39,6 +39,14 @@ std::string string_field(const std::string& line, const char* key) {
   return line.substr(start, end - start);
 }
 
+/// Like numeric_field but returns 0 when the field is absent — for fields
+/// added after logs already existed (the halo_* graph-parallel group).
+double optional_numeric_field(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  if (line.find(needle) == std::string::npos) return 0;
+  return numeric_field(line, key);
+}
+
 }  // namespace
 
 std::string StepTelemetry::to_json() const {
@@ -61,6 +69,11 @@ std::string StepTelemetry::to_json() const {
   out += ",\"comm_overlapped_seconds\":" +
          format_double(comm_overlapped_seconds);
   out += ",\"comm_buckets\":" + std::to_string(comm_buckets);
+  out += ",\"halo_bytes\":" + std::to_string(halo_bytes);
+  out += ",\"halo_exchanges\":" + std::to_string(halo_exchanges);
+  out += ",\"halo_exposed_seconds\":" + format_double(halo_exposed_seconds);
+  out += ",\"halo_overlapped_seconds\":" +
+         format_double(halo_overlapped_seconds);
   out += ",\"live_bytes\":" + std::to_string(live_bytes);
   out += ",\"peak_bytes\":" + std::to_string(peak_bytes);
   out += ",\"kernel_seconds\":" + format_double(kernel_seconds);
@@ -95,6 +108,15 @@ StepTelemetry StepTelemetry::from_json(const std::string& line) {
   t.comm_exposed_seconds = numeric_field(line, "comm_exposed_seconds");
   t.comm_overlapped_seconds = numeric_field(line, "comm_overlapped_seconds");
   t.comm_buckets = static_cast<std::int64_t>(numeric_field(line, "comm_buckets"));
+  // Lenient: logs written before graph parallelism carry no halo fields;
+  // they read back as zero (same convention as the backend strings below).
+  t.halo_bytes =
+      static_cast<std::uint64_t>(optional_numeric_field(line, "halo_bytes"));
+  t.halo_exchanges = static_cast<std::int64_t>(
+      optional_numeric_field(line, "halo_exchanges"));
+  t.halo_exposed_seconds = optional_numeric_field(line, "halo_exposed_seconds");
+  t.halo_overlapped_seconds =
+      optional_numeric_field(line, "halo_overlapped_seconds");
   t.live_bytes = static_cast<std::int64_t>(numeric_field(line, "live_bytes"));
   t.peak_bytes = static_cast<std::int64_t>(numeric_field(line, "peak_bytes"));
   t.kernel_seconds = numeric_field(line, "kernel_seconds");
@@ -187,6 +209,11 @@ void record_step_metrics(const StepTelemetry& step) {
   registry.gauge("comm.exposed_seconds").add(step.comm_exposed_seconds);
   registry.gauge("comm.overlapped_seconds").add(step.comm_overlapped_seconds);
   registry.counter("comm.buckets").add(step.comm_buckets);
+  // Halo fabric-time split (graph-parallel runs; zero elsewhere). The raw
+  // halo.bytes / halo.exchanges counters are bumped by the HaloExchanger
+  // itself as each collective posts, so they are NOT re-counted here.
+  registry.gauge("halo.exposed_seconds").add(step.halo_exposed_seconds);
+  registry.gauge("halo.overlapped_seconds").add(step.halo_overlapped_seconds);
   // Kernel profile deltas (zero when the profiler is disabled).
   registry.gauge("kernel.seconds").add(step.kernel_seconds);
   registry.counter("kernel.flops").add(step.kernel_flops);

@@ -1,0 +1,27 @@
+#include "sgnn/tensor/grad_reducer.hpp"
+
+namespace sgnn {
+
+namespace {
+
+// One slot per thread: each simulated rank runs on its own worker thread,
+// so arming is naturally per-rank and data-race free under TSan.
+thread_local ShardedGradReducer* g_current_reducer = nullptr;
+
+}  // namespace
+
+ShardedGradReducer* current_sharded_grad_reducer() {
+  return g_current_reducer;
+}
+
+ScopedShardedGradReducer::ScopedShardedGradReducer(
+    ShardedGradReducer* reducer)
+    : previous_(g_current_reducer) {
+  g_current_reducer = reducer;
+}
+
+ScopedShardedGradReducer::~ScopedShardedGradReducer() {
+  g_current_reducer = previous_;
+}
+
+}  // namespace sgnn

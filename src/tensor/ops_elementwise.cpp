@@ -2,6 +2,7 @@
 
 #include "ops_common.hpp"
 #include "sgnn/obs/prof.hpp"
+#include "sgnn/tensor/grad_reducer.hpp"
 #include "sgnn/tensor/kernels.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/thread_pool.hpp"
@@ -161,10 +162,25 @@ Tensor add(const Tensor& a, const Tensor& b) {
   SGNN_CHECK(a.defined() && b.defined(), "add requires defined inputs");
   const Shape a_shape = a.shape();
   const Shape b_shape = b.shape();
+  // Bias pattern: a (1, n) leaf parameter broadcast over row-sharded
+  // activations. Its gradient is a column sum over the global rows, which a
+  // graph-parallel run continues rank to rank (see grad_reducer.hpp). The
+  // condition depends only on the leaf's own shape so all ranks agree.
+  const auto bias_like = [](const Tensor& t) {
+    return t.is_leaf() && t.requires_grad() && t.rank() == 2 && t.dim(0) == 1;
+  };
+  ShardedGradReducer* reducer =
+      (bias_like(a) || bias_like(b)) ? current_sharded_grad_reducer()
+                                     : nullptr;
+  const bool ring_a = reducer != nullptr && bias_like(a);
+  const bool ring_b = reducer != nullptr && bias_like(b);
   Tensor out = Tensor::make_result(
       Shape::broadcast(a_shape, b_shape), {a, b},
       [=](const Tensor& grad) -> std::vector<Tensor> {
-        return {reduce_to(grad, a_shape), reduce_to(grad, b_shape)};
+        return {ring_a ? reducer->rows_sum_grad(grad)
+                       : reduce_to(grad, a_shape),
+                ring_b ? reducer->rows_sum_grad(grad)
+                       : reduce_to(grad, b_shape)};
       },
       "add");
   {

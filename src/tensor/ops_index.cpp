@@ -2,6 +2,7 @@
 
 #include "ops_common.hpp"
 #include "sgnn/obs/prof.hpp"
+#include "sgnn/tensor/grad_reducer.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/thread_pool.hpp"
 
@@ -49,6 +50,14 @@ Tensor index_select_rows(const Tensor& x,
   }
   const Tensor xd = x.detach();
   const auto out_rows = static_cast<std::int64_t>(index.size());
+  // Embedding-table pattern: gathering rows of a replicated leaf table with
+  // ids that are row-sharded across ranks. The table gradient folds over
+  // the global id order, so a graph-parallel run continues the scatter rank
+  // to rank (see grad_reducer.hpp). Activation gathers (non-leaf x) keep
+  // the local scatter.
+  ShardedGradReducer* reducer =
+      (x.is_leaf() && x.requires_grad()) ? current_sharded_grad_reducer()
+                                         : nullptr;
   Tensor out = Tensor::make_result(
       Shape{out_rows, cols}, {x},
       [=](const Tensor& grad) -> std::vector<Tensor> {
@@ -59,6 +68,9 @@ Tensor index_select_rows(const Tensor& x,
             obs::prof::sat_mul(3 * static_cast<std::int64_t>(sizeof(real)),
                                out_rows, cols),
             ".bwd");
+        if (reducer != nullptr) {
+          return {reducer->scatter_rows_grad(grad, index, rows, cols)};
+        }
         Tensor gx = Tensor::zeros(Shape{rows, cols});
         scatter_rows_into(grad.data(), index, gx.data(), rows, cols);
         return {gx};

@@ -1,5 +1,6 @@
 #include "ops_common.hpp"
 #include "sgnn/obs/prof.hpp"
+#include "sgnn/tensor/grad_reducer.hpp"
 #include "sgnn/tensor/kernels.hpp"
 #include "sgnn/tensor/ops.hpp"
 #include "sgnn/util/thread_pool.hpp"
@@ -18,6 +19,14 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                 << b.shape().to_string());
   const Tensor ad = a.detach();
   const Tensor bd = b.detach();
+  // x @ W with W a replicated leaf parameter and x row-sharded across ranks:
+  // dW folds over x's rows, so a graph-parallel run must continue that fold
+  // rank to rank instead of computing it locally. The armed reducer is
+  // captured at record time; the condition (leaf rhs) is a property of the
+  // model, not of this rank's row count, so every rank records it alike.
+  ShardedGradReducer* reducer =
+      (b.is_leaf() && b.requires_grad()) ? current_sharded_grad_reducer()
+                                         : nullptr;
   using obs::prof::sat_add;
   using obs::prof::sat_mul;
   Tensor out = Tensor::make_result(
@@ -32,8 +41,11 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                    sat_mul(m, n))),
             ".bwd");
         Tensor ga = Tensor::zeros(Shape{m, k});
-        Tensor gb = Tensor::zeros(Shape{k, n});
         kernels::matmul_a_bt(grad.data(), bd.data(), ga.data(), m, n, k);
+        if (reducer != nullptr) {
+          return {ga, reducer->matmul_weight_grad(ad, grad)};
+        }
+        Tensor gb = Tensor::zeros(Shape{k, n});
         kernels::matmul_at_b(ad.data(), grad.data(), gb.data(), m, k, n);
         return {ga, gb};
       },

@@ -8,12 +8,14 @@
 #include <thread>
 
 #include "sgnn/graph/batch.hpp"
+#include "sgnn/graph/partition.hpp"
 #include "sgnn/nn/model_io.hpp"
 #include "sgnn/obs/prof.hpp"
 #include "sgnn/obs/telemetry.hpp"
 #include "sgnn/obs/trace.hpp"
 #include "sgnn/tensor/kernels.hpp"
 #include "sgnn/tensor/ops.hpp"
+#include "sgnn/train/halo.hpp"
 #include "sgnn/train/schedule.hpp"
 #include "sgnn/train/zero.hpp"
 #include "sgnn/util/error.hpp"
@@ -32,6 +34,34 @@ void restore_tensor(const std::vector<real>& flat, Tensor& dst) {
                                               << " values, tensor expects "
                                               << dst.numel());
   std::copy(flat.begin(), flat.end(), dst.data());
+}
+
+/// Flattens a plain Adam's per-parameter moment list into one contiguous
+/// checkpoint section, in parameter order.
+std::vector<real> flatten_moments(const std::vector<Tensor>& moments) {
+  std::vector<real> flat;
+  for (const Tensor& t : moments) {
+    flat.insert(flat.end(), t.data(), t.data() + t.numel());
+  }
+  return flat;
+}
+
+/// Restores a flattened moment section back into per-parameter tensors.
+void restore_moments(const std::vector<real>& flat,
+                     std::vector<Tensor>& moments) {
+  std::size_t offset = 0;
+  for (Tensor& t : moments) {
+    const auto count = static_cast<std::size_t>(t.numel());
+    SGNN_CHECK(offset + count <= flat.size(),
+               "optimizer-state section is too short: needs more than "
+                   << flat.size() << " values");
+    std::copy_n(flat.data() + offset, count, t.data());
+    offset += count;
+  }
+  SGNN_CHECK(offset == flat.size(),
+             "optimizer-state section holds "
+                 << flat.size() << " values, the moment list expects "
+                 << offset);
 }
 
 }  // namespace
@@ -83,16 +113,41 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
                                         << "trainer has " << R);
   SGNN_CHECK(store.size() >= R, "fewer samples than ranks");
 
+  const bool gp = options_.graph_parallel;
+  if (gp) {
+    // The bit-identity proof (docs/graph-parallelism.md) covers the kDDP
+    // layout with replicated plain-Adam state, float64 compute, and no
+    // gradient clipping; anything else fails loudly instead of silently
+    // breaking the parity contract.
+    SGNN_CHECK(options_.strategy == DistStrategy::kDDP,
+               "graph_parallel requires the kDDP strategy (ZeRO shards "
+               "optimizer state; graph-parallel ranks replicate it)");
+    SGNN_CHECK(kernels::active_compute_dtype() ==
+                   kernels::ComputeDtype::kFloat64,
+               "graph_parallel bit-identity is proven for float64 compute "
+               "only");
+    SGNN_CHECK(options_.max_grad_norm == 0.0,
+               "graph_parallel does not support gradient clipping");
+  }
+
   Communicator comm(R);
   MemoryTracker::instance().reset_peak();
 
   // Per-rank optimizers (constructed up front so optimizer-state memory is
-  // part of the profile from step zero, as in a real framework).
+  // part of the profile from step zero, as in a real framework). The
+  // graph-parallel mode uses PLAIN per-rank Adam: its gradients are already
+  // replicated exactly, and a DDP all-reduce-then-average of R identical
+  // gradients is NOT a bitwise no-op (g + g + g rounds), so averaging would
+  // break the parity contract.
   std::vector<std::unique_ptr<DDPAdam>> ddp;
   std::vector<std::unique_ptr<ZeroAdam>> zero;
+  std::vector<std::unique_ptr<Adam>> gpadam;
   for (int r = 0; r < R; ++r) {
     auto params = replicas_[static_cast<std::size_t>(r)]->parameters();
-    if (options_.strategy == DistStrategy::kDDP) {
+    if (gp) {
+      gpadam.push_back(
+          std::make_unique<Adam>(std::move(params), options_.adam));
+    } else if (options_.strategy == DistStrategy::kDDP) {
       ddp.push_back(std::make_unique<DDPAdam>(comm, std::move(params),
                                               options_.adam,
                                               options_.bucket_bytes));
@@ -107,9 +162,11 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
 
   // Steps per epoch: every rank must execute the same number of collective
   // steps, so the per-epoch sample count is truncated to a multiple of
-  // R * batch.
+  // R * batch. Graph-parallel ranks cooperate on ONE shared batch per
+  // step, so there the global batch is per_rank_batch_size itself.
   const std::int64_t global_batch =
-      static_cast<std::int64_t>(R) * options_.per_rank_batch_size;
+      gp ? options_.per_rank_batch_size
+         : static_cast<std::int64_t>(R) * options_.per_rank_batch_size;
   const std::int64_t steps_per_epoch = store.size() / global_batch;
   SGNN_CHECK(steps_per_epoch > 0, "dataset smaller than one global batch");
 
@@ -134,9 +191,14 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
                     << "'; starting fresh";
     } else {
       const ckpt::SnapshotView view(loaded->payload);
-      SGNN_CHECK(view.bytes("meta.kind") == "dist",
-                 "snapshot '" << loaded->path
-                              << "' is not a distributed checkpoint");
+      // Graph-parallel runs write a distinct kind: their optimizer layout
+      // (flattened plain-Adam moments) is not interchangeable with the
+      // DDP/ZeRO sections, so cross-mode resumes fail here, loudly.
+      const std::string expected_kind = gp ? "dist.gpar" : "dist";
+      SGNN_CHECK(view.bytes("meta.kind") == expected_kind,
+                 "snapshot '" << loaded->path << "' is not a "
+                              << (gp ? "graph-parallel" : "data-parallel")
+                              << " distributed checkpoint");
       SGNN_CHECK(view.i64("meta.ranks") == R,
                  "checkpoint was written for " << view.i64("meta.ranks")
                                               << " ranks, trainer has " << R);
@@ -152,7 +214,14 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
       const double lr = view.f64("optim.lr");
       for (int r = 0; r < R; ++r) {
         const auto rr = static_cast<std::size_t>(r);
-        if (options_.strategy == DistStrategy::kDDP) {
+        if (gp) {
+          // Replicated plain-Adam state: every rank restores the same
+          // flattened moments, unpacked back into per-parameter tensors.
+          restore_moments(view.reals("optim.m"), gpadam[rr]->moment1());
+          restore_moments(view.reals("optim.v"), gpadam[rr]->moment2());
+          gpadam[rr]->set_timestep(timestep);
+          gpadam[rr]->set_learning_rate(lr);
+        } else if (options_.strategy == DistStrategy::kDDP) {
           // Replicated Adam state: every rank restores the same moments.
           restore_tensor(view.reals("optim.m"), ddp[rr]->moment1());
           restore_tensor(view.reals("optim.v"), ddp[rr]->moment2());
@@ -186,6 +255,10 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
   double exposed_seconds_total = 0;
   double overlapped_seconds_total = 0;
   std::int64_t buckets_total = 0;
+  std::uint64_t halo_bytes_total = 0;
+  std::int64_t halo_exchanges_total = 0;
+  double halo_exposed_total = 0;
+  double halo_overlapped_total = 0;
 
   const auto worker = [&](int rank) {
     const auto ri = static_cast<std::size_t>(rank);
@@ -204,9 +277,10 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
     std::int64_t local_steps = 0;
 
     GradBucketer* const bucketer =
-        options_.strategy == DistStrategy::kDDP ? ddp[ri]->bucketer()
-                                                : zero[ri]->bucketer();
-    if (copt.crash_in_overlap_step > 0) {
+        gp ? nullptr
+           : (options_.strategy == DistStrategy::kDDP ? ddp[ri]->bucketer()
+                                                      : zero[ri]->bucketer());
+    if (!gp && copt.crash_in_overlap_step > 0) {
       // Crash-during-overlap fault injection: fires inside the optimizer
       // step, after every bucket is posted and before any drain. All ranks
       // run the same step count, so every rank throws together and the
@@ -250,18 +324,51 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
         {
           const obs::TraceSpan span("fetch_batch", "data");
           for (std::int64_t b = 0; b < options_.per_rank_batch_size; ++b) {
+            // Graph-parallel ranks fetch the SAME samples (they cooperate
+            // on one shared batch); the replicated strategies stride by
+            // rank through the shared permutation.
             const std::int64_t position =
-                step * global_batch + b * R + rank;
+                step * global_batch + (gp ? b : b * R + rank);
             samples.push_back(&store.fetch(
                 rank, order[static_cast<std::size_t>(position)]));
           }
         }
         const GraphBatch batch = GraphBatch::from_graphs(samples);
 
-        if (options_.strategy == DistStrategy::kDDP) {
+        if (gp) {
+          gpadam[ri]->zero_grad();
+        } else if (options_.strategy == DistStrategy::kDDP) {
           ddp[ri]->zero_grad();
         } else {
           zero[ri]->zero_grad();
+        }
+
+        // Graph-parallel: partition the shared batch and stand up this
+        // step's halo exchanger. Its buffers belong to in-flight
+        // collectives, so it must outlive backward — it lives to the end
+        // of the step iteration.
+        std::optional<gpar::GraphPartition> partition;
+        std::optional<gpar::HaloExchanger> halo;
+        // The halo collectives post during FORWARD, so the graph-parallel
+        // traffic snapshot sits ahead of it; the replicated strategies
+        // snapshot after forward instead (see the comment below).
+        Communicator::Traffic traffic_before;
+        if (gp) {
+          partition.emplace(gpar::GraphPartition::build(batch, R));
+          halo.emplace(comm, rank, *partition, batch);
+          forward_options.graph_parallel = &*halo;
+          if (copt.crash_in_overlap_step > 0) {
+            // Crash INSIDE the halo-exchange window: fires after the
+            // boundary gathers are posted and before the first wait. All
+            // ranks run the same step count, so every rank throws together
+            // and the exchanger destructors drain the symmetric posted ops.
+            halo->set_pre_wait_hook([&counted_steps, &copt] {
+              if (counted_steps + 1 == copt.crash_in_overlap_step) {
+                throw ckpt::SimulatedCrash(counted_steps);
+              }
+            });
+          }
+          if (rank == 0) traffic_before = comm.traffic();
         }
         double step_loss = 0;
         Tensor total;
@@ -276,16 +383,15 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
           loss_sum += step_loss;
           total = terms.total;
         }
-        // Collective payload attributed to this step. The snapshot sits
-        // BEFORE backward because the overlapped path posts (and the
-        // progress engine counts) bucket collectives mid-backward; the
-        // drain inside the optimizer step completes before the closing
-        // snapshot, so the delta captures every bucket exactly once. The
-        // counters are updated once per collective (by rank 0 or the
-        // engine), so the delta is exact on rank 0 and reported 0
-        // elsewhere.
-        const Communicator::Traffic traffic_before =
-            rank == 0 ? comm.traffic() : Communicator::Traffic{};
+        // Collective payload attributed to this step. The replicated
+        // strategies snapshot here — BEFORE backward — because the
+        // overlapped path posts (and the progress engine counts) bucket
+        // collectives mid-backward; the drain inside the optimizer step
+        // completes before the closing snapshot, so the delta captures
+        // every bucket exactly once. The counters are updated once per
+        // collective (by rank 0 or the engine), so the delta is exact on
+        // rank 0 and reported 0 elsewhere.
+        if (rank == 0 && !gp) traffic_before = comm.traffic();
         {
           const obs::TraceSpan span("backward", "train");
           const obs::prof::ProfRegion region("backward");
@@ -312,13 +418,20 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
           if (options_.schedule) {
             // Pure function of the global step, so replicas agree for free.
             const double lr = options_.schedule->at_step(counted_steps);
-            if (options_.strategy == DistStrategy::kDDP) {
+            if (gp) {
+              gpadam[ri]->set_learning_rate(lr);
+            } else if (options_.strategy == DistStrategy::kDDP) {
               ddp[ri]->set_learning_rate(lr);
             } else {
               zero[ri]->set_learning_rate(lr);
             }
           }
-          if (options_.strategy == DistStrategy::kDDP) {
+          if (gp) {
+            // No gradient collective at all: the halo exchanges already
+            // left every rank holding the exact replicated gradient, so a
+            // plain local Adam update keeps the replicas bit-identical.
+            gpadam[ri]->step();
+          } else if (options_.strategy == DistStrategy::kDDP) {
             ddp[ri]->step(rank);
           } else {
             zero[ri]->step(rank);
@@ -333,9 +446,11 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
         telemetry.grad_norm = grad_norm;
         // The EFFECTIVE learning rate this step used (schedule- and
         // resume-aware), not the base configuration value.
-        telemetry.learning_rate = options_.strategy == DistStrategy::kDDP
-                                      ? ddp[ri]->learning_rate()
-                                      : zero[ri]->learning_rate();
+        telemetry.learning_rate =
+            gp ? gpadam[ri]->learning_rate()
+               : (options_.strategy == DistStrategy::kDDP
+                      ? ddp[ri]->learning_rate()
+                      : zero[ri]->learning_rate());
         telemetry.batch_graphs = batch.num_graphs;
         telemetry.batch_atoms = batch.num_nodes;
         telemetry.batch_edges = batch.num_edges;
@@ -357,7 +472,33 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
               comm.traffic().since(traffic_before);
           telemetry.collective_bytes = delta.total_bytes();
           telemetry.comm_seconds_modeled = interconnect_.seconds(delta, R);
-          if (bucketer != nullptr) {
+          if (gp) {
+            // Every collective this step is halo traffic. Price its
+            // overlap from the exchanger's post/wait stamps: the boundary
+            // gathers count as whatever the distance/RBF compute window
+            // actually hid, the blocking exchanges (ghost gradients,
+            // readout replication, ring folds) as fully exposed.
+            const auto cost =
+                interconnect_.overlap_cost(halo->take_events(), R);
+            const double exposed = std::min(
+                telemetry.comm_seconds_modeled,
+                cost.exposed_seconds +
+                    std::max(0.0, telemetry.comm_seconds_modeled -
+                                      cost.total_seconds));
+            telemetry.comm_exposed_seconds = exposed;
+            telemetry.comm_overlapped_seconds =
+                telemetry.comm_seconds_modeled - exposed;
+            telemetry.comm_buckets = 0;
+            telemetry.halo_bytes = halo->halo_bytes();
+            telemetry.halo_exchanges = halo->exchanges();
+            telemetry.halo_exposed_seconds = exposed;
+            telemetry.halo_overlapped_seconds =
+                telemetry.comm_overlapped_seconds;
+            halo_bytes_total += telemetry.halo_bytes;
+            halo_exchanges_total += telemetry.halo_exchanges;
+            halo_exposed_total += telemetry.halo_exposed_seconds;
+            halo_overlapped_total += telemetry.halo_overlapped_seconds;
+          } else if (bucketer != nullptr) {
             // Price the overlap honestly from the bucketer's post/wait
             // stamps. Collectives outside the bucketer (the ZeRO clip's
             // scalar all-reduce) are blocking and count as fully exposed:
@@ -413,7 +554,7 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
           if (rank == 0) {
             const bool epoch_done = step + 1 == steps_per_epoch;
             ckpt::SnapshotBuilder builder;
-            builder.add_bytes("meta.kind", "dist");
+            builder.add_bytes("meta.kind", gp ? "dist.gpar" : "dist");
             builder.add_i64("meta.ranks", R);
             builder.add_i64("meta.strategy",
                             static_cast<std::int64_t>(options_.strategy));
@@ -426,7 +567,19 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
             const Rng::State resume_rng =
                 epoch_done ? sampler.state() : epoch_start_state;
             builder.add_bytes("sampler.rng", ckpt::pod_bytes(resume_rng));
-            if (options_.strategy == DistStrategy::kDDP) {
+            if (gp) {
+              // Replicated plain-Adam state: rank 0's flattened moments
+              // stand for every rank (the parity invariant keeps them
+              // bitwise equal).
+              builder.add_i64("optim.timestep", gpadam[ri]->timestep());
+              builder.add_f64("optim.lr", gpadam[ri]->learning_rate());
+              const std::vector<real> m =
+                  flatten_moments(gpadam[ri]->moment1());
+              const std::vector<real> v =
+                  flatten_moments(gpadam[ri]->moment2());
+              builder.add_reals("optim.m", m.data(), m.size());
+              builder.add_reals("optim.v", v.data(), v.size());
+            } else if (options_.strategy == DistStrategy::kDDP) {
               builder.add_i64("optim.timestep", ddp[ri]->timestep());
               builder.add_f64("optim.lr", ddp[ri]->learning_rate());
               const Tensor& m = ddp[ri]->moment1();
@@ -520,6 +673,10 @@ DistTrainReport DistributedTrainer::train(const DDStore& store) {
   report.comm_exposed_seconds = exposed_seconds_total;
   report.comm_overlapped_seconds = overlapped_seconds_total;
   report.comm_buckets = buckets_total;
+  report.halo_bytes = halo_bytes_total;
+  report.halo_exchanges = halo_exchanges_total;
+  report.halo_exposed_seconds = halo_exposed_total;
+  report.halo_overlapped_seconds = halo_overlapped_total;
   return report;
 }
 

@@ -465,6 +465,106 @@ TEST(DistributedResumeTest, MismatchedTopologyIsRejected) {
   EXPECT_THROW(wrong_ranks.train(store4), Error);
 }
 
+// -- graph-parallel resume ----------------------------------------------------
+
+std::vector<real> gpar_run(const DDStore& store, const std::string& ckpt_dir,
+                           std::int64_t every_steps,
+                           const std::string& resume_from, bool expect_crash,
+                           std::int64_t crash_in_overlap = -1) {
+  ModelConfig config;
+  config.hidden_dim = 10;
+  config.num_layers = 2;
+  DistTrainOptions options;
+  options.num_ranks = 2;
+  options.epochs = 2;
+  options.per_rank_batch_size = 4;  // the GLOBAL batch under graph_parallel
+  options.strategy = DistStrategy::kDDP;
+  options.graph_parallel = true;
+  options.max_grad_norm = 0.0;  // required by the bit-identity contract
+  options.schedule = LrSchedule::warmup_cosine(2e-3, 3, 40);
+  options.checkpoint.every_steps = every_steps;
+  options.checkpoint.directory = ckpt_dir;
+  options.checkpoint.crash_in_overlap_step = crash_in_overlap;
+  options.checkpoint.resume_from = resume_from;
+
+  DistributedTrainer trainer(config, options);
+  if (expect_crash) {
+    EXPECT_THROW(trainer.train(store), ckpt::SimulatedCrash);
+  } else {
+    trainer.train(store);
+    EXPECT_EQ(trainer.replica_divergence(), 0.0);
+  }
+  return flatten_parameters(
+      const_cast<EGNNModel&>(trainer.model()).parameters());
+}
+
+TEST(GraphParallelResumeTest, CrashInHaloExchangeWindowResumesBitIdentically) {
+  // Graph-parallel twist on the overlap-crash test: the crash fires INSIDE
+  // the halo-exchange window — boundary gathers for x and h are posted on
+  // every rank, nothing has been waited on. All ranks throw together at the
+  // same step, the exchanger destructors drain the symmetric in-flight
+  // collectives, and resuming from the previous step's snapshot replays to
+  // the exact bytes of an uninterrupted graph-parallel run.
+  DDStore store(2);
+  store.insert(tiny_dataset().graphs());
+  // Under graph_parallel the ranks cooperate on ONE global batch per step.
+  const std::int64_t steps_per_epoch = store.size() / 4;
+  ASSERT_GT(steps_per_epoch, 1);
+
+  const std::vector<real> reference = gpar_run(store, "", 0, "", false);
+
+  TempDir dir("sgnn_gpar_halo_crash_test");
+  gpar_run(store, dir.path(), 1, "", true,
+           /*crash_in_overlap=*/steps_per_epoch + 1);
+  const auto latest = ckpt::CheckpointManager::load_latest(dir.path());
+  ASSERT_TRUE(latest.has_value());
+  // The interrupted step never completed; the newest snapshot is mid-epoch.
+  EXPECT_EQ(latest->step, static_cast<std::uint64_t>(steps_per_epoch));
+
+  const std::vector<real> resumed = gpar_run(store, "", 0, dir.path(), false);
+  EXPECT_EQ(resumed, reference);
+}
+
+TEST(GraphParallelResumeTest, SnapshotKindsAreMutuallyExclusive) {
+  // Graph-parallel snapshots carry plain per-rank Adam state under
+  // meta.kind "dist.gpar"; replicated runs write "dist" with DDP/ZeRO
+  // layouts. Cross-mode resume must fail loudly in BOTH directions rather
+  // than silently reinterpret moment buffers.
+  DDStore store(2);
+  store.insert(tiny_dataset().graphs());
+  ModelConfig config;
+  config.hidden_dim = 10;
+  config.num_layers = 2;
+
+  // A graph-parallel snapshot is rejected by a replicated resume.
+  TempDir gpar_dir("sgnn_gpar_kind_test");
+  gpar_run(store, gpar_dir.path(), 2, "", true, /*crash_in_overlap=*/3);
+  ASSERT_TRUE(
+      ckpt::CheckpointManager::load_latest(gpar_dir.path()).has_value());
+  DistTrainOptions ddp_options;
+  ddp_options.num_ranks = 2;
+  ddp_options.epochs = 1;
+  ddp_options.per_rank_batch_size = 4;
+  ddp_options.strategy = DistStrategy::kDDP;
+  ddp_options.checkpoint.resume_from = gpar_dir.path();
+  DistributedTrainer ddp_trainer(config, ddp_options);
+  EXPECT_THROW(ddp_trainer.train(store), Error);
+
+  // And a replicated snapshot is rejected by a graph-parallel resume.
+  TempDir ddp_dir("sgnn_dist_kind_for_gpar_test");
+  dist_run(DistStrategy::kDDP, store, ddp_dir.path(), 2, 3, "", true);
+  DistTrainOptions gpar_options;
+  gpar_options.num_ranks = 2;
+  gpar_options.epochs = 1;
+  gpar_options.per_rank_batch_size = 4;
+  gpar_options.strategy = DistStrategy::kDDP;
+  gpar_options.graph_parallel = true;
+  gpar_options.max_grad_norm = 0.0;
+  gpar_options.checkpoint.resume_from = ddp_dir.path();
+  DistributedTrainer gpar_trainer(config, gpar_options);
+  EXPECT_THROW(gpar_trainer.train(store), Error);
+}
+
 TEST(DistributedResumeTest, TrainerSnapshotIsRejectedByDistributedTrainer) {
   TempDir dir("sgnn_dist_kind_test");
   trainer_run(dir.path(), 2, 4, "", true);  // writes "trainer" snapshots

@@ -144,6 +144,53 @@ INSTANTIATE_TEST_SUITE_P(
                       NeighborCase{64, 9.5, 4.7, true, 9},
                       NeighborCase{50, 40.0, 3.0, false, 10}));
 
+TEST(NeighborTest, ZeroExtentBoundingBoxesSurviveCellBinning) {
+  // Degenerate open-boundary geometries whose bounding box has zero extent
+  // along one or more axes — a planar slab, a linear wire, and a fully
+  // coincident cluster. The cell list must collapse each degenerate axis to
+  // a single bin (never divide by a zero box length) and still agree with
+  // the brute-force oracle. These are the same layouts the spatial
+  // partitioner's `spatial_order` must survive (see partition_test).
+  Rng rng(31);
+
+  AtomicStructure slab;  // zero z-extent
+  for (int i = 0; i < 24; ++i) {
+    slab.species.push_back(elements::kC);
+    slab.positions.push_back({rng.uniform(0, 7.0), rng.uniform(0, 7.0), 2.5});
+  }
+  EXPECT_EQ(to_set(brute_force_neighbors(slab, 2.5)),
+            to_set(cell_list_neighbors(slab, 2.5)));
+
+  AtomicStructure wire;  // zero extent along y AND z
+  for (int i = 0; i < 20; ++i) {
+    wire.species.push_back(elements::kCu);
+    wire.positions.push_back({0.45 * i, 1.0, 1.0});
+  }
+  const EdgeList wire_edges = cell_list_neighbors(wire, 1.0);
+  EXPECT_EQ(to_set(brute_force_neighbors(wire, 1.0)), to_set(wire_edges));
+  EXPECT_GT(wire_edges.size(), 0);
+
+  AtomicStructure point;  // zero extent along every axis
+  for (int i = 0; i < 6; ++i) {
+    point.species.push_back(elements::kH);
+    point.positions.push_back({3.0, 1.0, 4.0});
+  }
+  const EdgeList point_edges = cell_list_neighbors(point, 1.5);
+  EXPECT_EQ(to_set(brute_force_neighbors(point, 1.5)), to_set(point_edges));
+  // All atoms pairwise at distance zero: complete directed graph.
+  EXPECT_EQ(point_edges.size(), 6 * 5);
+
+  // The degenerate geometries also survive graph + batch construction (the
+  // path the graph-parallel partitioner consumes).
+  const MolecularGraph slab_graph = MolecularGraph::from_structure(slab, 2.5);
+  const MolecularGraph wire_graph = MolecularGraph::from_structure(wire, 1.0);
+  const GraphBatch batch = GraphBatch::from_graphs(
+      std::vector<const MolecularGraph*>{&slab_graph, &wire_graph});
+  EXPECT_EQ(batch.num_nodes, 44);
+  EXPECT_EQ(batch.num_edges,
+            slab_graph.num_edges() + wire_graph.num_edges());
+}
+
 TEST(NeighborTest, CellListMatchesBruteForceOnWrapAliasedCells) {
   // Periodic cells small enough that an axis has only 2 bins: the ±1
   // neighborhood offsets wrap onto the same bin, exercising the sort+unique

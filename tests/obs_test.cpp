@@ -273,6 +273,10 @@ StepTelemetry sample_step() {
   t.graphs_per_sec = 32.0;
   t.collective_bytes = 1048576;
   t.comm_seconds_modeled = 3.5e-5;
+  t.halo_bytes = 262144;
+  t.halo_exchanges = 12;
+  t.halo_exposed_seconds = 1.5e-6;
+  t.halo_overlapped_seconds = 2.5e-6;
   t.live_bytes = 123456;
   t.peak_bytes = 654321;
   t.kernel_seconds = 0.125;
@@ -299,11 +303,34 @@ TEST(TelemetryTest, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(parsed.collective_bytes, original.collective_bytes);
   EXPECT_DOUBLE_EQ(parsed.comm_seconds_modeled,
                    original.comm_seconds_modeled);
+  EXPECT_EQ(parsed.halo_bytes, original.halo_bytes);
+  EXPECT_EQ(parsed.halo_exchanges, original.halo_exchanges);
+  EXPECT_DOUBLE_EQ(parsed.halo_exposed_seconds,
+                   original.halo_exposed_seconds);
+  EXPECT_DOUBLE_EQ(parsed.halo_overlapped_seconds,
+                   original.halo_overlapped_seconds);
   EXPECT_EQ(parsed.live_bytes, original.live_bytes);
   EXPECT_EQ(parsed.peak_bytes, original.peak_bytes);
   EXPECT_DOUBLE_EQ(parsed.kernel_seconds, original.kernel_seconds);
   EXPECT_EQ(parsed.kernel_flops, original.kernel_flops);
   EXPECT_EQ(parsed.kernel_bytes, original.kernel_bytes);
+}
+
+TEST(TelemetryTest, PreHaloLogsParseWithZeroHaloFields) {
+  // Logs written before graph parallelism carry no halo_* fields; they must
+  // read back as zeros, not as a parse error.
+  std::string line = sample_step().to_json();
+  const auto begin = line.find(",\"halo_bytes\"");
+  const auto end = line.find(",\"live_bytes\"");
+  ASSERT_NE(begin, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  line.erase(begin, end - begin);
+  const StepTelemetry parsed = StepTelemetry::from_json(line);
+  EXPECT_EQ(parsed.step, 42);
+  EXPECT_EQ(parsed.halo_bytes, 0u);
+  EXPECT_EQ(parsed.halo_exchanges, 0);
+  EXPECT_DOUBLE_EQ(parsed.halo_exposed_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(parsed.halo_overlapped_seconds, 0.0);
 }
 
 TEST(TelemetryTest, ReadJsonlParsesStreamAndSkipsBlankLines) {

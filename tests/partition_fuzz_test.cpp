@@ -1,0 +1,198 @@
+// Randomized property wall for the spatial partitioner (sgnn::gpar): across
+// hundreds of random geometries, species mixes, cutoffs, and batch shapes,
+// the union of the per-rank edge slices — decoded through each rank's
+// owned-range + halo mapping — must reconstruct the reference neighbor list
+// EDGE FOR EDGE. Degenerate layouts (all atoms coincident, planar slabs,
+// exact-tie lattices that put atoms on partition planes) get dedicated
+// iterations: those are the configurations where a sloppy partitioner drops
+// or duplicates edges.
+
+#include "sgnn/graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sgnn/graph/batch.hpp"
+#include "sgnn/graph/graph.hpp"
+#include "sgnn/util/rng.hpp"
+
+namespace sgnn {
+namespace {
+
+enum class Layout : int {
+  kRandom = 0,      ///< uniform cloud in a box
+  kCoincident = 1,  ///< every atom in one cell-list bin (all at one point)
+  kSlab = 2,        ///< planar: zero extent along one axis
+  kLattice = 3,     ///< exact-tie grid — atoms land ON partition planes
+  kWire = 4,        ///< one nonzero axis (two axes of zero extent)
+};
+
+AtomicStructure random_structure(Layout layout, Rng& rng) {
+  AtomicStructure s;
+  const int palette[] = {elements::kH, elements::kC, elements::kN,
+                         elements::kO, elements::kCu};
+  const std::int64_t atoms = 1 + static_cast<std::int64_t>(
+                                     rng.uniform_index(40));
+  const double box = rng.uniform(2.0, 8.0);
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    s.species.push_back(palette[rng.uniform_index(5)]);
+    switch (layout) {
+      case Layout::kRandom:
+        s.positions.push_back(
+            {rng.uniform(0, box), rng.uniform(0, box), rng.uniform(0, box)});
+        break;
+      case Layout::kCoincident:
+        s.positions.push_back({1.25, 0.5, 2.0});
+        break;
+      case Layout::kSlab:
+        s.positions.push_back({rng.uniform(0, box), rng.uniform(0, box), 1.0});
+        break;
+      case Layout::kLattice:
+        // Integer grid: many atoms share coordinates along every axis, so
+        // spatial_order hits its tie-breaking path and partition boundaries
+        // cut THROUGH planes of exactly-equal coordinates.
+        s.positions.push_back({static_cast<double>(i % 4),
+                               static_cast<double>((i / 4) % 4),
+                               static_cast<double>(i / 16)});
+        break;
+      case Layout::kWire:
+        s.positions.push_back({rng.uniform(0, box), 0.5, 0.5});
+        break;
+    }
+  }
+  return s;
+}
+
+/// Applies a node permutation to a structure (used with spatial_order so the
+/// partitioner sees spatially contiguous slabs, like the trainer would).
+AtomicStructure permuted(const AtomicStructure& s,
+                         const std::vector<std::int64_t>& order) {
+  AtomicStructure out;
+  out.cell = s.cell;
+  out.periodic = s.periodic;
+  for (const std::int64_t i : order) {
+    out.species.push_back(s.species[static_cast<std::size_t>(i)]);
+    out.positions.push_back(s.positions[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+TEST(PartitionFuzzTest, RankSlicesReconstructTheNeighborListEdgeForEdge) {
+  constexpr int kIterations = 320;
+  for (int it = 0; it < kIterations; ++it) {
+    Rng rng(0xFADE + static_cast<std::uint64_t>(it));
+    const auto layout = static_cast<Layout>(it % 5);
+    const double cutoff = rng.uniform(1.0, 3.5);
+
+    // Sometimes batch several graphs so partition boundaries also cross
+    // graph boundaries (the batch offsets must not confuse the halo).
+    const int graphs = 1 + static_cast<int>(rng.uniform_index(3));
+    std::vector<MolecularGraph> storage;
+    for (int g = 0; g < graphs; ++g) {
+      AtomicStructure s = random_structure(layout, rng);
+      if (rng.uniform() < 0.5) s = permuted(s, gpar::spatial_order(s));
+      storage.push_back(MolecularGraph::from_structure(s, cutoff));
+    }
+    const GraphBatch batch = GraphBatch::from_graphs(storage);
+
+    for (const int R : {1, 2, 3, 4}) {
+      SCOPED_TRACE("it=" + std::to_string(it) + " layout=" +
+                   std::to_string(static_cast<int>(layout)) +
+                   " ranks=" + std::to_string(R));
+      const auto part = gpar::GraphPartition::build(batch, R);
+
+      // Ownership tiles [0, N): every node owned exactly once.
+      std::int64_t covered = 0;
+      for (const auto& rp : part.ranks) {
+        ASSERT_LE(rp.owned_begin, rp.owned_end);
+        ASSERT_EQ(rp.owned_begin, covered);
+        covered = rp.owned_end;
+      }
+      ASSERT_EQ(covered, batch.num_nodes);
+
+      // Decode every rank's local slice back to global ids, in slice order.
+      // Concatenated across ranks this must BE the reference edge list:
+      // exact sequence equality means no edge dropped, none duplicated,
+      // none rerouted through the wrong ghost row.
+      std::vector<std::int64_t> src, dst;
+      for (const auto& rp : part.ranks) {
+        ASSERT_EQ(rp.local_src.size(), rp.local_dst.size());
+        for (std::size_t e = 0; e < rp.local_src.size(); ++e) {
+          const std::int64_t ls = rp.local_src[e];
+          ASSERT_GE(ls, 0);
+          ASSERT_LT(ls, rp.num_owned() +
+                            static_cast<std::int64_t>(rp.halo.size()));
+          src.push_back(
+              ls < rp.num_owned()
+                  ? rp.owned_begin + ls
+                  : rp.halo[static_cast<std::size_t>(ls - rp.num_owned())]);
+          dst.push_back(rp.owned_begin + rp.local_dst[e]);
+        }
+      }
+      ASSERT_EQ(src, batch.edge_src);
+      ASSERT_EQ(dst, batch.edge_dst);
+
+      // Halos never contain owned nodes and never reach past one hop: every
+      // ghost id must actually occur as a source in the rank's slice.
+      for (const auto& rp : part.ranks) {
+        ASSERT_TRUE(std::is_sorted(rp.halo.begin(), rp.halo.end()));
+        ASSERT_TRUE(
+            std::adjacent_find(rp.halo.begin(), rp.halo.end()) ==
+            rp.halo.end());
+        for (const std::int64_t g : rp.halo) {
+          ASSERT_TRUE(g < rp.owned_begin || g >= rp.owned_end);
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionFuzzTest, PeriodicStructuresPartitionExactly) {
+  // Periodic cells route edges through minimum-image shifts; the partition
+  // never looks at geometry, only at the edge list, so the reconstruction
+  // property must hold just the same.
+  constexpr int kIterations = 60;
+  for (int it = 0; it < kIterations; ++it) {
+    Rng rng(0xBEEF + static_cast<std::uint64_t>(it));
+    AtomicStructure s;
+    const double cell = rng.uniform(4.0, 8.0);
+    const std::int64_t atoms =
+        2 + static_cast<std::int64_t>(rng.uniform_index(30));
+    for (std::int64_t i = 0; i < atoms; ++i) {
+      s.species.push_back(elements::kSi);
+      s.positions.push_back({rng.uniform(0, cell), rng.uniform(0, cell),
+                             rng.uniform(0, cell)});
+    }
+    s.cell = {cell, cell, cell};
+    s.periodic = true;
+    const double cutoff = rng.uniform(1.0, 0.495 * cell);
+    const MolecularGraph graph = MolecularGraph::from_structure(s, cutoff);
+    const GraphBatch batch = GraphBatch::from_graphs(
+        std::vector<const MolecularGraph*>{&graph});
+
+    for (const int R : {2, 3, 4}) {
+      SCOPED_TRACE("it=" + std::to_string(it) + " ranks=" +
+                   std::to_string(R));
+      const auto part = gpar::GraphPartition::build(batch, R);
+      std::vector<std::int64_t> src, dst;
+      for (const auto& rp : part.ranks) {
+        for (std::size_t e = 0; e < rp.local_src.size(); ++e) {
+          const std::int64_t ls = rp.local_src[e];
+          src.push_back(
+              ls < rp.num_owned()
+                  ? rp.owned_begin + ls
+                  : rp.halo[static_cast<std::size_t>(ls - rp.num_owned())]);
+          dst.push_back(rp.owned_begin + rp.local_dst[e]);
+        }
+      }
+      ASSERT_EQ(src, batch.edge_src);
+      ASSERT_EQ(dst, batch.edge_dst);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgnn

@@ -135,7 +135,61 @@ bool is_blocking_wait(const std::string& code, std::size_t begin) {
   return arg < code.size() && code[arg] == ')';
 }
 
-/// Whether each function's body contains a blocking call directly.
+/// True when the brace at `pos` opens a lambda body: preceded by `]`, or
+/// by `](params)` optionally followed by `mutable` / `noexcept` / a
+/// `-> Type` trailing return. Shared by the R8 scanner (scope boundaries)
+/// and the blocking-reachability analysis — a lambda body is DEFERRED work
+/// (an autograd backward, a thread entry point), so registering it is not
+/// executing it.
+bool lambda_brace(const std::string& code, std::size_t pos) {
+  std::size_t at = text::prev_significant_index(code, pos);
+  if (at == std::string::npos) return false;
+  if (code[at] == ']') return true;
+  // Trailing return type: `](params) -> Type {`. Walk back over the type
+  // spelling (identifiers, ::, <...>, commas, &, *) to the arrow, then
+  // resume on the token before it. A non-type character before any arrow
+  // means there is no trailing return; fall through with `at` unchanged.
+  for (std::size_t q = at; q != std::string::npos; --q) {
+    const char c = code[q];
+    if (c == '>' && q >= 1 && code[q - 1] == '-') {
+      at = q >= 2 ? text::prev_significant_index(code, q - 1)
+                  : std::string::npos;
+      if (at == std::string::npos) return false;
+      break;
+    }
+    if (!(is_word(c) || c == ':' || c == '<' || c == '>' || c == ',' ||
+          c == '&' || c == '*' ||
+          std::isspace(static_cast<unsigned char>(c)))) {
+      break;
+    }
+  }
+  if (is_word(code[at])) {
+    const std::string w = word_before(code, at + 1);
+    if (w != "mutable" && w != "noexcept") return false;
+    if (at + 1 < w.size()) return false;
+    at = text::prev_significant_index(code, at + 1 - w.size());
+    if (at == std::string::npos) return false;
+  }
+  if (code[at] != ')') return false;
+  int depth = 0;
+  std::size_t p = at + 1;
+  while (p > 0) {
+    --p;
+    if (code[p] == ')') ++depth;
+    if (code[p] == '(') {
+      --depth;
+      if (depth == 0) break;
+    }
+  }
+  if (depth != 0 || code[p] != '(') return false;
+  const std::size_t before_open = text::prev_significant_index(code, p);
+  return before_open != std::string::npos && code[before_open] == ']';
+}
+
+/// Whether each function's body contains a blocking call it runs
+/// SYNCHRONOUSLY — lambda bodies are skipped: a `.wait()` inside a stored
+/// closure blocks whoever later invokes the closure, not the function that
+/// built it.
 std::vector<bool> direct_blocking(const ProjectIndex& index) {
   std::vector<bool> blocking(index.functions.size(), false);
   for (std::size_t f = 0; f < index.functions.size(); ++f) {
@@ -143,6 +197,12 @@ std::vector<bool> direct_blocking(const ProjectIndex& index) {
     const std::string& code = index.file_of(def).code;
     for (std::size_t pos = def.body_begin + 1;
          pos < def.body_end && pos < code.size(); ++pos) {
+      if (code[pos] == '{' && lambda_brace(code, pos)) {
+        const std::size_t close = text::match_brace(code, pos);
+        if (close == std::string::npos || close >= def.body_end) break;
+        pos = close;
+        continue;
+      }
       if (!is_word(code[pos]) || (pos > 0 && is_word(code[pos - 1]))) {
         continue;
       }
@@ -160,16 +220,60 @@ std::vector<bool> direct_blocking(const ProjectIndex& index) {
   return blocking;
 }
 
+/// Call spellings inside [begin, end) EXCLUDING lambda bodies: the calls a
+/// function makes on its own synchronous path. Keyword/macro "calls" are
+/// kept — they resolve to no definition, so they cannot add edges.
+std::vector<std::string> synchronous_callees(const std::string& code,
+                                             std::size_t begin,
+                                             std::size_t end) {
+  std::vector<std::string> callees;
+  for (std::size_t pos = begin; pos < end && pos < code.size(); ++pos) {
+    if (code[pos] == '{' && lambda_brace(code, pos)) {
+      const std::size_t close = text::match_brace(code, pos);
+      if (close == std::string::npos || close >= end) break;
+      pos = close;
+      continue;
+    }
+    if (code[pos] != '(') continue;
+    const std::string name = word_before(code, pos);
+    if (name.empty()) continue;
+    const std::size_t name_end = text::prev_significant_index(code, pos);
+    if (name_end == std::string::npos || name_end + 1 < name.size()) continue;
+    const std::size_t name_begin = name_end + 1 - name.size();
+    std::string spelled = name;
+    if (name_begin >= 2 && code[name_begin - 1] == ':' &&
+        code[name_begin - 2] == ':') {
+      const std::string qual = word_before(code, name_begin - 2);
+      if (!qual.empty()) spelled = qual + "::" + name;
+    }
+    if (std::find(callees.begin(), callees.end(), spelled) ==
+        callees.end()) {
+      callees.push_back(spelled);
+    }
+  }
+  return callees;
+}
+
 /// Per-definition: reaches a blocking call (fixed point over the call
 /// graph; resolution is qualifier-aware but still an over-approximation).
+/// Only SYNCHRONOUS call edges propagate: a function that merely registers
+/// a closure whose body blocks (an autograd backward hook posting a
+/// collective) does not itself stall a rank — whoever later runs the
+/// closure does, and that run site is scanned on its own.
 std::vector<bool> defs_reaching_blocking(const ProjectIndex& index) {
   std::vector<bool> reaches = direct_blocking(index);
+  std::vector<std::vector<std::string>> callees(index.functions.size());
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    const FunctionDef& def = index.functions[f];
+    callees[f] = synchronous_callees(index.file_of(def).code,
+                                     def.body_begin + 1, def.body_end);
+  }
   bool changed = true;
   while (changed) {
     changed = false;
     for (std::size_t f = 0; f < index.functions.size(); ++f) {
       if (reaches[f]) continue;
-      for (const auto& callee : index.functions[f].callees) {
+      for (const auto& callee : callees[f]) {
         for (const int target : index.resolve(callee)) {
           if (reaches[static_cast<std::size_t>(target)]) {
             reaches[f] = true;
@@ -289,33 +393,9 @@ class SpmdScanner {
     return false;
   }
 
-  /// True when the brace at `pos` opens a lambda body: preceded by `]`,
-  /// or by `(params)` / `(params) mutable` whose `(` follows `]`.
+  /// True when the brace at `pos` opens a lambda body (shared helper).
   bool is_lambda_brace(std::size_t pos) const {
-    std::size_t at = text::prev_significant_index(code_, pos);
-    if (at == std::string::npos) return false;
-    if (code_[at] == ']') return true;
-    if (is_word(code_[at])) {
-      const std::string w = word_before(code_, pos);
-      if (w != "mutable") return false;
-      if (at + 1 < w.size()) return false;
-      at = text::prev_significant_index(code_, at + 1 - w.size());
-      if (at == std::string::npos) return false;
-    }
-    if (code_[at] != ')') return false;
-    int depth = 0;
-    std::size_t p = at + 1;
-    while (p > 0) {
-      --p;
-      if (code_[p] == ')') ++depth;
-      if (code_[p] == '(') {
-        --depth;
-        if (depth == 0) break;
-      }
-    }
-    if (depth != 0 || code_[p] != '(') return false;
-    const std::size_t before_open = text::prev_significant_index(code_, p);
-    return before_open != std::string::npos && code_[before_open] == ']';
+    return lambda_brace(code_, pos);
   }
 
   void handle_condition(std::size_t begin, std::size_t end, bool else_carry) {
@@ -484,6 +564,10 @@ const std::vector<KernelSurface>& kernel_surfaces() {
   static const std::vector<KernelSurface> surfaces = {
       {"include/sgnn/tensor/ops.hpp", {"src/tensor/"}},
       {"include/sgnn/graph/neighbor.hpp", {"src/graph/neighbor.cpp"}},
+      // The partitioner runs once per graph-parallel step on every rank;
+      // its O(N + E) build must show up in the roofline next to the
+      // neighbor search it mirrors.
+      {"include/sgnn/graph/partition.hpp", {"src/graph/partition.cpp"}},
       // Serving hot paths must stay visible to the profiler: every request
       // crosses submit/process_batch/run_group, so a regression there
       // escaping the roofline and bench accounting would blind the latency
